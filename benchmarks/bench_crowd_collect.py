@@ -1,0 +1,71 @@
+"""F5 — Open-world collection: discovery curve and Chao92 richness tracking.
+
+Expected shape: distinct-item discovery shows diminishing returns under
+Zipf-skewed worker knowledge, while the Chao92 estimate approaches the true
+universe size well before enumeration completes — the requester's stopping
+signal.
+"""
+
+from conftest import run_once
+
+from repro.experiments.harness import run_trials
+from repro.operators.collect import CrowdCollect, bind_zipf_knowledge
+from repro.platform.platform import SimulatedPlatform
+from repro.workers.models import CollectorModel
+from repro.workers.pool import WorkerPool
+from repro.workers.worker import Worker
+
+UNIVERSE = 200
+QUERIES = 800
+CHECKPOINTS = (100, 200, 400, 800)
+
+
+def _trial(seed: int) -> dict[str, float]:
+    universe = [f"species-{i:03d}" for i in range(UNIVERSE)]
+    pool = WorkerPool([Worker(model=CollectorModel()) for _ in range(25)], seed=seed)
+    bind_zipf_knowledge(pool, universe, knowledge_size=60, zipf_s=1.1, seed=seed + 1)
+    platform = SimulatedPlatform(pool, seed=seed + 2)
+    collector = CrowdCollect(platform, "name a species", checkpoint_every=100)
+    result = collector.run(max_queries=QUERIES)
+
+    values: dict[str, float] = {}
+    for queries, distinct, chao in result.richness_trajectory:
+        if queries in CHECKPOINTS:
+            values[f"distinct@{queries}"] = distinct
+            values[f"chao@{queries}"] = chao
+    values["final_recall"] = result.recall_against(universe)
+    return values
+
+
+def test_f5_collection_curve(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("F5", _trial, n_trials=3))
+
+    rows = [
+        {
+            "queries": q,
+            "distinct_seen": result.mean(f"distinct@{q}"),
+            "chao92_estimate": result.mean(f"chao@{q}"),
+            "true_universe": UNIVERSE,
+        }
+        for q in CHECKPOINTS
+    ]
+    report.table(rows, title="F5: discovery curve + Chao92 (3 trials)",
+                 float_format="{:.1f}")
+    report.series(
+        list(CHECKPOINTS),
+        [result.mean(f"distinct@{q}") for q in CHECKPOINTS],
+        title="distinct items discovered",
+        x_label="queries", y_label="distinct",
+    )
+
+    # Shapes: diminishing returns (second-half gain smaller than first-half);
+    # Chao92 is sandwiched between observed and ~1.5x truth at the end.
+    first_gain = result.mean("distinct@200") - result.mean("distinct@100")
+    last_gain = result.mean("distinct@800") - result.mean("distinct@400")
+    assert last_gain < first_gain * 2  # flattening (per-100 basis it's much less)
+    assert result.mean("chao@800") >= result.mean("distinct@800")
+    assert result.mean("chao@800") <= UNIVERSE * 1.6
+    # Later estimates should track truth more closely than early ones.
+    early_gap = abs(result.mean("chao@100") - UNIVERSE)
+    late_gap = abs(result.mean("chao@800") - UNIVERSE)
+    assert late_gap <= early_gap + 10

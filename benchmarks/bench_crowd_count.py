@@ -1,0 +1,57 @@
+"""T5 — Crowd COUNT by sampling: error vs sample size.
+
+Expected shape: relative error shrinks like 1/sqrt(n) as the sample grows
+(cost grows linearly), so modest samples already give single-digit-percent
+estimates of a 10k population — the cost-control argument for
+sampling-based crowd aggregation.
+"""
+
+from conftest import run_once
+
+from repro.experiments.datasets import counting_dataset
+from repro.experiments.harness import PoolSpec, make_platform, run_trials
+from repro.experiments.metrics import relative_error
+from repro.operators.count import CrowdCount
+
+POOL = PoolSpec(kind="uniform", size=25, accuracy=0.93)
+POPULATION = 10_000
+SAMPLE_FRACTIONS = (0.01, 0.05, 0.10)
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    dataset = counting_dataset(POPULATION, selectivity=0.3, seed=seed + 29)
+    for fraction in SAMPLE_FRACTIONS:
+        platform = make_platform(POOL, seed=seed)
+        counter = CrowdCount(
+            platform, "does it qualify?", dataset.truth_fn, redundancy=3, seed=seed
+        )
+        result = counter.run(dataset.items, sample_size=int(POPULATION * fraction))
+        values[f"error@{fraction}"] = relative_error(result.value, dataset.true_count)
+        values[f"questions@{fraction}"] = result.questions_asked
+        values[f"covered@{fraction}"] = (
+            1.0 if result.estimate.contains(dataset.true_count) else 0.0
+        )
+    return values
+
+
+def test_t5_count_sampling(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("T5", _trial, n_trials=4))
+
+    rows = [
+        {
+            "sample": f"{fraction:.0%}",
+            "relative_error": result.mean(f"error@{fraction}"),
+            "questions": result.mean(f"questions@{fraction}"),
+            "ci_coverage": result.mean(f"covered@{fraction}"),
+        }
+        for fraction in SAMPLE_FRACTIONS
+    ]
+    report.table(rows, title="T5: COUNT estimation error vs sample size (4 trials)")
+
+    # Shapes: error shrinks with sample size; 10% sample achieves <10%
+    # error while asking 30x fewer questions than exhaustive labeling.
+    errors = [result.mean(f"error@{f}") for f in SAMPLE_FRACTIONS]
+    assert errors[-1] <= errors[0] + 0.02
+    assert errors[-1] < 0.10
+    assert result.mean(f"questions@{SAMPLE_FRACTIONS[-1]}") <= POPULATION * 3 * 0.11

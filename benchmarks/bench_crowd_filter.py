@@ -1,0 +1,66 @@
+"""F6 — Crowd filter strategies: fixed-k vs adaptive sequential.
+
+Sweeps predicate selectivity. Expected shape (CrowdScreen): the adaptive
+strategy matches fixed-k accuracy while buying ~half the answers, because
+most items terminate after two agreeing votes; the saving holds across
+selectivities.
+"""
+
+from conftest import run_once
+
+from repro.experiments.harness import PoolSpec, make_platform, run_trials
+from repro.operators.filter import AdaptiveFilter, FixedKFilter
+
+POOL = PoolSpec(kind="uniform", size=25, accuracy=0.88)
+SELECTIVITIES = (0.1, 0.5, 0.9)
+N_ITEMS = 100
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    items = list(range(N_ITEMS))
+    for selectivity in SELECTIVITIES:
+        cutoff = int(N_ITEMS * selectivity)
+        truth = [i < cutoff for i in items]
+
+        platform = make_platform(POOL, seed=seed)
+        fixed = FixedKFilter(
+            platform, "keep?", truth_fn=lambda i: truth[i], redundancy=5
+        ).run(items)
+        values[f"fixed_q@{selectivity}"] = fixed.questions_asked
+        values[f"fixed_acc@{selectivity}"] = fixed.accuracy_against(truth)
+
+        platform = make_platform(POOL, seed=seed)
+        adaptive = AdaptiveFilter(
+            platform, "keep?", truth_fn=lambda i: truth[i], margin=2, max_answers=5
+        ).run(items)
+        values[f"adaptive_q@{selectivity}"] = adaptive.questions_asked
+        values[f"adaptive_acc@{selectivity}"] = adaptive.accuracy_against(truth)
+    return values
+
+
+def test_f6_filter_strategies(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("F6", _trial, n_trials=3))
+
+    rows = []
+    for selectivity in SELECTIVITIES:
+        rows.append(
+            {
+                "selectivity": selectivity,
+                "fixed5_questions": result.mean(f"fixed_q@{selectivity}"),
+                "fixed5_accuracy": result.mean(f"fixed_acc@{selectivity}"),
+                "adaptive_questions": result.mean(f"adaptive_q@{selectivity}"),
+                "adaptive_accuracy": result.mean(f"adaptive_acc@{selectivity}"),
+            }
+        )
+    report.table(rows, title="F6: fixed-k vs adaptive filtering (100 items, 3 trials)")
+
+    for selectivity in SELECTIVITIES:
+        # Adaptive buys at most ~60% of fixed-k's answers...
+        assert result.mean(f"adaptive_q@{selectivity}") < 0.62 * result.mean(
+            f"fixed_q@{selectivity}"
+        )
+        # ...while keeping accuracy within 4 points.
+        assert result.mean(f"adaptive_acc@{selectivity}") >= result.mean(
+            f"fixed_acc@{selectivity}"
+        ) - 0.04

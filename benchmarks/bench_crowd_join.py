@@ -1,0 +1,81 @@
+"""T3 — Crowd join / entity resolution: the CrowdER cost ladder.
+
+crowd-all-pairs vs machine-pruning vs pruning+transitivity, sweeping the
+pruning threshold tau. Expected shape: pruning cuts questions by an order
+of magnitude with minor F1 loss; transitivity cuts further; looser tau
+buys recall with more questions.
+"""
+
+from conftest import run_once
+
+from repro.cost.pruning import SimilarityPruner
+from repro.experiments.datasets import er_dataset
+from repro.experiments.harness import PoolSpec, make_platform, run_trials
+from repro.operators.join import CrowdJoin
+
+POOL = PoolSpec(kind="uniform", size=25, accuracy=0.93)
+TAUS = (0.3, 0.5, 0.7)
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    dataset = er_dataset(n_entities=30, records_per_entity=(2, 3), seed=seed + 71)
+
+    def run(pruner, transitivity, label):
+        platform = make_platform(POOL, seed=seed)
+        join = CrowdJoin(
+            platform, dataset.truth_fn, pruner=pruner,
+            use_transitivity=transitivity, redundancy=3,
+        )
+        result = join.run(dataset.records)
+        _p, recall, f1 = result.precision_recall_f1(dataset.true_pairs)
+        values[f"{label}_questions"] = result.questions_asked
+        values[f"{label}_f1"] = f1
+        values[f"{label}_recall"] = recall
+
+    run(None, False, "allpairs")
+    for tau in TAUS:
+        run(SimilarityPruner(tau), False, f"prune{tau}")
+        run(SimilarityPruner(tau), True, f"trans{tau}")
+    return values
+
+
+def test_t3_crowd_join_ladder(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("T3", _trial, n_trials=3))
+
+    rows = [
+        {
+            "pipeline": "crowd all-pairs",
+            "questions": result.mean("allpairs_questions"),
+            "f1": result.mean("allpairs_f1"),
+            "recall": result.mean("allpairs_recall"),
+        }
+    ]
+    for tau in TAUS:
+        rows.append(
+            {
+                "pipeline": f"pruning tau={tau}",
+                "questions": result.mean(f"prune{tau}_questions"),
+                "f1": result.mean(f"prune{tau}_f1"),
+                "recall": result.mean(f"prune{tau}_recall"),
+            }
+        )
+        rows.append(
+            {
+                "pipeline": f"pruning+trans tau={tau}",
+                "questions": result.mean(f"trans{tau}_questions"),
+                "f1": result.mean(f"trans{tau}_f1"),
+                "recall": result.mean(f"trans{tau}_recall"),
+            }
+        )
+    report.table(rows, title="T3: ER pipelines — questions vs quality (3 trials)",
+                 float_format="{:.2f}")
+
+    # Shapes: pruning slashes question count by >=5x at tau=0.3 with F1
+    # within 0.15 of all-pairs' best achievable; transitivity asks fewer
+    # still; recall falls as tau tightens.
+    assert result.mean("prune0.3_questions") * 5 <= result.mean("allpairs_questions")
+    for tau in TAUS:
+        assert result.mean(f"trans{tau}_questions") <= result.mean(f"prune{tau}_questions")
+    assert result.mean("prune0.3_recall") >= result.mean("prune0.7_recall")
+    assert result.mean("prune0.3_f1") >= 0.7

@@ -1,0 +1,63 @@
+"""F4 — Crowd MAX: tournament fan-in sweep over 64 items.
+
+Expected shape: rounds fall like ceil(log_f n) as fan-in grows while
+comparison count rises (each group plays round-robin) — the latency/cost
+dial the round-model section describes. Winner accuracy stays high at
+every fan-in because the comparison pool is sharp.
+"""
+
+from conftest import run_once
+
+from repro.experiments.datasets import ranking_dataset
+from repro.experiments.harness import PoolSpec, make_platform, run_trials
+from repro.operators.sort import CrowdComparator
+from repro.operators.topk import expected_tournament_cost, tournament_max
+
+POOL = PoolSpec(kind="comparison", size=30, sharpness=40.0)
+FAN_INS = (2, 4, 8)
+N_ITEMS = 64
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    dataset = ranking_dataset(N_ITEMS, seed=seed + 13)
+    best = dataset.true_order[0]
+    for fan_in in FAN_INS:
+        platform = make_platform(POOL, seed=seed)
+        comparator = CrowdComparator(
+            platform, dataset.items, dataset.score_fn, redundancy=5
+        )
+        result = tournament_max(comparator, fan_in=fan_in)
+        values[f"rounds@{fan_in}"] = result.rounds
+        values[f"comparisons@{fan_in}"] = result.comparisons_asked
+        values[f"correct@{fan_in}"] = 1.0 if result.winners[0] == best else 0.0
+    return values
+
+
+def test_f4_tournament_fan_in(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("F4", _trial, n_trials=3))
+
+    rows = []
+    for fan_in in FAN_INS:
+        predicted_comparisons, predicted_rounds = expected_tournament_cost(N_ITEMS, fan_in)
+        rows.append(
+            {
+                "fan_in": fan_in,
+                "rounds": result.mean(f"rounds@{fan_in}"),
+                "rounds_predicted": predicted_rounds,
+                "comparisons": result.mean(f"comparisons@{fan_in}"),
+                "comparisons_predicted": predicted_comparisons,
+                "winner_correct": result.mean(f"correct@{fan_in}"),
+            }
+        )
+    report.table(rows, title="F4: MAX tournament fan-in sweep (n=64, 3 trials)",
+                 float_format="{:.2f}")
+
+    # Shapes: measured rounds match the analytic bound exactly; rounds
+    # fall and comparisons rise with fan-in; the winner is usually right.
+    for fan_in in FAN_INS:
+        _pred_c, pred_r = expected_tournament_cost(N_ITEMS, fan_in)
+        assert result.mean(f"rounds@{fan_in}") == pred_r
+    assert result.mean("rounds@8") < result.mean("rounds@2")
+    assert result.mean("comparisons@8") > result.mean("comparisons@2")
+    assert sum(result.mean(f"correct@{f}") for f in FAN_INS) >= 2.0

@@ -1,0 +1,85 @@
+"""T4 — Crowd sort: all-pairs vs merge sort vs rating vs hybrid.
+
+Expected shape (the Qurk result): comparisons are accurate but expensive —
+all-pairs buys the best Kendall tau at quadratic cost, merge sort nearly
+matches it at n log n, rating-only is the cheapest and coarsest, and the
+hybrid recovers most of the comparison quality at near-rating cost.
+"""
+
+from conftest import run_once
+
+from repro.experiments.datasets import ranking_dataset
+from repro.experiments.harness import PoolSpec, make_platform, run_trials
+from repro.operators.sort import (
+    CrowdComparator,
+    all_pairs_sort,
+    hybrid_sort,
+    merge_sort_crowd,
+    rating_sort,
+)
+
+POOL = PoolSpec(kind="comparison", size=25, sharpness=10.0)
+N_ITEMS = 24
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    dataset = ranking_dataset(N_ITEMS, seed=seed + 97)
+    true_order = dataset.true_order
+
+    def comparator(platform):
+        return CrowdComparator(
+            platform, dataset.items, dataset.score_fn, redundancy=3
+        )
+
+    platform = make_platform(POOL, seed=seed)
+    result = all_pairs_sort(comparator(platform))
+    values["allpairs_tau"] = result.kendall_tau(true_order)
+    values["allpairs_answers"] = result.answers_bought
+
+    platform = make_platform(POOL, seed=seed)
+    result = merge_sort_crowd(comparator(platform))
+    values["merge_tau"] = result.kendall_tau(true_order)
+    values["merge_answers"] = result.answers_bought
+
+    platform = make_platform(POOL, seed=seed)
+    result = rating_sort(platform, dataset.items, dataset.score_fn, redundancy=3)
+    values["rating_tau"] = result.kendall_tau(true_order)
+    values["rating_answers"] = result.answers_bought
+
+    platform = make_platform(POOL, seed=seed)
+    result = hybrid_sort(
+        platform, dataset.items, dataset.score_fn, redundancy=3, close_threshold=1.5
+    )
+    values["hybrid_tau"] = result.kendall_tau(true_order)
+    values["hybrid_answers"] = result.answers_bought
+    return values
+
+
+def test_t4_sort_strategy_space(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("T4", _trial, n_trials=3))
+
+    rows = [
+        {
+            "strategy": name,
+            "kendall_tau": result.mean(f"{key}_tau"),
+            "answers": result.mean(f"{key}_answers"),
+        }
+        for name, key in (
+            ("all-pairs", "allpairs"),
+            ("merge sort", "merge"),
+            ("rating only", "rating"),
+            ("hybrid", "hybrid"),
+        )
+    ]
+    report.table(rows, title="T4: crowd sort strategies (n=24, 3 trials)",
+                 float_format="{:.2f}")
+
+    # Shapes: all-pairs is the most accurate and most expensive; merge is
+    # cheaper than all-pairs; rating is cheapest; hybrid improves on rating
+    # at a fraction of all-pairs' cost.
+    assert result.mean("allpairs_answers") > result.mean("merge_answers")
+    assert result.mean("rating_answers") <= result.mean("merge_answers")
+    assert result.mean("allpairs_tau") >= result.mean("rating_tau") - 0.05
+    assert result.mean("hybrid_tau") >= result.mean("rating_tau") - 0.02
+    assert result.mean("hybrid_answers") < result.mean("allpairs_answers")

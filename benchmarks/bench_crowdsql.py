@@ -1,0 +1,126 @@
+"""T7 — Declarative optimizer ablation: CrowdSQL with and without rules.
+
+Three mixed machine/crowd queries run twice — optimizer on vs off. The
+unoptimized plan evaluates predicates in syntactic order (crowd predicate
+written first), the optimized plan runs machine predicates first and
+prunes crowd fills to referenced columns. Expected shape: identical rows,
+strictly fewer crowd questions and lower spend with the optimizer — the
+CrowdDB/Deco/CrowdOP argument for declarative crowdsourcing.
+"""
+
+from conftest import run_once
+
+from repro.experiments.harness import run_trials
+from repro.lang.executor import CrowdOracle
+from repro.lang.interpreter import CrowdSQLSession
+from repro.platform.platform import SimulatedPlatform
+from repro.workers.pool import WorkerPool
+
+SETUP = """
+CREATE TABLE listings (
+    label STRING NOT NULL,
+    price INTEGER,
+    region STRING,
+    quality STRING CROWD,
+    PRIMARY KEY (label)
+);
+"""
+
+QUERIES = {
+    "crowd_filter_mixed": (
+        "SELECT label FROM listings "
+        "WHERE CROWDFILTER(label, 'is this listing legit?') AND price < 30"
+    ),
+    "two_crowd_predicates": (
+        "SELECT label FROM listings "
+        "WHERE CROWDFILTER(label, 'legit?') AND CROWDEQUAL(region, 'north') "
+        "AND price < 50"
+    ),
+    "fill_with_filter": (
+        "SELECT label, quality FROM listings WHERE price < 20"
+    ),
+}
+
+
+def _expected_labels(query_name: str) -> set[str]:
+    """Ground-truth result sets, from the oracle's closed forms."""
+    labels = set()
+    for i in range(60):
+        price = (i * 7) % 100
+        legit = i % 2 == 0
+        north = i % 3 == 0
+        if query_name == "crowd_filter_mixed" and legit and price < 30:
+            labels.add(f"item-{i}")
+        elif query_name == "two_crowd_predicates" and legit and north and price < 50:
+            labels.add(f"item-{i}")
+        elif query_name == "fill_with_filter" and price < 20:
+            labels.add(f"item-{i}")
+    return labels
+
+
+def _session(seed: int, optimize: bool) -> CrowdSQLSession:
+    platform = SimulatedPlatform(WorkerPool.uniform(25, 0.95, seed=seed), seed=seed + 1)
+    oracle = CrowdOracle(
+        filter_fn=lambda value, q: int(str(value).split("-")[1]) % 2 == 0,
+        fill_fn=lambda row, col: "good" if row["price"] < 50 else "poor",
+    )
+    session = CrowdSQLSession(platform=platform, oracle=oracle, redundancy=5, optimize=optimize)
+    session.execute(SETUP)
+    table = session.database.table("listings")
+    for i in range(60):
+        table.insert(
+            {
+                "label": f"item-{i}",
+                "price": (i * 7) % 100,
+                "region": "north" if i % 3 == 0 else "south",
+            }
+        )
+    return session
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for name, sql in QUERIES.items():
+        expected = _expected_labels(name)
+        for optimize in (False, True):
+            session = _session(seed, optimize)
+            result = session.query(sql)
+            mode = "opt" if optimize else "raw"
+            values[f"{name}_{mode}_questions"] = result.stats.crowd_questions
+            values[f"{name}_{mode}_cost"] = result.stats.crowd_cost + 0.0
+            got = {r["label"] for r in result.rows}
+            union = got | expected
+            jaccard = len(got & expected) / len(union) if union else 1.0
+            values[f"{name}_{mode}_agreement"] = jaccard
+    return values
+
+
+def test_t7_optimizer_ablation(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("T7", _trial, n_trials=3))
+
+    rows = []
+    for name in QUERIES:
+        raw_q = result.mean(f"{name}_raw_questions")
+        opt_q = result.mean(f"{name}_opt_questions")
+        rows.append(
+            {
+                "query": name,
+                "questions_raw": raw_q,
+                "questions_optimized": opt_q,
+                "saving": 1.0 - (opt_q / raw_q if raw_q else 1.0),
+            }
+        )
+    report.table(rows, title="T7: optimizer ablation — crowd questions (3 trials)",
+                 float_format="{:.2f}")
+
+    # Shape: the optimizer never asks more questions, saves on the mixed
+    # machine/crowd queries, and both modes agree with ground truth.
+    for name in QUERIES:
+        assert result.mean(f"{name}_opt_questions") <= result.mean(
+            f"{name}_raw_questions"
+        ) + 1e-9
+        assert result.mean(f"{name}_opt_agreement") >= 0.85
+        assert result.mean(f"{name}_raw_agreement") >= 0.85
+    assert result.mean("crowd_filter_mixed_opt_questions") < result.mean(
+        "crowd_filter_mixed_raw_questions"
+    )

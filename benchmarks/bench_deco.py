@@ -1,0 +1,103 @@
+"""T8 — Deco query semantics: pull-based fetching vs resolve-everything.
+
+Deco's pitch: a MinTuples(n) query should only pay for the crowd data it
+needs. This bench compares `min_tuples(n, predicate)` against the
+resolve-the-whole-relation baseline on the same marketplace. Expected
+shape: pull-based cost grows with n (roughly linearly until the selective
+predicate forces extra enumeration) and undercuts resolve-all whenever
+n is well below the relation size.
+"""
+
+from conftest import run_once
+
+from repro.deco import (
+    AnchorFetchRule,
+    ConceptualRelation,
+    DecoQueryEngine,
+    DependentFetchRule,
+    FetchRuleSet,
+    single_column_group,
+)
+from repro.experiments.harness import run_trials
+from repro.operators.collect import bind_zipf_knowledge
+from repro.platform.platform import SimulatedPlatform
+from repro.workers.models import CollectorModel, OneCoinModel
+from repro.workers.pool import WorkerPool
+from repro.workers.worker import Worker
+
+UNIVERSE = [f"restaurant-{i:02d}" for i in range(40)]
+# Half the universe is thai so even the Zipf-limited crowd can reach the
+# largest MinTuples target.
+CUISINE = {r: ("thai", "sushi")[i % 2] for i, r in enumerate(UNIVERSE)}
+TARGETS = (2, 5, 10)
+
+
+def _engine(seed: int) -> DecoQueryEngine:
+    workers = [Worker(model=CollectorModel()) for _ in range(10)]
+    workers += [Worker(model=OneCoinModel(0.95)) for _ in range(15)]
+    pool = WorkerPool(workers, seed=seed)
+    bind_zipf_knowledge(pool, UNIVERSE, knowledge_size=25, seed=seed + 1)
+    platform = SimulatedPlatform(pool, seed=seed + 2)
+    relation = ConceptualRelation(
+        "restaurants", ("name",), [single_column_group("cuisine", min_raw=2)]
+    )
+    rules = FetchRuleSet(
+        anchor_rule=AnchorFetchRule("Name a restaurant."),
+        dependent_rules={
+            "cuisine": DependentFetchRule(
+                "cuisine", truth_fn=lambda anchor, col: CUISINE.get(anchor["name"], "unknown")
+            )
+        },
+    )
+    return DecoQueryEngine(relation, rules, platform)
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for n in TARGETS:
+        engine = _engine(seed)
+        result = engine.min_tuples(
+            n, predicate=lambda row: row["cuisine"] == "thai", anchor_batch=5
+        )
+        values[f"cost@{n}"] = result.cost
+        values[f"satisfied@{n}"] = 1.0 if result.satisfied else 0.0
+
+    # Baseline: enumerate aggressively then resolve everything.
+    engine = _engine(seed)
+    engine.rules.anchor_rule.fetch(engine.relation, engine.platform, attempts=150)
+    baseline = engine.resolve_all()
+    values["resolve_all_cost"] = (
+        baseline.cost + 150 * 0.01  # enumeration spend is part of the baseline
+    )
+    thai_rows = [r for r in baseline.rows if r["cuisine"] == "thai"]
+    values["resolve_all_thai"] = len(thai_rows)
+    return values
+
+
+def test_t8_deco_pull_fetching(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("T8", _trial, n_trials=3))
+
+    rows = [
+        {
+            "query": f"MinTuples({n}, cuisine='thai')",
+            "cost": result.mean(f"cost@{n}"),
+            "satisfied": result.mean(f"satisfied@{n}"),
+        }
+        for n in TARGETS
+    ]
+    rows.append(
+        {
+            "query": "resolve ALL (150 fetch attempts)",
+            "cost": result.mean("resolve_all_cost"),
+            "satisfied": 1.0,
+        }
+    )
+    report.table(rows, title="T8: Deco pull-based fetching vs resolve-all (3 trials)")
+
+    # Shapes: cost is monotone in n; every pull query is cheaper than the
+    # resolve-all baseline; all targets were satisfiable.
+    costs = [result.mean(f"cost@{n}") for n in TARGETS]
+    assert costs == sorted(costs)
+    assert costs[-1] < result.mean("resolve_all_cost")
+    for n in TARGETS:
+        assert result.mean(f"satisfied@{n}") == 1.0

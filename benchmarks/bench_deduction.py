@@ -1,0 +1,70 @@
+"""F3 — Transitivity deduction savings: asked fraction vs cluster size.
+
+With a perfect oracle, measures what fraction of candidate pairs actually
+needs a crowd question once transitivity deduces the rest. Expected shape:
+savings grow with cluster size (dense clusters give positive transitivity
+the most leverage; within a k-cluster only k-1 of k(k-1)/2 pairs need
+asking).
+"""
+
+from conftest import run_once
+
+from repro.cost.deduction import resolve_pairs
+from repro.experiments.harness import run_trials
+
+import numpy as np
+
+CLUSTER_SIZES = (2, 3, 5, 8)
+N_ITEMS = 48
+
+
+def _trial(seed: int) -> dict[str, float]:
+    rng = np.random.default_rng(seed)
+    values: dict[str, float] = {}
+    for size in CLUSTER_SIZES:
+        n_clusters = N_ITEMS // size
+        cluster_of = {}
+        idx = 0
+        for cluster in range(n_clusters):
+            for _ in range(size):
+                cluster_of[idx] = cluster
+                idx += 1
+        items = list(range(idx))
+        pairs = [(a, b) for a in items for b in items if a < b]
+        # Similarity-descending proxy: same-cluster pairs first (what a
+        # machine-similarity sort achieves in expectation), with noise.
+        rng.shuffle(pairs)
+        pairs.sort(key=lambda p: (cluster_of[p[0]] != cluster_of[p[1]], rng.random()))
+        labels, asked = resolve_pairs(
+            pairs, lambda a, b: cluster_of[a] == cluster_of[b]
+        )
+        assert all(
+            labels[(a, b)] == (cluster_of[a] == cluster_of[b]) for a, b in pairs
+        )
+        values[f"asked_fraction@{size}"] = asked / len(pairs)
+    return values
+
+
+def test_f3_transitivity_savings(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("F3", _trial, n_trials=5))
+
+    xs = list(CLUSTER_SIZES)
+    ys = [result.mean(f"asked_fraction@{size}") for size in xs]
+    report.series(
+        xs, ys,
+        title="F3: fraction of pairs requiring a crowd question",
+        x_label="cluster size", y_label="asked fraction",
+    )
+    report.table(
+        [
+            {"cluster_size": size, "asked_fraction": y, "saved": 1 - y}
+            for size, y in zip(xs, ys)
+        ],
+        title="F3: deduction savings by cluster size (5 trials)",
+    )
+
+    # Shape: larger clusters -> smaller asked fraction, and always < 1.
+    assert ys == sorted(ys, reverse=True)
+    assert all(y < 1.0 for y in ys)
+    # The dense case saves dramatically.
+    assert ys[-1] < 0.75

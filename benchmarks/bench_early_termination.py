@@ -1,0 +1,78 @@
+"""F2 — CDAS-style early termination: answers saved vs accuracy kept.
+
+Sweeps the confidence threshold. Expected shape: cost (answers per task)
+rises with the threshold while accuracy saturates — the knee is where the
+requester should operate; fixed redundancy k=7 is the ceiling comparison.
+"""
+
+from conftest import run_once
+
+from repro.experiments.datasets import labeling_dataset
+from repro.experiments.harness import PoolSpec, make_platform, run_trials
+from repro.quality.assignment import Cdas, RoundRobinAssignment, run_assignment
+
+N_TASKS = 120
+THRESHOLDS = (0.8, 0.9, 0.95, 0.99)
+POOL = PoolSpec(kind="uniform", size=25, accuracy=0.85)
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    dataset_seed = seed + 53
+
+    platform = make_platform(POOL, seed=seed)
+    dataset = labeling_dataset(N_TASKS, labels=("yes", "no"), seed=dataset_seed)
+    fixed = RoundRobinAssignment(redundancy=7)
+    outcome = run_assignment(platform, fixed, dataset.tasks, max_answers=10_000)
+    from repro.quality.truth import MajorityVote
+
+    inferred = MajorityVote().infer(outcome.answers_by_task).truths
+    values["fixed7_answers"] = outcome.answers_used / N_TASKS
+    values["fixed7_accuracy"] = sum(
+        1 for t in dataset.truth if inferred[t] == dataset.truth[t]
+    ) / N_TASKS
+
+    for threshold in THRESHOLDS:
+        platform = make_platform(POOL, seed=seed)
+        dataset = labeling_dataset(N_TASKS, labels=("yes", "no"), seed=dataset_seed)
+        strategy = Cdas(
+            confidence=threshold, min_answers=2, max_answers_per_task=7,
+            assumed_accuracy=0.8,
+        )
+        outcome = run_assignment(platform, strategy, dataset.tasks, max_answers=10_000)
+        inferred = strategy.inferred_truths()
+        values[f"answers@{threshold}"] = outcome.answers_used / N_TASKS
+        values[f"accuracy@{threshold}"] = sum(
+            1 for t in dataset.truth if inferred[t] == dataset.truth[t]
+        ) / N_TASKS
+    return values
+
+
+def test_f2_early_termination_frontier(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("F2", _trial, n_trials=3))
+
+    rows = [
+        {
+            "policy": f"cdas@{threshold}",
+            "answers_per_task": result.mean(f"answers@{threshold}"),
+            "accuracy": result.mean(f"accuracy@{threshold}"),
+        }
+        for threshold in THRESHOLDS
+    ]
+    rows.append(
+        {
+            "policy": "fixed k=7",
+            "answers_per_task": result.mean("fixed7_answers"),
+            "accuracy": result.mean("fixed7_accuracy"),
+        }
+    )
+    report.table(rows, title="F2: early termination cost/accuracy frontier (3 trials)")
+
+    # Shape: every CDAS point is cheaper than fixed-7; accuracy at the
+    # highest threshold is within 3 points of fixed-7; answers increase
+    # monotonically with threshold.
+    for threshold in THRESHOLDS:
+        assert result.mean(f"answers@{threshold}") < result.mean("fixed7_answers")
+    assert result.mean("accuracy@0.99") >= result.mean("fixed7_accuracy") - 0.03
+    answers = [result.mean(f"answers@{t}") for t in THRESHOLDS]
+    assert answers == sorted(answers)

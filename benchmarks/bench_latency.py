@@ -1,0 +1,142 @@
+"""T6 — Latency control: mitigation strategies and the pricing lever.
+
+Heavy-tailed worker service times on a 500-task job. Expected shape:
+hedged replication and straggler rescue both cut tail latency (p95 /
+makespan) versus the baseline — replication at ~r x cost, rescue at a
+fraction of that; raising pay compresses the whole timeline per the
+log-linear supply response.
+"""
+
+from conftest import run_once
+
+import numpy as np
+
+from repro.experiments.harness import run_trials
+from repro.latency.mitigation import (
+    run_baseline,
+    run_with_replication,
+    run_with_straggler_rescue,
+)
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.pricing import PriceResponseModel
+from repro.platform.task import single_choice
+from repro.workers.models import OneCoinModel
+from repro.workers.pool import WorkerPool
+from repro.workers.worker import LatencyModel, Worker
+
+N_TASKS = 500
+
+
+def _pool(seed: int) -> WorkerPool:
+    workers = [
+        Worker(
+            model=OneCoinModel(0.9),
+            latency=LatencyModel(mean_seconds=25.0, sigma=1.4, arrival_rate=1 / 20),
+        )
+        for _ in range(60)
+    ]
+    return WorkerPool(workers, seed=seed)
+
+
+def _tasks(prefix: str):
+    return [single_choice(f"{prefix}{i}", ("a", "b"), truth="a") for i in range(N_TASKS)]
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+
+    platform = SimulatedPlatform(_pool(seed), seed=seed + 1)
+    base = run_baseline(platform, _tasks("base"))
+    values["base_p95"] = base.p95
+    values["base_makespan"] = base.makespan
+    values["base_cost"] = base.cost
+
+    platform = SimulatedPlatform(_pool(seed), seed=seed + 1)
+    repl = run_with_replication(platform, _tasks("repl"), replication=2)
+    values["repl_p95"] = repl.p95
+    values["repl_makespan"] = repl.makespan
+    values["repl_cost"] = repl.cost
+
+    platform = SimulatedPlatform(_pool(seed), seed=seed + 1)
+    rescue = run_with_straggler_rescue(platform, _tasks("resc"), percentile=0.8)
+    values["rescue_p95"] = rescue.p95
+    values["rescue_makespan"] = rescue.makespan
+    values["rescue_cost"] = rescue.cost
+
+    # Pricing lever: simulate the same job at 3x reward.
+    response = PriceResponseModel(reference_reward=0.01)
+    platform = SimulatedPlatform(_pool(seed), seed=seed + 1)
+    tasks = _tasks("paid")
+    for task in tasks:
+        task.reward = 0.03
+    platform.pricing.by_type = {}
+    platform.pricing.default = 0.03
+    timeline = platform.simulate_timeline(tasks, redundancy=1, price_response=response)
+    values["paid_makespan"] = timeline.makespan
+
+    # Pool attrition: 20% of workers quit after each completed assignment.
+    platform = SimulatedPlatform(_pool(seed), seed=seed + 1)
+    churn = platform.simulate_timeline(
+        _tasks("churn"), redundancy=1, departure_probability=0.2
+    )
+    values["churn_makespan"] = churn.makespan
+    values["churn_completed"] = len(churn.completion_times)
+    return values
+
+
+def test_t6_latency_mitigation(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("T6", _trial, n_trials=3))
+
+    rows = [
+        {
+            "strategy": name,
+            "p95_seconds": result.mean(f"{key}_p95"),
+            "makespan": result.mean(f"{key}_makespan"),
+            "cost": result.mean(f"{key}_cost"),
+        }
+        for name, key in (
+            ("baseline", "base"),
+            ("replication x2", "repl"),
+            ("straggler rescue", "rescue"),
+        )
+    ]
+    rows.append(
+        {
+            "strategy": "3x pay (supply response)",
+            "p95_seconds": float("nan"),
+            "makespan": result.mean("paid_makespan"),
+            "cost": N_TASKS * 0.03,
+        }
+    )
+    rows.append(
+        {
+            "strategy": "20% attrition (no mitigation)",
+            "p95_seconds": float("nan"),
+            "makespan": result.mean("churn_makespan"),
+            "cost": result.mean("churn_completed") * 0.01,
+        }
+    )
+    report.table(rows, title="T6: latency mitigation on 500 tasks (3 trials)",
+                 float_format="{:.1f}")
+    report.note(
+        f"attrition completed {result.mean('churn_completed'):.0f}/{N_TASKS} tasks"
+    )
+
+    # Shapes: both mitigations cut p95; replication roughly doubles cost;
+    # rescue is cheaper than replication; higher pay shortens the makespan;
+    # attrition slows the job or leaves tasks unfinished.
+    assert result.mean("repl_p95") < result.mean("base_p95")
+    assert result.mean("rescue_makespan") <= result.mean("base_makespan") * 1.02
+    assert result.mean("repl_cost") == pytest_approx(2 * result.mean("base_cost"))
+    assert result.mean("rescue_cost") < result.mean("repl_cost")
+    assert result.mean("paid_makespan") < result.mean("base_makespan")
+    assert (
+        result.mean("churn_completed") < N_TASKS
+        or result.mean("churn_makespan") > result.mean("base_makespan")
+    )
+
+
+def pytest_approx(value: float, rel: float = 0.05):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

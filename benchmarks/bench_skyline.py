@@ -1,0 +1,92 @@
+"""F8 — Crowd skyline: deduction ablation and skyline-size scaling.
+
+Expected shapes: (a) per-dimension transitivity deduction cuts purchased
+comparisons without changing the result; (b) comparisons scale with both
+item count and skyline density (anti-correlated dimensions maximize the
+skyline and hence the work).
+"""
+
+from conftest import run_once
+
+import numpy as np
+
+from repro.experiments.harness import PoolSpec, make_platform, run_trials
+from repro.operators.skyline import CrowdSkyline, true_skyline
+
+POOL = PoolSpec(kind="comparison", size=25, sharpness=60.0)
+N_ITEMS = 16
+
+
+def _scores(seed: int, correlation: float) -> list[tuple[float, float]]:
+    """Two-dimensional utilities with controllable correlation."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=N_ITEMS)
+    noise = rng.uniform(0, 1, size=N_ITEMS)
+    y = correlation * x + (1 - correlation) * (1 - x) * 0 + (1 - abs(correlation)) * noise
+    if correlation < 0:
+        y = -correlation * (1 - x) + (1 - abs(correlation)) * noise
+    return list(zip(x.tolist(), y.tolist()))
+
+
+def _run(seed: int, correlation: float, use_deduction: bool):
+    scores = _scores(seed + 7, correlation)
+    items = [f"i{k}" for k in range(N_ITEMS)]
+    platform = make_platform(POOL, seed=seed)
+    op = CrowdSkyline(
+        platform,
+        items,
+        [
+            lambda it: scores[int(it[1:])][0],
+            lambda it: scores[int(it[1:])][1],
+        ],
+        redundancy=3,
+        use_deduction=use_deduction,
+    )
+    result = op.run()
+    expected = true_skyline(scores)
+    jaccard = len(set(result.skyline) & set(expected)) / max(
+        1, len(set(result.skyline) | set(expected))
+    )
+    return result, jaccard
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for label, correlation in (("correlated", 0.9), ("anti", -0.9)):
+        with_result, with_jaccard = _run(seed, correlation, use_deduction=True)
+        without_result, without_jaccard = _run(seed, correlation, use_deduction=False)
+        values[f"{label}_comparisons_dedup"] = with_result.comparisons_asked
+        values[f"{label}_comparisons_plain"] = without_result.comparisons_asked
+        values[f"{label}_quality_dedup"] = with_jaccard
+        values[f"{label}_quality_plain"] = without_jaccard
+        values[f"{label}_skyline_size"] = len(with_result.skyline)
+    return values
+
+
+def test_f8_skyline_deduction_and_density(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("F8", _trial, n_trials=3))
+
+    rows = []
+    for label in ("correlated", "anti"):
+        rows.append(
+            {
+                "dimensions": label,
+                "skyline_size": result.mean(f"{label}_skyline_size"),
+                "comparisons (dedup)": result.mean(f"{label}_comparisons_dedup"),
+                "comparisons (plain)": result.mean(f"{label}_comparisons_plain"),
+                "quality (dedup)": result.mean(f"{label}_quality_dedup"),
+            }
+        )
+    report.table(rows, title="F8: crowd skyline — deduction & density (n=16, 3 trials)",
+                 float_format="{:.2f}")
+
+    # Shapes: deduction never buys more comparisons and keeps quality;
+    # anti-correlated dimensions yield a bigger skyline.
+    for label in ("correlated", "anti"):
+        assert result.mean(f"{label}_comparisons_dedup") <= result.mean(
+            f"{label}_comparisons_plain"
+        ) + 1e-9
+        assert result.mean(f"{label}_quality_dedup") >= result.mean(
+            f"{label}_quality_plain"
+        ) - 0.15
+    assert result.mean("anti_skyline_size") > result.mean("correlated_skyline_size")

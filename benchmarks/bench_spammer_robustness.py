@@ -1,0 +1,49 @@
+"""T2 — Robustness to spammers: accuracy vs spammer fraction at k=5.
+
+Expected shape: MV degrades steeply as spammers dilute the vote; worker-
+model methods (DS / ZC / Bayes) hold up much longer because they learn to
+discount the spammers' answers.
+"""
+
+from conftest import run_once
+
+from repro.experiments.datasets import labeling_dataset
+from repro.experiments.harness import PoolSpec, make_platform, run_trials
+from repro.quality.truth import CATEGORICAL_METHODS
+
+METHODS = ("mv", "zc", "ds", "bayes", "mace")
+SPAM_FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4)
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for fraction in SPAM_FRACTIONS:
+        spec = PoolSpec(kind="spammers", size=30, spammer_fraction=fraction, accuracy=0.85)
+        platform = make_platform(spec, seed=seed)
+        dataset = labeling_dataset(250, seed=seed + 17)
+        answers = platform.collect(dataset.tasks, redundancy=5)
+        for name in METHODS:
+            result = CATEGORICAL_METHODS[name]().infer(answers)
+            values[f"{name}@{fraction}"] = result.accuracy_against(dataset.truth)
+    return values
+
+
+def test_t2_spammer_robustness(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("T2", _trial, n_trials=3))
+
+    rows = []
+    for name in METHODS:
+        row = {"method": name}
+        for fraction in SPAM_FRACTIONS:
+            row[f"spam={fraction:.0%}"] = result.mean(f"{name}@{fraction}")
+        rows.append(row)
+    report.table(rows, title="T2: accuracy vs spammer fraction (k=5, 3 trials)")
+
+    # Shape: at 40% spammers, learning-based methods beat MV clearly.
+    mv_heavy = result.mean("mv@0.4")
+    for name in ("zc", "ds", "bayes", "mace"):
+        assert result.mean(f"{name}@0.4") >= mv_heavy
+    # And MV's drop from 0% to 40% is the steepest in absolute terms.
+    mv_drop = result.mean("mv@0.0") - result.mean("mv@0.4")
+    ds_drop = result.mean("ds@0.0") - result.mean("ds@0.4")
+    assert mv_drop >= ds_drop - 0.02

@@ -1,0 +1,92 @@
+"""T9 — Task design ablation: HIT batch size vs cost and effective accuracy.
+
+Batching amortizes the per-HIT engagement overhead across questions but
+fatigues workers (per-slot accuracy decay). Expected shape: engagement
+cost falls hyperbolically with batch size while the mean accuracy
+multiplier decays linearly to its floor, so accuracy-per-cost peaks at a
+moderate batch size — the knee `best_batch_size` picks. An empirical
+sweep (simulated batched collection with fatigue) confirms the analytic
+accuracy curve.
+"""
+
+from conftest import run_once
+
+from repro.cost.taskdesign import FatigueModel, batch_tasks, best_batch_size, plan_batching
+from repro.experiments.datasets import labeling_dataset
+from repro.experiments.harness import run_trials
+from repro.platform.platform import SimulatedPlatform
+from repro.quality.truth import MajorityVote
+from repro.workers.pool import WorkerPool
+
+import numpy as np
+
+BATCH_SIZES = (1, 2, 5, 10, 20, 50)
+N_TASKS = 500
+
+
+def _trial(seed: int) -> dict[str, float]:
+    # plan_batching is analytic; trials sweep the fatigue parameters the
+    # empirical studies report (decay 1-3% per slot).
+    rng = np.random.default_rng(seed)
+    decay = float(rng.uniform(0.01, 0.03))
+    fatigue = FatigueModel(decay=decay, floor=0.6)
+    plans = plan_batching(
+        N_TASKS, BATCH_SIZES, engagement_overhead=1.0, per_question_cost=0.2,
+        fatigue=fatigue,
+    )
+    values: dict[str, float] = {"decay": decay}
+    for plan in plans:
+        values[f"cost@{plan.batch_size}"] = plan.engagement_cost
+        values[f"acc@{plan.batch_size}"] = plan.mean_accuracy_multiplier
+        values[f"ratio@{plan.batch_size}"] = (
+            plan.mean_accuracy_multiplier / plan.engagement_cost
+        )
+    best = best_batch_size(plans)
+    values["best_batch"] = best.batch_size
+
+    # Empirical confirmation: run batched collection with fatigue and
+    # measure majority-vote accuracy per batch size (same total answers).
+    for size in (1, 10, 50):
+        platform = SimulatedPlatform(WorkerPool.uniform(20, 0.9, seed=seed), seed=seed + 1)
+        dataset = labeling_dataset(200, labels=("yes", "no"), seed=seed + 7)
+        hits = batch_tasks(dataset.tasks, size)
+        answers = platform.collect_batched(hits, redundancy=3, fatigue=fatigue)
+        accuracy = MajorityVote().infer(answers).accuracy_against(dataset.truth)
+        values[f"measured_acc@{size}"] = accuracy
+    return values
+
+
+def test_t9_batching_ablation(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("T9", _trial, n_trials=5))
+
+    rows = [
+        {
+            "batch_size": size,
+            "engagement_cost": result.mean(f"cost@{size}"),
+            "accuracy_multiplier": result.mean(f"acc@{size}"),
+            "quality_per_cost": result.mean(f"ratio@{size}"),
+        }
+        for size in BATCH_SIZES
+    ]
+    report.table(rows, title="T9: HIT batching frontier (500 tasks, 5 trials)")
+    report.note(f"chosen batch size (mean over trials): {result.mean('best_batch'):.1f}")
+    report.table(
+        [
+            {
+                "batch_size": size,
+                "measured_mv_accuracy": result.mean(f"measured_acc@{size}"),
+            }
+            for size in (1, 10, 50)
+        ],
+        title="T9b: measured accuracy under batched collection (k=3)",
+    )
+
+    # Shapes: cost strictly falls with batch size; accuracy strictly falls;
+    # the quality/cost optimum is strictly interiorish (neither 1 nor the max).
+    costs = [result.mean(f"cost@{s}") for s in BATCH_SIZES]
+    accs = [result.mean(f"acc@{s}") for s in BATCH_SIZES]
+    assert costs == sorted(costs, reverse=True)
+    assert accs == sorted(accs, reverse=True)
+    assert result.mean("best_batch") > 1
+    # Empirical: fatigue measurably hurts the big batches.
+    assert result.mean("measured_acc@1") >= result.mean("measured_acc@50")

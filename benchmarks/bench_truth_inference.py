@@ -1,0 +1,55 @@
+"""T1 — Truth-inference comparison: accuracy vs redundancy k.
+
+Reproduces the survey's canonical comparison (MV / WMV / ZC / DS / GLAD /
+Bayes) on a heterogeneous worker pool. Expected shape: inference-based
+methods (EM family) match MV at k=1 (no signal to exploit) and pull ahead
+as k grows, because per-worker evidence lets them learn who to trust.
+"""
+
+from conftest import run_once
+
+from repro.experiments.calibration import expected_calibration_error
+from repro.experiments.harness import PoolSpec, make_platform, run_trials
+from repro.experiments.datasets import labeling_dataset
+from repro.quality.truth import CATEGORICAL_METHODS
+
+METHODS = ("mv", "wmv", "zc", "ds", "glad", "bayes")
+REDUNDANCIES = (1, 3, 5, 7)
+POOL = PoolSpec(kind="heterogeneous", size=30, accuracy_low=0.5, accuracy_high=0.95)
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for k in REDUNDANCIES:
+        platform = make_platform(POOL, seed=seed)
+        dataset = labeling_dataset(250, seed=seed + 100)
+        answers = platform.collect(dataset.tasks, redundancy=k)
+        for name in METHODS:
+            result = CATEGORICAL_METHODS[name]().infer(answers)
+            values[f"{name}@k{k}"] = result.accuracy_against(dataset.truth)
+            if k == 5:
+                values[f"{name}_ece"] = expected_calibration_error(
+                    result, dataset.truth
+                )
+    return values
+
+
+def test_t1_truth_inference_accuracy_vs_redundancy(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("T1", _trial, n_trials=3))
+
+    rows = []
+    for name in METHODS:
+        row = {"method": name}
+        for k in REDUNDANCIES:
+            row[f"k={k}"] = result.mean(f"{name}@k{k}")
+        row["ece@k5"] = result.mean(f"{name}_ece")
+        rows.append(row)
+    report.table(rows, title="T1: truth-inference accuracy vs redundancy (3 trials)")
+
+    # Shape checks (who wins): at k>=5 the EM family beats plain MV.
+    mv_k5 = result.mean("mv@k5")
+    best_em_k5 = max(result.mean(f"{m}@k5") for m in ("zc", "ds", "bayes"))
+    assert best_em_k5 >= mv_k5
+    # Accuracy grows with redundancy for every method.
+    for name in METHODS:
+        assert result.mean(f"{name}@k7") >= result.mean(f"{name}@k1") - 0.02

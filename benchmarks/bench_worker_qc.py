@@ -1,0 +1,93 @@
+"""T10 — Worker quality control: how much budget to spend on gold?
+
+Total answer budget fixed; a fraction goes to hidden gold tasks that score
+workers, spammers below chance are eliminated, and the remainder buys real
+labels from the cleaned pool (majority vote). Expected shape: a little
+gold pays for itself by purging spammers; too much gold starves the real
+job — accuracy peaks at a small-to-moderate gold fraction (and spending
+zero on gold is dominated when the pool is contaminated).
+"""
+
+from conftest import run_once
+
+from repro.experiments.datasets import labeling_dataset
+from repro.experiments.harness import run_trials
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import single_choice
+from repro.quality.truth import MajorityVote
+from repro.quality.workerqc import GoldInjector, eliminate_spammers
+from repro.workers.pool import WorkerPool
+
+GOLD_FRACTIONS = (0.0, 0.1, 0.2, 0.4)
+TOTAL_BUDGET = 900       # answers
+N_TASKS = 200
+SPAM = 0.3
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for fraction in GOLD_FRACTIONS:
+        pool = WorkerPool.with_spammers(
+            30, spammer_fraction=SPAM, good_accuracy=0.85, seed=seed
+        )
+        platform = SimulatedPlatform(pool, seed=seed + 1)
+        gold_budget = int(TOTAL_BUDGET * fraction)
+
+        if gold_budget > 0:
+            # Spread the gold budget as redundancy over a fixed gold set.
+            gold = [
+                single_choice(f"gold{i}", ("yes", "no"), truth="yes")
+                for i in range(15)
+            ]
+            redundancy = max(1, min(len(pool), gold_budget // len(gold)))
+            injector = GoldInjector(gold_tasks=gold, seed=seed + 2)
+            tasks_by_id = {g.task_id: g for g in gold}
+            answers = platform.collect(gold, redundancy=redundancy)
+            for task_answers in answers.values():
+                injector.score(task_answers, tasks_by_id)
+            eliminate_spammers(
+                pool,
+                injector.worker_accuracy(),
+                injector.gold_counts(),
+                chance_level=0.5,
+                min_observations=3,
+            )
+
+        # Real job with whatever budget remains, on the (possibly) cleaned pool.
+        remaining = TOTAL_BUDGET - gold_budget
+        redundancy = max(1, remaining // N_TASKS)
+        dataset = labeling_dataset(N_TASKS, labels=("yes", "no"), seed=seed + 3)
+        answers = platform.collect(dataset.tasks, redundancy=redundancy)
+        accuracy = MajorityVote().infer(answers).accuracy_against(dataset.truth)
+        values[f"accuracy@{fraction}"] = accuracy
+        values[f"redundancy@{fraction}"] = redundancy
+        values[f"eliminated@{fraction}"] = 30 - len(pool.active_workers)
+    return values
+
+
+def test_t10_gold_budget_frontier(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("T10", _trial, n_trials=4))
+
+    rows = [
+        {
+            "gold_fraction": fraction,
+            "real_redundancy": result.mean(f"redundancy@{fraction}"),
+            "workers_eliminated": result.mean(f"eliminated@{fraction}"),
+            "final_accuracy": result.mean(f"accuracy@{fraction}"),
+        }
+        for fraction in GOLD_FRACTIONS
+    ]
+    report.table(
+        rows, title="T10: gold screening budget vs final accuracy (30% spam, 4 trials)"
+    )
+
+    # Shapes: some gold beats none; the heaviest gold spend is not the
+    # optimum (it eats too much real redundancy); elimination grows with
+    # gold budget.
+    accuracies = {f: result.mean(f"accuracy@{f}") for f in GOLD_FRACTIONS}
+    best = max(GOLD_FRACTIONS, key=lambda f: accuracies[f])
+    assert best != 0.0
+    assert accuracies[best] > accuracies[0.0]
+    eliminated = [result.mean(f"eliminated@{f}") for f in GOLD_FRACTIONS]
+    assert eliminated[0] == 0.0
+    assert eliminated[-1] >= eliminated[1] - 1.0

@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Each benchmark runs its experiment exactly once via ``benchmark.pedantic``
+(the experiments are statistical, not microbenchmarks) and prints the
+paper-style table/series through the ``report`` fixture, which bypasses
+pytest's output capture so rows land in the benchmark log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_series, format_table
+
+
+@pytest.fixture
+def report(capsys):
+    """Print tables/series to the real terminal despite capture."""
+
+    class Reporter:
+        def table(self, rows, title="", columns=None, float_format="{:.3f}"):
+            with capsys.disabled():
+                print()
+                print(format_table(rows, columns=columns, title=title, float_format=float_format))
+
+        def series(self, xs, ys, title="", x_label="x", y_label="y"):
+            with capsys.disabled():
+                print()
+                print(format_series(xs, ys, title=title, x_label=x_label, y_label=y_label))
+
+        def note(self, text):
+            with capsys.disabled():
+                print(text)
+
+    return Reporter()
+
+
+def run_once(benchmark, fn):
+    """Run the experiment body exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,106 @@
+"""A full CrowdSQL session: CROWD tables, crowd predicates, crowd joins.
+
+Builds a small movie database where runtime facts are machine-known but
+subjective facts (is the poster family-friendly? which of two titles refer
+to the same film?) come from the crowd — and shows how the optimizer keeps
+the crowd bill down (EXPLAIN before/after machine-first reordering).
+
+Run:  python examples/crowdsql_session.py
+"""
+
+from repro.lang import CrowdOracle, CrowdSQLSession
+from repro.platform import SimulatedPlatform
+from repro.workers import WorkerPool
+
+POSTER_FRIENDLY = {
+    "The Iron Giant": True,
+    "Alien Dawn": False,
+    "Paper Planes": True,
+    "Night Harvest": False,
+    "Sunny Side Up": True,
+}
+
+DIRECTOR_OF = {
+    "The Iron Giant": "b. anders",
+    "Alien Dawn": "r. voss",
+    "Paper Planes": "k. ito",
+    "Night Harvest": "r. voss",
+    "Sunny Side Up": "m. diaz",
+}
+
+
+def main() -> None:
+    oracle = CrowdOracle(
+        filter_fn=lambda title, question: POSTER_FRIENDLY[str(title)],
+        fill_fn=lambda row, column: DIRECTOR_OF[row["title"]],
+        # CROWDEQUAL defaults to normalized token equality; also prune
+        # obviously-different pairs without paying the crowd.
+        equal_similarity_prune=0.2,
+    )
+    platform = SimulatedPlatform(WorkerPool.uniform(18, 0.93, seed=8), seed=9)
+    session = CrowdSQLSession(platform=platform, oracle=oracle, redundancy=3)
+
+    session.execute(
+        """
+        CREATE TABLE films (
+            title STRING NOT NULL,
+            minutes INTEGER,
+            director STRING CROWD,
+            PRIMARY KEY (title)
+        );
+        INSERT INTO films (title, minutes) VALUES
+            ('The Iron Giant', 86), ('Alien Dawn', 122), ('Paper Planes', 96),
+            ('Night Harvest', 141), ('Sunny Side Up', 89);
+        CREATE TABLE imports (listing STRING NOT NULL, PRIMARY KEY (listing));
+        INSERT INTO imports VALUES
+            ('iron giant the'), ('dawn alien'), ('unrelated documentary');
+        """
+    )
+
+    print("EXPLAIN (note: machine filter runs below the crowd filter):")
+    print(
+        session.explain(
+            "SELECT title FROM films "
+            "WHERE CROWDFILTER(title, 'family friendly poster?') AND minutes < 100"
+        )
+    )
+
+    print("\n-- Family-friendly short films (crowd filter + machine filter)")
+    result = session.query(
+        "SELECT title FROM films "
+        "WHERE CROWDFILTER(title, 'family friendly poster?') AND minutes < 100"
+    )
+    for row in result:
+        print("  ", row["title"])
+    print(
+        f"   crowd questions: {result.stats.crowd_questions} "
+        f"(only rows surviving the machine filter were asked)"
+    )
+
+    print("\n-- Crowd-filled director column")
+    result = session.query("SELECT title, director FROM films ORDER BY title")
+    for row in result:
+        print(f"   {row['title']:<16s} {row['director']}")
+    print(f"   cells filled: {result.stats.cells_filled}")
+
+    print("\n-- Crowd join: which import listings are films we already have?")
+    result = session.query(
+        "SELECT listing, title FROM imports "
+        "CROWDJOIN films ON CROWDEQUAL(listing, title)"
+    )
+    for row in result:
+        print(f"   {row['listing']!r}  ->  {row['title']!r}")
+    print(
+        f"   questions: {result.stats.crowd_questions}, "
+        f"pairs pruned by machine similarity: {result.stats.pairs_pruned}"
+    )
+
+    print("\n-- Crowd order by runtime-quality proxy")
+    result = session.query(
+        "SELECT title FROM films CROWDORDER BY minutes LIMIT 3"
+    )
+    print("   longest three by crowd comparison:", [r["title"] for r in result])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Entity resolution with the crowd: the CrowdER-style hybrid pipeline.
+
+A product catalog contains duplicate listings written by different sellers.
+This example resolves them three ways and prints the cost/quality ledger:
+
+* crowd-all-pairs (the naive quadratic baseline),
+* machine pruning + crowd verification,
+* pruning + transitivity deduction (the full hybrid).
+
+Run:  python examples/entity_resolution.py
+"""
+
+from repro.cost.pruning import SimilarityPruner
+from repro.experiments.datasets import er_dataset
+from repro.experiments.report import format_table
+from repro.operators.join import CrowdJoin
+from repro.platform import SimulatedPlatform
+from repro.workers import WorkerPool
+
+
+def resolve(records, truth_fn, true_pairs, pruner, transitivity, label, seed=3):
+    platform = SimulatedPlatform(WorkerPool.uniform(25, 0.93, seed=seed), seed=seed + 1)
+    join = CrowdJoin(
+        platform,
+        truth_fn,
+        pruner=pruner,
+        use_transitivity=transitivity,
+        redundancy=3,
+    )
+    result = join.run(records)
+    precision, recall, f1 = result.precision_recall_f1(true_pairs)
+    return {
+        "pipeline": label,
+        "pairs": result.pairs_considered,
+        "asked": result.questions_asked,
+        "deduced": result.deduced_pairs,
+        "cost": result.cost,
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+    }
+
+
+def main() -> None:
+    dataset = er_dataset(n_entities=30, records_per_entity=(2, 3), seed=1)
+    print(f"catalog: {len(dataset.records)} listings, 30 true entities")
+    print("sample listings:")
+    for record in dataset.records[:6]:
+        print("   ", record)
+
+    rows = [
+        resolve(
+            dataset.records, dataset.truth_fn, dataset.true_pairs,
+            pruner=None, transitivity=False, label="crowd all-pairs",
+        ),
+        resolve(
+            dataset.records, dataset.truth_fn, dataset.true_pairs,
+            pruner=SimilarityPruner(0.4), transitivity=False, label="machine pruning",
+        ),
+        resolve(
+            dataset.records, dataset.truth_fn, dataset.true_pairs,
+            pruner=SimilarityPruner(0.4), transitivity=True, label="pruning + transitivity",
+        ),
+    ]
+    print()
+    print(format_table(rows, title="Crowd entity resolution: who pays what"))
+    baseline, _, hybrid = rows
+    print(
+        f"\nhybrid asks {hybrid['asked']} questions vs {baseline['asked']} "
+        f"({baseline['asked'] / max(1, hybrid['asked']):.0f}x fewer) at comparable F1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Advanced workflows: crowd-in-the-loop learning and Find-Fix-Verify.
+
+Two patterns from the tutorial's task-design and hybrid-computation
+discussions:
+
+1. **Active learning** — a naive-Bayes model trained on crowd labels
+   routes its *uncertain* documents back to the crowd, labeling 300
+   documents with an 80-label budget at near-complete accuracy.
+2. **Find-Fix-Verify** — the Soylent pattern: independent agreement gates
+   each stage of open-ended text correction.
+
+Run:  python examples/hybrid_workflows.py
+"""
+
+from repro.experiments.datasets import text_classification_dataset
+from repro.experiments.report import format_series, format_table
+from repro.hybrid import ActiveLearner
+from repro.operators.findfixverify import FindFixVerify, proofreading_dataset
+from repro.platform import SimulatedPlatform
+from repro.workers import WorkerPool
+
+
+def active_learning_demo() -> None:
+    print("=" * 64)
+    print("1. Crowd-in-the-loop active learning")
+    print("=" * 64)
+    dataset = text_classification_dataset(300, signal_strength=0.35, seed=11)
+    truth = dict(zip(dataset.documents, dataset.labels))
+
+    rows = []
+    for selection in ("random", "uncertainty"):
+        platform = SimulatedPlatform(WorkerPool.uniform(15, 0.92, seed=1), seed=2)
+        learner = ActiveLearner(
+            platform, dataset.classes, truth_fn=truth.get,
+            selection=selection, batch_size=10, seed=3,
+        )
+        result = learner.run(
+            dataset.documents, label_budget=60,
+            heldout=(dataset.heldout_documents, dataset.heldout_labels),
+        )
+        rows.append(
+            {
+                "routing": selection,
+                "crowd_labels": len(result.crowd_labels),
+                "questions": result.crowd_questions,
+                "final_accuracy": result.accuracy_against(dataset.labels),
+                "model_heldout": result.model.accuracy(
+                    dataset.heldout_documents, dataset.heldout_labels
+                ),
+            }
+        )
+        if selection == "uncertainty":
+            trajectory = result.trajectory
+    print(format_table(rows, title="300 documents, 60 crowd labels"))
+    print()
+    print(
+        format_series(
+            [n for n, _ in trajectory],
+            [acc for _, acc in trajectory],
+            x_label="crowd labels",
+            y_label="heldout accuracy",
+            title="Uncertainty-routed learning curve",
+        )
+    )
+
+
+def ffv_demo() -> None:
+    print()
+    print("=" * 64)
+    print("2. Find-Fix-Verify text correction")
+    print("=" * 64)
+    documents = proofreading_dataset(10, words_per_document=12,
+                                     errors_per_document=2, seed=21)
+    platform = SimulatedPlatform(WorkerPool.uniform(15, 0.93, seed=22), seed=23)
+    ffv = FindFixVerify(platform, find_redundancy=3, fix_candidates=3,
+                        verify_redundancy=3)
+    result = ffv.run(documents)
+    planted = sum(len(d.corrections) for d in documents)
+    print(f"documents: 10, planted errors: {planted}")
+    print(f"residual errors after FFV: {result.residual_errors(documents)}")
+    print(
+        f"questions: find={result.find_questions}, fix={result.fix_questions}, "
+        f"verify={result.verify_questions} (total {result.total_questions}, "
+        f"cost {result.cost:.2f})"
+    )
+    sample = documents[0]
+    print("\nexample correction:")
+    print("   before:", sample.text)
+    print("   after: ", " ".join(result.corrected[0]))
+
+
+if __name__ == "__main__":
+    active_learning_demo()
+    ffv_demo()

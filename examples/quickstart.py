@@ -1,0 +1,108 @@
+"""Quickstart: the CrowdEngine in five minutes.
+
+Walks through the three interaction styles crowddm offers:
+
+1. CrowdSQL — declarative queries with CROWD columns and crowd predicates.
+2. Imperative operators — filter / sort / count straight from Python.
+3. The requester job API — batch labeling with truth inference.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CrowdEngine, CrowdOracle, EngineConfig, Requester
+from repro.platform import single_choice
+
+
+def declarative_demo() -> None:
+    print("=" * 60)
+    print("1. CrowdSQL: a table with a crowd-filled column")
+    print("=" * 60)
+
+    # The oracle is the simulation's stand-in for worker world knowledge.
+    capitals = {"france": "paris", "italy": "rome", "japan": "tokyo"}
+    oracle = CrowdOracle(fill_fn=lambda row, col: capitals[row["country"]])
+
+    engine = CrowdEngine(EngineConfig(seed=42, redundancy=3), oracle=oracle)
+    engine.sql(
+        """
+        CREATE TABLE countries (
+            country STRING NOT NULL,
+            population INTEGER,
+            capital STRING CROWD,
+            PRIMARY KEY (country)
+        );
+        INSERT INTO countries (country, population) VALUES
+            ('france', 68), ('italy', 59), ('japan', 125);
+        """
+    )
+
+    print("\nPlan for a query touching the crowd column:")
+    print(engine.explain("SELECT country, capital FROM countries WHERE population > 60"))
+
+    result = engine.query(
+        "SELECT country, capital FROM countries WHERE population > 60 ORDER BY country"
+    )
+    print("\nRows:")
+    for row in result:
+        print("  ", row)
+    print(
+        f"\ncrowd questions: {result.stats.crowd_questions}, "
+        f"cells filled: {result.stats.cells_filled}, "
+        f"spend: {result.stats.crowd_cost:.3f}"
+    )
+
+
+def operator_demo() -> None:
+    print()
+    print("=" * 60)
+    print("2. Imperative operators: filter and sort")
+    print("=" * 60)
+
+    engine = CrowdEngine(EngineConfig(seed=7, redundancy=3))
+
+    photos = [f"photo-{i}" for i in range(12)]
+    has_cat = lambda p: int(p.split("-")[1]) % 3 == 0
+    kept = engine.filter(photos, "Does this photo show a cat?", has_cat)
+    print(f"\ncat photos: {[photos[i] for i in kept.kept]}")
+    print(f"questions asked: {kept.questions_asked} (adaptive early-stopping)")
+
+    films = [f"film-{i}" for i in range(8)]
+    quality = lambda f: float(f.split("-")[1])
+    ranking = engine.sort(films, quality, strategy="merge")
+    print(f"\ncrowd-sorted films (best first): {[films[i] for i in ranking.order]}")
+    print(f"comparisons bought: {ranking.comparisons_asked}")
+    print(f"total engine spend: {engine.spent:.3f}")
+
+
+def requester_demo() -> None:
+    print()
+    print("=" * 60)
+    print("3. Requester jobs: batch labeling with truth inference")
+    print("=" * 60)
+
+    from repro.quality.truth import DawidSkene
+    from repro.workers import WorkerPool
+    from repro.platform import SimulatedPlatform
+
+    pool = WorkerPool.heterogeneous(20, seed=1)
+    requester = Requester(SimulatedPlatform(pool, seed=2), inference=DawidSkene())
+
+    tasks = [
+        single_choice(
+            f"Sentiment of review #{i}?",
+            ("positive", "negative", "neutral"),
+            truth=("positive", "negative", "neutral")[i % 3],
+        )
+        for i in range(30)
+    ]
+    report = requester.submit("sentiment", tasks, redundancy=5)
+    correct = sum(1 for t in tasks if report.truths[t.task_id] == t.truth)
+    print(f"\nlabeled {report.tasks} reviews for {report.cost:.2f} credits")
+    print(f"accuracy vs hidden truth: {correct / len(tasks):.1%}")
+    print(f"mean confidence: {report.mean_confidence:.2f}")
+
+
+if __name__ == "__main__":
+    declarative_demo()
+    operator_demo()
+    requester_demo()

@@ -1,0 +1,113 @@
+"""Crowd-powered ranking: find the best conference demo by pairwise votes.
+
+Compares the sort/top-k strategy space on one workload:
+
+* all-pairs comparisons (robust, quadratic),
+* merge sort (n log n),
+* rating-only (linear, coarse),
+* hybrid rating + targeted comparisons (the Qurk recipe),
+* tournament MAX / top-3 at different fan-ins (latency vs cost).
+
+Run:  python examples/topk_ranking.py
+"""
+
+from repro.experiments.datasets import ranking_dataset
+from repro.experiments.report import format_table
+from repro.operators.sort import (
+    CrowdComparator,
+    all_pairs_sort,
+    hybrid_sort,
+    merge_sort_crowd,
+    rating_sort,
+)
+from repro.operators.topk import topk_tournament, tournament_max
+from repro.platform import SimulatedPlatform
+from repro.workers import WorkerPool
+
+
+def _platform(seed):
+    # Bradley-Terry comparison workers: sharp on far-apart pairs, noisy
+    # ratings — the empirical regime Qurk reported.
+    return SimulatedPlatform(
+        WorkerPool.comparison_pool(25, sharpness=12.0, seed=seed), seed=seed + 1
+    )
+
+
+def main() -> None:
+    dataset = ranking_dataset(n_items=20, seed=5)
+    true_order = dataset.true_order
+    print(f"ranking {len(dataset.items)} demo submissions (hidden jury scores)")
+
+    rows = []
+    for label, runner in (
+        ("all-pairs", lambda c: all_pairs_sort(c)),
+        ("merge sort", lambda c: merge_sort_crowd(c)),
+    ):
+        comparator = CrowdComparator(
+            _platform(11), dataset.items, dataset.score_fn, redundancy=3
+        )
+        result = runner(comparator)
+        rows.append(
+            {
+                "strategy": label,
+                "comparisons": result.comparisons_asked,
+                "answers": result.answers_bought,
+                "kendall_tau": result.kendall_tau(true_order),
+            }
+        )
+
+    rating = rating_sort(_platform(13), dataset.items, dataset.score_fn, redundancy=3)
+    rows.append(
+        {
+            "strategy": "rating only",
+            "comparisons": 0,
+            "answers": rating.answers_bought,
+            "kendall_tau": rating.kendall_tau(true_order),
+        }
+    )
+    hybrid = hybrid_sort(
+        _platform(13), dataset.items, dataset.score_fn, redundancy=3, close_threshold=1.5
+    )
+    rows.append(
+        {
+            "strategy": "hybrid (Qurk)",
+            "comparisons": hybrid.comparisons_asked,
+            "answers": hybrid.answers_bought,
+            "kendall_tau": hybrid.kendall_tau(true_order),
+        }
+    )
+    print()
+    print(format_table(rows, title="Full ranking: cost vs quality"))
+
+    print()
+    top_rows = []
+    for fan_in in (2, 4, 8):
+        comparator = CrowdComparator(
+            _platform(17), dataset.items, dataset.score_fn, redundancy=3
+        )
+        result = tournament_max(comparator, fan_in=fan_in)
+        top_rows.append(
+            {
+                "fan_in": fan_in,
+                "winner": dataset.items[result.winners[0]],
+                "correct": result.winners[0] == true_order[0],
+                "comparisons": result.comparisons_asked,
+                "rounds": result.rounds,
+            }
+        )
+    print(format_table(top_rows, title="Tournament MAX: fan-in trades rounds for cost"))
+
+    comparator = CrowdComparator(
+        _platform(19), dataset.items, dataset.score_fn, redundancy=3
+    )
+    top3 = topk_tournament(comparator, k=3)
+    print(
+        f"\ntop-3 via repeated tournaments: "
+        f"{[dataset.items[i] for i in top3.winners]} "
+        f"({top3.comparisons_asked} comparisons, cache-reused)"
+    )
+    print(f"true top-3: {[dataset.items[i] for i in true_order[:3]]}")
+
+
+if __name__ == "__main__":
+    main()

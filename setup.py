@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` with modern setuptools requires wheel for PEP 660
+builds; this shim lets the legacy `--no-build-isolation` editable path
+(`setup.py develop`) work in fully offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""crowddm: crowdsourced data management on a simulated crowd platform.
+
+A from-scratch reproduction of the system landscape surveyed in
+*Crowdsourced Data Management: Overview and Challenges* (SIGMOD 2017):
+quality control (truth inference, task assignment, worker management),
+cost control (pruning, deduction, sampling, task design), latency control
+(rounds, statistical models, mitigation), the crowd-powered operators
+(filter/join/sort/top-k/count/collect/fill/categorize), and a CrowdSQL
+declarative layer — all runnable against simulated workers.
+
+Quickstart::
+
+    from repro import CrowdEngine, EngineConfig
+
+    engine = CrowdEngine(EngineConfig(seed=7, redundancy=5, inference="ds"))
+    result = engine.filter(photos, "Does this show a mountain?", truth_fn)
+"""
+
+from repro import deco
+from repro.core import CrowdEngine, EngineConfig, JobReport, Requester
+from repro.data import CNULL, Database, Schema, SchemaBuilder, Table
+from repro.errors import CrowdDMError
+from repro.lang import CrowdOracle, CrowdSQLSession
+from repro.platform import SimulatedPlatform, Task, TaskType
+from repro.workers import Worker, WorkerPool
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CNULL",
+    "CrowdDMError",
+    "CrowdEngine",
+    "CrowdOracle",
+    "CrowdSQLSession",
+    "Database",
+    "EngineConfig",
+    "JobReport",
+    "Requester",
+    "Schema",
+    "SchemaBuilder",
+    "SimulatedPlatform",
+    "Table",
+    "Task",
+    "TaskType",
+    "Worker",
+    "WorkerPool",
+    "__version__",
+    "deco",
+]

@@ -1,0 +1,137 @@
+"""Command-line interface: run CrowdSQL against a simulated crowd.
+
+Usage::
+
+    python -m repro run script.sql [--seed 7] [--redundancy 3] [--pool 25]
+    python -m repro repl
+    python -m repro demo
+
+Statements are ';'-separated. Queries print aligned tables plus crowd
+accounting. Crowd predicates work out of the box where defaults exist
+(CROWDEQUAL uses normalized token equality; CROWDORDER BY works on numeric
+columns); CROWDFILTER and CNULL resolution need programmatic oracles, so
+the CLI reports a clear error for them instead of guessing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import CrowdDMError
+from repro.experiments.report import format_table
+from repro.lang.executor import QueryResult
+from repro.lang.interpreter import CrowdSQLSession, StatementResult
+from repro.platform.platform import SimulatedPlatform
+from repro.workers.pool import WorkerPool
+
+DEMO_SCRIPT = """
+CREATE TABLE films (title STRING NOT NULL, minutes INTEGER, score FLOAT,
+                    PRIMARY KEY (title));
+INSERT INTO films VALUES
+    ('The Iron Giant', 86, 8.1), ('Alien Dawn', 122, 6.4),
+    ('Paper Planes', 96, 7.2), ('Night Harvest', 141, 5.9),
+    ('Sunny Side Up', 89, 7.8);
+CREATE TABLE imports (listing STRING NOT NULL, PRIMARY KEY (listing));
+INSERT INTO imports VALUES ('iron giant the'), ('dawn alien'), ('totally new film');
+SELECT title, minutes FROM films WHERE minutes < 100 ORDER BY minutes;
+SELECT COUNT(*), AVG(score) FROM films;
+SELECT listing, title FROM imports CROWDJOIN films ON CROWDEQUAL(listing, title);
+SELECT title FROM films CROWDORDER BY score LIMIT 3;
+"""
+
+
+def build_session(seed: int, redundancy: int, pool_size: int) -> CrowdSQLSession:
+    """A session over a fresh simulated pool of reasonably diligent workers."""
+    pool = WorkerPool.heterogeneous(
+        pool_size, accuracy_low=0.75, accuracy_high=0.97, seed=seed
+    )
+    platform = SimulatedPlatform(pool, seed=seed + 1)
+    return CrowdSQLSession(platform=platform, redundancy=redundancy)
+
+
+def render(result: QueryResult | StatementResult) -> str:
+    """Render one statement result for terminal output."""
+    if isinstance(result, StatementResult):
+        if result.kind == "inserted":
+            return f"-- {result.kind} {result.row_count} row(s) into {result.table}"
+        return f"-- {result.kind} table {result.table}"
+    lines = [format_table(result.rows, columns=list(result.columns))]
+    stats = result.stats
+    if stats.crowd_questions or stats.cells_filled:
+        lines.append(
+            f"-- crowd: {stats.crowd_questions} questions, "
+            f"{stats.crowd_answers} answers, {stats.cells_filled} cells filled, "
+            f"spend {stats.crowd_cost:.4f}"
+        )
+    lines.append(f"-- {len(result.rows)} row(s)")
+    return "\n".join(lines)
+
+
+def run_script(session: CrowdSQLSession, sql: str, out=None) -> int:
+    """Execute *sql*; print results; return a process exit code."""
+    out = out if out is not None else sys.stdout  # resolve at call time
+    try:
+        results = session.execute(sql)
+    except CrowdDMError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    for result in results:
+        print(render(result), file=out)
+    return 0
+
+
+def repl(session: CrowdSQLSession, stdin=None, out=None) -> int:
+    """Line-oriented REPL: statements end with ';', EOF or \\q exits."""
+    stdin = stdin if stdin is not None else sys.stdin
+    out = out if out is not None else sys.stdout
+    print("crowddm CrowdSQL — ';' ends a statement, \\q quits", file=out)
+    buffer: list[str] = []
+    for line in stdin:
+        stripped = line.strip()
+        if stripped in ("\\q", "\\quit", "exit"):
+            break
+        buffer.append(line)
+        if stripped.endswith(";"):
+            run_script(session, "".join(buffer), out=out)
+            buffer = []
+    if buffer and "".join(buffer).strip():
+        run_script(session, "".join(buffer), out=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CrowdSQL on a simulated crowd"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--redundancy", type=int, default=5, help="votes per crowd question")
+    parser.add_argument("--pool", type=int, default=25, help="simulated pool size")
+    commands = parser.add_subparsers(dest="command", required=True)
+    run_parser = commands.add_parser("run", help="execute a .sql script")
+    run_parser.add_argument("script", help="path to the CrowdSQL file")
+    commands.add_parser("repl", help="interactive session")
+    commands.add_parser("demo", help="run the built-in demo script")
+
+    args = parser.parse_args(argv)
+    session = build_session(args.seed, args.redundancy, args.pool)
+
+    if args.command == "run":
+        try:
+            with open(args.script, encoding="utf-8") as handle:
+                sql = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.script}: {exc}", file=sys.stderr)
+            return 1
+        return run_script(session, sql)
+    if args.command == "repl":
+        return repl(session)
+    if args.command == "demo":
+        return run_script(session, DEMO_SCRIPT)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

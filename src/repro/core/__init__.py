@@ -1,0 +1,7 @@
+"""Engine facade, configuration, and requester job management."""
+
+from repro.core.config import EngineConfig
+from repro.core.engine import CrowdEngine
+from repro.core.requester import JobReport, Requester
+
+__all__ = ["CrowdEngine", "EngineConfig", "JobReport", "Requester"]

@@ -1,0 +1,54 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.quality.truth import CATEGORICAL_METHODS
+
+
+@dataclass
+class EngineConfig:
+    """Knobs for a :class:`~repro.core.engine.CrowdEngine`.
+
+    Attributes:
+        redundancy: Default votes per crowd question.
+        inference: Truth-inference method name (see
+            :data:`repro.quality.truth.CATEGORICAL_METHODS`).
+        budget: Total spend ceiling for the engine's platform.
+        task_price: Default per-assignment reward.
+        seed: Master seed — the pool gets ``seed``, the platform ``seed+1``.
+        pool_size: Workers in the default pool.
+        pool_accuracy_range: (low, high) accuracies for the default
+            heterogeneous pool.
+    """
+
+    redundancy: int = 3
+    inference: str = "mv"
+    budget: float = math.inf
+    task_price: float = 0.01
+    seed: int = 0
+    pool_size: int = 25
+    pool_accuracy_range: tuple[float, float] = (0.6, 0.95)
+
+    def __post_init__(self) -> None:
+        if self.redundancy < 1:
+            raise ConfigurationError("redundancy must be >= 1")
+        if self.inference not in CATEGORICAL_METHODS:
+            raise ConfigurationError(
+                f"unknown inference {self.inference!r}; "
+                f"available: {sorted(CATEGORICAL_METHODS)}"
+            )
+        if self.task_price < 0:
+            raise ConfigurationError("task_price must be non-negative")
+        if self.pool_size < 1:
+            raise ConfigurationError("pool_size must be >= 1")
+        low, high = self.pool_accuracy_range
+        if not 0.0 <= low <= high <= 1.0:
+            raise ConfigurationError("pool_accuracy_range must satisfy 0 <= low <= high <= 1")
+
+    def make_inference(self):
+        """Instantiate the configured truth-inference method."""
+        return CATEGORICAL_METHODS[self.inference]()

@@ -1,0 +1,376 @@
+"""The CrowdEngine: one object wiring storage, platform, quality, and SQL.
+
+This is the public entry point a downstream user adopts::
+
+    from repro import CrowdEngine, EngineConfig
+
+    engine = CrowdEngine(EngineConfig(redundancy=5, inference="ds", seed=42))
+    engine.sql("CREATE TABLE photos (pid INTEGER, caption STRING CROWD, "
+               "PRIMARY KEY (pid))")
+    ...
+
+Every crowd-powered operator is also available as a method, so programs can
+mix declarative (SQL) and imperative (operator) styles against one shared
+budget and worker pool — the architecture CrowdDB/Qurk/Deco share.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.config import EngineConfig
+from repro.cost.pruning import SimilarityPruner
+from repro.data.database import Database
+from repro.data.table import Table
+from repro.errors import ConfigurationError
+from repro.lang.executor import CrowdOracle, QueryResult
+from repro.lang.interpreter import CrowdSQLSession, StatementResult
+from repro.operators.categorize import CategorizeResult, CrowdCategorize
+from repro.operators.collect import CollectResult, CrowdCollect
+from repro.operators.count import CountResult, CrowdCount
+from repro.operators.fill import CrowdFill, FillResult
+from repro.operators.filter import AdaptiveFilter, FilterResult, FixedKFilter
+from repro.operators.join import CrowdJoin, JoinResult
+from repro.operators.sort import (
+    CrowdComparator,
+    SortResult,
+    all_pairs_sort,
+    hybrid_sort,
+    merge_sort_crowd,
+    rating_sort,
+)
+from repro.operators.topk import TopKResult, topk_tournament, tournament_max
+from repro.platform.platform import PlatformStats, SimulatedPlatform
+from repro.platform.pricing import PricingPolicy
+from repro.workers.pool import WorkerPool
+
+_SORT_STRATEGIES = ("all_pairs", "merge", "rating", "hybrid")
+
+
+class CrowdEngine:
+    """Facade over the whole crowddm stack.
+
+    Args:
+        config: Engine configuration (defaults are sensible for demos).
+        pool: Worker pool; a heterogeneous pool per the config when omitted.
+        database: Catalog to use; a fresh one when omitted.
+        oracle: Simulation ground truth for SQL crowd operators.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        pool: WorkerPool | None = None,
+        database: Database | None = None,
+        oracle: CrowdOracle | None = None,
+    ):
+        self.config = config or EngineConfig()
+        low, high = self.config.pool_accuracy_range
+        self.pool = pool or WorkerPool.heterogeneous(
+            self.config.pool_size, low, high, seed=self.config.seed
+        )
+        self.platform = SimulatedPlatform(
+            self.pool,
+            budget=self.config.budget,
+            pricing=PricingPolicy(default=self.config.task_price),
+            seed=self.config.seed + 1,
+        )
+        # `is None` check: an empty Database is falsy (it defines __len__).
+        self.database = Database() if database is None else database
+        self.oracle = oracle or CrowdOracle()
+        self._session = CrowdSQLSession(
+            database=self.database,
+            platform=self.platform,
+            redundancy=self.config.redundancy,
+            inference=self.config.make_inference(),
+            oracle=self.oracle,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Declarative interface
+    # ------------------------------------------------------------------ #
+
+    def sql(self, text: str) -> list[QueryResult | StatementResult]:
+        """Run a CrowdSQL script."""
+        return self._session.execute(text)
+
+    def query(self, text: str) -> QueryResult:
+        """Run a script ending in SELECT; return its rows."""
+        return self._session.query(text)
+
+    def explain(self, text: str) -> str:
+        """Show the (optimized) plan and estimated crowd cost."""
+        return self._session.explain(text)
+
+    def table(self, name: str) -> Table:
+        """Look up a table in the engine's catalog."""
+        return self.database.table(name)
+
+    # ------------------------------------------------------------------ #
+    # Imperative operators
+    # ------------------------------------------------------------------ #
+
+    def _inference(self):
+        return self.config.make_inference()
+
+    def filter(
+        self,
+        items: Sequence[Any],
+        question: str,
+        truth_fn: Callable[[Any], bool],
+        adaptive: bool = True,
+        **kwargs: Any,
+    ) -> FilterResult:
+        """Crowd-filter *items* by a human-judged predicate."""
+        if adaptive:
+            op = AdaptiveFilter(self.platform, question, truth_fn=truth_fn, **kwargs)
+        else:
+            op = FixedKFilter(
+                self.platform,
+                question,
+                truth_fn=truth_fn,
+                redundancy=kwargs.pop("redundancy", self.config.redundancy),
+                **kwargs,
+            )
+        return op.run(items)
+
+    def join(
+        self,
+        records: Sequence[Any],
+        truth_fn: Callable[[Any, Any], bool],
+        prune_threshold: float | None = 0.3,
+        use_transitivity: bool = True,
+        **kwargs: Any,
+    ) -> JoinResult:
+        """Entity-resolve *records* (machine pruning + transitivity on)."""
+        pruner = (
+            SimilarityPruner(prune_threshold) if prune_threshold is not None else None
+        )
+        op = CrowdJoin(
+            self.platform,
+            truth_fn,
+            pruner=pruner,
+            use_transitivity=use_transitivity,
+            redundancy=kwargs.pop("redundancy", self.config.redundancy),
+            inference=kwargs.pop("inference", self._inference()),
+            **kwargs,
+        )
+        return op.run(records)
+
+    def sort(
+        self,
+        items: Sequence[Any],
+        score_fn: Callable[[Any], float],
+        strategy: str = "merge",
+        **kwargs: Any,
+    ) -> SortResult:
+        """Crowd-sort *items* best-first with the chosen strategy."""
+        if strategy not in _SORT_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown sort strategy {strategy!r}; available: {_SORT_STRATEGIES}"
+            )
+        redundancy = kwargs.pop("redundancy", self.config.redundancy)
+        if strategy == "rating":
+            return rating_sort(self.platform, items, score_fn, redundancy, **kwargs)
+        if strategy == "hybrid":
+            return hybrid_sort(self.platform, items, score_fn, redundancy, **kwargs)
+        comparator = CrowdComparator(
+            self.platform,
+            items,
+            score_fn,
+            redundancy=redundancy,
+            inference=kwargs.pop("inference", self._inference()),
+            **kwargs,
+        )
+        if strategy == "all_pairs":
+            return all_pairs_sort(comparator)
+        return merge_sort_crowd(comparator)
+
+    def max(
+        self,
+        items: Sequence[Any],
+        score_fn: Callable[[Any], float],
+        fan_in: int = 2,
+        **kwargs: Any,
+    ) -> TopKResult:
+        """Find the best item by tournament."""
+        comparator = CrowdComparator(
+            self.platform,
+            items,
+            score_fn,
+            redundancy=kwargs.pop("redundancy", self.config.redundancy),
+            inference=kwargs.pop("inference", self._inference()),
+            **kwargs,
+        )
+        return tournament_max(comparator, fan_in=fan_in)
+
+    def topk(
+        self,
+        items: Sequence[Any],
+        score_fn: Callable[[Any], float],
+        k: int,
+        fan_in: int = 2,
+        **kwargs: Any,
+    ) -> TopKResult:
+        """Find the best k items by repeated tournaments."""
+        comparator = CrowdComparator(
+            self.platform,
+            items,
+            score_fn,
+            redundancy=kwargs.pop("redundancy", self.config.redundancy),
+            inference=kwargs.pop("inference", self._inference()),
+            **kwargs,
+        )
+        return topk_tournament(comparator, k=k, fan_in=fan_in)
+
+    def count(
+        self,
+        items: Sequence[Any],
+        question: str,
+        truth_fn: Callable[[Any], bool],
+        sample_size: int,
+        **kwargs: Any,
+    ) -> CountResult:
+        """Estimate how many items satisfy a predicate, by sampling."""
+        op = CrowdCount(
+            self.platform,
+            question,
+            truth_fn,
+            redundancy=kwargs.pop("redundancy", self.config.redundancy),
+            inference=kwargs.pop("inference", self._inference()),
+            seed=kwargs.pop("seed", self.config.seed),
+            **kwargs,
+        )
+        return op.run(items, sample_size=sample_size)
+
+    def collect(self, question: str, max_queries: int, **kwargs: Any) -> CollectResult:
+        """Open-world enumeration (requires collector workers in the pool)."""
+        op = CrowdCollect(self.platform, question, **kwargs)
+        return op.run(max_queries=max_queries)
+
+    def fill(
+        self,
+        table: Table | str,
+        truth_fn: Callable[[dict[str, Any], str], Any],
+        **kwargs: Any,
+    ) -> FillResult:
+        """Resolve a table's CNULL cells via the crowd."""
+        target = self.database.table(table) if isinstance(table, str) else table
+        op = CrowdFill(
+            self.platform,
+            truth_fn=truth_fn,
+            redundancy=kwargs.pop("redundancy", self.config.redundancy),
+            inference=kwargs.pop("inference", self._inference()),
+            **kwargs,
+        )
+        return op.run(target)
+
+    def categorize(
+        self,
+        items: Sequence[Any],
+        categories: Sequence[Any],
+        truth_fn: Callable[[Any], Any],
+        **kwargs: Any,
+    ) -> CategorizeResult:
+        """Crowd GROUP BY into a fixed taxonomy."""
+        op = CrowdCategorize(
+            self.platform,
+            categories,
+            truth_fn=truth_fn,
+            redundancy=kwargs.pop("redundancy", self.config.redundancy),
+            inference=kwargs.pop("inference", self._inference()),
+            **kwargs,
+        )
+        return op.run(items)
+
+    def skyline(
+        self,
+        items: Sequence[Any],
+        dimension_scores: Sequence[Callable[[Any], float]],
+        **kwargs: Any,
+    ):
+        """Crowd skyline over multiple subjective dimensions."""
+        from repro.operators.skyline import CrowdSkyline
+
+        op = CrowdSkyline(
+            self.platform,
+            items,
+            dimension_scores,
+            redundancy=kwargs.pop("redundancy", self.config.redundancy),
+            inference=kwargs.pop("inference", self._inference()),
+            **kwargs,
+        )
+        return op.run()
+
+    def match_schemas(
+        self,
+        source_attributes: Sequence[str],
+        target_attributes: Sequence[str],
+        truth: dict[str, str],
+        **kwargs: Any,
+    ):
+        """Crowd schema matching between two attribute lists."""
+        from repro.operators.schema_matching import CrowdSchemaMatcher
+
+        matcher = CrowdSchemaMatcher(
+            self.platform,
+            truth,
+            redundancy=kwargs.pop("redundancy", self.config.redundancy),
+            inference=kwargs.pop("inference", self._inference()),
+            **kwargs,
+        )
+        return matcher.run(source_attributes, target_attributes)
+
+    def plan(
+        self,
+        graph: dict[Any, Sequence[Any]],
+        edge_score: Callable[[Any, Any], float],
+        start: Any,
+        steps: int,
+        strategy: str = "beam",
+        **kwargs: Any,
+    ):
+        """Crowd-guided planning (greedy or beam) over a successor graph."""
+        from repro.operators.plan import CrowdPlanner
+
+        if strategy not in ("greedy", "beam"):
+            raise ConfigurationError("plan strategy must be 'greedy' or 'beam'")
+        width = kwargs.pop("width", 3)
+        planner = CrowdPlanner(
+            self.platform,
+            graph,
+            edge_score,
+            redundancy=kwargs.pop("redundancy", self.config.redundancy),
+            inference=kwargs.pop("inference", self._inference()),
+            **kwargs,
+        )
+        if strategy == "greedy":
+            return planner.greedy(start, steps)
+        return planner.beam(start, steps, width=width)
+
+    def find_fix_verify(self, documents: Sequence[Any], **kwargs: Any):
+        """Find-Fix-Verify text correction over FfvDocument objects."""
+        from repro.operators.findfixverify import FindFixVerify
+
+        workflow = FindFixVerify(
+            self.platform,
+            inference=kwargs.pop("inference", self._inference()),
+            **kwargs,
+        )
+        return workflow.run(documents)
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> PlatformStats:
+        return self.platform.stats
+
+    @property
+    def spent(self) -> float:
+        return self.platform.stats.cost_spent
+
+    @property
+    def remaining_budget(self) -> float:
+        return self.platform.remaining_budget

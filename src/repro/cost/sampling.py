@@ -1,0 +1,175 @@
+"""Sampling-based crowd-powered estimation.
+
+Crowdsourcing an aggregate over a large population (how many photos show a
+woman? what fraction of records are mislabeled?) does not require labeling
+everything: label a random sample and extrapolate, with confidence intervals
+from standard survey statistics. This is the tutorial's "crowd-powered
+query processing on samples" technique, and the substrate for the COUNT
+operator (:mod:`repro.operators.count`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate with a symmetric normal-approximation interval."""
+
+    value: float
+    stderr: float
+    confidence: float
+    sample_size: int
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        z = _z_for(self.confidence)
+        return (self.value - z * self.stderr, self.value + z * self.stderr)
+
+    def contains(self, truth: float) -> bool:
+        """True if *truth* lies inside the confidence interval."""
+        low, high = self.interval
+        return low <= truth <= high
+
+
+def _z_for(confidence: float) -> float:
+    """Two-sided normal quantile via Acklam-style rational approximation."""
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    p = 1.0 - (1.0 - confidence) / 2.0
+    # Beasley-Springer-Moro approximation of the normal inverse CDF.
+    a = [-39.69683028665376, 220.9460984245205, -275.9285104469687,
+         138.3577518672690, -30.66479806614716, 2.506628277459239]
+    b = [-54.47609879822406, 161.5858368580409, -155.6989798598866,
+         66.80131188771972, -13.28068155288572]
+    c = [-0.007784894002430293, -0.3223964580411365, -2.400758277161838,
+         -2.549732539343734, 4.374664141464968, 2.938163982698783]
+    d = [0.007784695709041462, 0.3224671290700398, 2.445134137142996,
+         3.754408661907416]
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= p_high:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )
+
+
+def sample_indices(
+    population_size: int,
+    sample_size: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    """Simple random sample without replacement."""
+    if sample_size > population_size:
+        raise ConfigurationError(
+            f"sample_size {sample_size} exceeds population {population_size}"
+        )
+    return sorted(int(i) for i in rng.choice(population_size, size=sample_size, replace=False))
+
+
+def estimate_proportion(
+    labels: Sequence[bool],
+    population_size: int,
+    confidence: float = 0.95,
+) -> Estimate:
+    """Estimate a population proportion from sampled boolean labels.
+
+    Applies the finite-population correction — samples of a small
+    population are more informative than the infinite-population formula
+    suggests.
+    """
+    n = len(labels)
+    if n == 0:
+        raise ConfigurationError("cannot estimate from an empty sample")
+    p_hat = sum(1 for v in labels if v) / n
+    fpc = math.sqrt((population_size - n) / max(1, population_size - 1))
+    stderr = math.sqrt(p_hat * (1 - p_hat) / n) * fpc
+    return Estimate(value=p_hat, stderr=stderr, confidence=confidence, sample_size=n)
+
+
+def estimate_count(
+    labels: Sequence[bool],
+    population_size: int,
+    confidence: float = 0.95,
+) -> Estimate:
+    """Estimate how many population items satisfy the predicate."""
+    prop = estimate_proportion(labels, population_size, confidence)
+    return Estimate(
+        value=prop.value * population_size,
+        stderr=prop.stderr * population_size,
+        confidence=confidence,
+        sample_size=prop.sample_size,
+    )
+
+
+def estimate_mean(
+    values: Sequence[float],
+    confidence: float = 0.95,
+) -> Estimate:
+    """Estimate a population mean from sampled numeric crowd answers."""
+    n = len(values)
+    if n == 0:
+        raise ConfigurationError("cannot estimate from an empty sample")
+    arr = np.asarray(values, dtype=float)
+    mean = float(arr.mean())
+    stderr = float(arr.std(ddof=1) / math.sqrt(n)) if n > 1 else float("inf")
+    return Estimate(value=mean, stderr=stderr, confidence=confidence, sample_size=n)
+
+
+def required_sample_size(
+    margin_of_error: float,
+    confidence: float = 0.95,
+    worst_case_p: float = 0.5,
+) -> int:
+    """Sample size needed for a proportion CI of half-width *margin_of_error*."""
+    if margin_of_error <= 0:
+        raise ConfigurationError("margin_of_error must be positive")
+    z = _z_for(confidence)
+    return math.ceil((z * z * worst_case_p * (1 - worst_case_p)) / (margin_of_error ** 2))
+
+
+def stratified_estimate(
+    strata: Sequence[tuple[Sequence[bool], int]],
+    confidence: float = 0.95,
+) -> Estimate:
+    """Stratified proportion estimate: [(labels, stratum_size), ...].
+
+    Weighting by stratum size reduces variance when selectivity differs
+    across strata — the standard refinement the tutorial mentions for
+    skewed populations.
+    """
+    if not strata:
+        raise ConfigurationError("need at least one stratum")
+    total_population = sum(size for _labels, size in strata)
+    value = 0.0
+    variance = 0.0
+    total_sampled = 0
+    for labels, size in strata:
+        est = estimate_proportion(labels, size, confidence)
+        weight = size / total_population
+        value += weight * est.value
+        variance += (weight * est.stderr) ** 2
+        total_sampled += est.sample_size
+    return Estimate(
+        value=value,
+        stderr=math.sqrt(variance),
+        confidence=confidence,
+        sample_size=total_sampled,
+    )

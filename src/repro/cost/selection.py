@@ -1,0 +1,133 @@
+"""Task selection: spend the next dollar on the most informative task.
+
+Given a pool of candidate tasks with current label posteriors, pick the
+subset worth crowdsourcing next. Three selectors from the surveyed
+literature:
+
+* :class:`UncertaintySelector` — highest posterior entropy first (classic
+  uncertainty sampling).
+* :class:`MarginSelector` — smallest top-two posterior margin first.
+* :class:`ExpectedErrorReductionSelector` — largest expected drop in
+  misclassification risk from one more (assumed-accuracy) answer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def entropy(posterior: Mapping[Any, float]) -> float:
+    """Shannon entropy in nats; tolerates unnormalized inputs."""
+    total = sum(posterior.values())
+    if total <= 0:
+        return 0.0
+    h = 0.0
+    for p in posterior.values():
+        q = p / total
+        if q > 0:
+            h -= q * math.log(q)
+    return h
+
+
+def margin(posterior: Mapping[Any, float]) -> float:
+    """Top-1 minus top-2 posterior mass (1.0 when only one label)."""
+    values = sorted(posterior.values(), reverse=True)
+    if len(values) < 2:
+        return 1.0
+    total = sum(values)
+    if total <= 0:
+        return 0.0
+    return (values[0] - values[1]) / total
+
+
+class TaskSelector:
+    """Interface: rank candidate task ids by priority (highest first)."""
+
+    name = "base"
+
+    def score(self, posterior: Mapping[Any, float]) -> float:
+        """Priority of a task given its label posterior (higher = sooner)."""
+        raise NotImplementedError
+
+    def select(
+        self,
+        posteriors: Mapping[str, Mapping[Any, float]],
+        budget: int,
+    ) -> list[str]:
+        """Top-*budget* task ids by score (descending, id tie-break)."""
+        if budget < 0:
+            raise ConfigurationError("budget must be non-negative")
+        ranked = sorted(
+            posteriors,
+            key=lambda task_id: (-self.score(posteriors[task_id]), task_id),
+        )
+        return ranked[:budget]
+
+
+class UncertaintySelector(TaskSelector):
+    """Prioritize maximum posterior entropy."""
+
+    name = "uncertainty"
+
+    def score(self, posterior: Mapping[Any, float]) -> float:
+        return entropy(posterior)
+
+
+class MarginSelector(TaskSelector):
+    """Prioritize minimum top-two margin (score = 1 - margin)."""
+
+    name = "margin"
+
+    def score(self, posterior: Mapping[Any, float]) -> float:
+        return 1.0 - margin(posterior)
+
+
+class ExpectedErrorReductionSelector(TaskSelector):
+    """Prioritize the expected drop in Bayes risk from one more answer.
+
+    Risk of a task = 1 - max posterior. One more answer from a worker of
+    *assumed_accuracy* updates the posterior per the one-coin likelihood;
+    the expected new risk is marginalized over the posterior predictive.
+    """
+
+    name = "eer"
+
+    def __init__(self, assumed_accuracy: float = 0.75):
+        if not 0.5 < assumed_accuracy < 1.0:
+            raise ConfigurationError("assumed_accuracy must be in (0.5, 1)")
+        self.assumed_accuracy = assumed_accuracy
+
+    def score(self, posterior: Mapping[Any, float]) -> float:
+        labels = list(posterior)
+        total = sum(posterior.values())
+        if total <= 0 or len(labels) < 2:
+            return 0.0
+        post = {label: p / total for label, p in posterior.items()}
+        k = len(labels)
+        p = self.assumed_accuracy
+        current_risk = 1.0 - max(post.values())
+        expected_risk = 0.0
+        for observed in labels:
+            predictive = sum(
+                post[label] * (p if label == observed else (1.0 - p) / (k - 1))
+                for label in labels
+            )
+            if predictive <= 0:
+                continue
+            updated = {
+                label: post[label] * (p if label == observed else (1.0 - p) / (k - 1))
+                for label in labels
+            }
+            z = sum(updated.values())
+            expected_risk += predictive * (1.0 - max(updated.values()) / z)
+        return current_risk - expected_risk
+
+
+SELECTORS = {
+    "uncertainty": UncertaintySelector,
+    "margin": MarginSelector,
+    "eer": ExpectedErrorReductionSelector,
+}

@@ -1,0 +1,101 @@
+"""String similarity measures (machine side of the prune-then-verify pattern).
+
+Implemented from scratch — no external text libraries:
+
+* :func:`jaccard_tokens` — token-set Jaccard (the CrowdER default).
+* :func:`jaccard_ngrams` — character n-gram Jaccard, robust to word order.
+* :func:`edit_distance` / :func:`edit_similarity` — Levenshtein with the
+  standard two-row dynamic program.
+* :func:`cosine_tokens` — TF cosine over token multisets.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens (alphanumeric runs)."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def jaccard_tokens(a: str, b: str) -> float:
+    """Token-set Jaccard similarity in [0, 1]."""
+    sa, sb = set(tokenize(a)), set(tokenize(b))
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / len(sa | sb)
+
+
+def ngrams(text: str, n: int = 3) -> set[str]:
+    """Character n-grams of the lowercased, space-normalized string."""
+    normalized = " ".join(tokenize(text))
+    if len(normalized) < n:
+        return {normalized} if normalized else set()
+    return {normalized[i : i + n] for i in range(len(normalized) - n + 1)}
+
+
+def jaccard_ngrams(a: str, b: str, n: int = 3) -> float:
+    """Character n-gram Jaccard similarity in [0, 1]."""
+    ga, gb = ngrams(a, n), ngrams(b, n)
+    if not ga and not gb:
+        return 1.0
+    if not ga or not gb:
+        return 0.0
+    return len(ga & gb) / len(ga | gb)
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance via the two-row dynamic program (O(len a * len b))."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a  # keep the inner row short
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def edit_similarity(a: str, b: str) -> float:
+    """1 - normalized Levenshtein distance, in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    return 1.0 - edit_distance(a, b) / max(len(a), len(b))
+
+
+def cosine_tokens(a: str, b: str) -> float:
+    """Term-frequency cosine similarity in [0, 1]."""
+    ca, cb = Counter(tokenize(a)), Counter(tokenize(b))
+    if not ca or not cb:
+        return 1.0 if (not ca and not cb) else 0.0
+    dot = sum(ca[t] * cb[t] for t in ca.keys() & cb.keys())
+    norm = math.sqrt(sum(v * v for v in ca.values())) * math.sqrt(
+        sum(v * v for v in cb.values())
+    )
+    if norm <= 0:
+        return 0.0
+    # Clamp: floating-point rounding can push identical vectors past 1.0.
+    return min(1.0, dot / norm)
+
+
+SIMILARITY_FUNCTIONS = {
+    "jaccard": jaccard_tokens,
+    "ngram": jaccard_ngrams,
+    "edit": edit_similarity,
+    "cosine": cosine_tokens,
+}

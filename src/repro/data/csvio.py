@@ -1,0 +1,111 @@
+"""CSV import/export for tables.
+
+CNULL is serialized as the literal string ``__CNULL__`` and SQL NULL as the
+empty string, mirroring how CrowdDB-style systems externalize incomplete
+relations for later crowd completion.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.data.schema import CNULL, ColumnType, Schema, is_cnull
+from repro.data.table import Table
+
+CNULL_TOKEN = "__CNULL__"
+
+
+def _serialize(value: Any) -> str:
+    if is_cnull(value):
+        return CNULL_TOKEN
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _parse(text: str, ctype: ColumnType) -> Any:
+    if text == CNULL_TOKEN:
+        return CNULL
+    if text == "":
+        return None
+    if ctype is ColumnType.STRING:
+        return text
+    if ctype is ColumnType.INTEGER:
+        return int(text)
+    if ctype is ColumnType.FLOAT:
+        return float(text)
+    if ctype is ColumnType.BOOLEAN:
+        lowered = text.lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise ValueError(f"cannot parse boolean from {text!r}")
+    raise ValueError(f"unsupported column type {ctype!r}")
+
+
+def write_csv(table: Table, destination: Path | str | TextIO) -> None:
+    """Write *table* (header + rows) to a path or open text file."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="", encoding="utf-8") as handle:
+            _write(table, handle)
+    else:
+        _write(table, destination)
+
+
+def _write(table: Table, handle: TextIO) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(table.schema.column_names)
+    for row in table:
+        writer.writerow([_serialize(row[name]) for name in table.schema.column_names])
+
+
+def read_csv(source: Path | str | TextIO, name: str, schema: Schema) -> Table:
+    """Load a CSV with a header row into a new table validated by *schema*.
+
+    The header must list exactly the schema's columns (any order).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, newline="", encoding="utf-8") as handle:
+            return _read(handle, name, schema)
+    return _read(source, name, schema)
+
+
+def _read(handle: TextIO, name: str, schema: Schema) -> Table:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("CSV is empty; expected a header row") from None
+    expected = set(schema.column_names)
+    if set(header) != expected:
+        raise ValueError(
+            f"CSV header {header!r} does not match schema columns {sorted(expected)!r}"
+        )
+    table = Table(name, schema)
+    for line_no, record in enumerate(reader, start=2):
+        if len(record) != len(header):
+            raise ValueError(f"line {line_no}: expected {len(header)} fields, got {len(record)}")
+        values = {
+            col_name: _parse(text, schema.column(col_name).ctype)
+            for col_name, text in zip(header, record)
+        }
+        table.insert(values)
+    return table
+
+
+def table_to_csv_string(table: Table) -> str:
+    """Serialize *table* to a CSV string (useful in tests and examples)."""
+    buffer = io.StringIO()
+    write_csv(table, buffer)
+    return buffer.getvalue()
+
+
+def table_from_csv_string(text: str, name: str, schema: Schema) -> Table:
+    """Parse a CSV string produced by :func:`table_to_csv_string`."""
+    return read_csv(io.StringIO(text), name, schema)

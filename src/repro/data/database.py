@@ -1,0 +1,98 @@
+"""Database catalog: a named collection of tables.
+
+The catalog is deliberately simple — crowddm's contribution is the crowd
+layer, not storage — but it provides the invariants the engine relies on:
+unique table names, schema lookup, and enumeration of outstanding crowd work
+across all tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.errors import DuplicateTableError, UnknownTableError
+
+
+class Database:
+    """An in-memory catalog of :class:`~repro.data.table.Table` objects."""
+
+    def __init__(self, name: str = "crowddm"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    def __contains__(self, table_name: object) -> bool:
+        return table_name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:
+        return f"Database<{self.name}, tables={sorted(self._tables)}>"
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Iterable[dict[str, Any]] = (),
+        if_not_exists: bool = False,
+    ) -> Table:
+        """Create a table; optionally bulk-load *rows*.
+
+        Raises DuplicateTableError unless *if_not_exists* is set, in which
+        case the existing table is returned unchanged.
+        """
+        if name in self._tables:
+            if if_not_exists:
+                return self._tables[name]
+            raise DuplicateTableError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        table.insert_many(rows)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(
+                f"no table {name!r}; available: {', '.join(sorted(self._tables)) or '(none)'}"
+            ) from None
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            if if_exists:
+                return
+            raise UnknownTableError(f"no table {name!r}")
+        del self._tables[name]
+
+    def pending_crowd_cells(self) -> dict[str, list[tuple[int, str]]]:
+        """Map table name -> [(rowid, column)] of unresolved CNULL cells."""
+        pending = {}
+        for name, table in self._tables.items():
+            cells = table.cnull_cells()
+            if cells:
+                pending[name] = cells
+        return pending
+
+    def completeness(self) -> float:
+        """Overall crowd-cell completeness across all tables (1.0 if none)."""
+        totals = 0
+        unresolved = 0
+        for table in self._tables.values():
+            crowd_cols = len(table.schema.crowd_columns)
+            totals += len(table) * crowd_cols
+            unresolved += len(table.cnull_cells())
+        if totals == 0:
+            return 1.0
+        return 1.0 - unresolved / totals

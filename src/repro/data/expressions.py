@@ -1,0 +1,422 @@
+"""Expression trees evaluated over rows.
+
+These expressions power WHERE clauses, projections, and join conditions in
+the CrowdSQL executor, and are also usable directly against
+:class:`~repro.data.table.Row` objects.
+
+Three-valued-ish logic: comparisons involving SQL NULL yield ``None``
+(unknown); comparisons involving CNULL yield the sentinel
+:data:`CROWD_UNKNOWN`, which the executor interprets as "a crowd task is
+needed to decide this predicate". Boolean connectives propagate both kinds
+of unknown with standard Kleene rules, treating CROWD_UNKNOWN as the more
+informative of the two (AND(False, crowd-unknown) is False; AND(True,
+crowd-unknown) is crowd-unknown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.data.schema import is_cnull
+from repro.errors import ExpressionError
+
+
+class _CrowdUnknown:
+    """Sentinel: predicate truth requires a crowd task."""
+
+    _instance: "_CrowdUnknown | None" = None
+
+    def __new__(cls) -> "_CrowdUnknown":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "CROWD_UNKNOWN"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Truth value meaning "ask the crowd to decide".
+CROWD_UNKNOWN = _CrowdUnknown()
+
+
+def is_crowd_unknown(value: Any) -> bool:
+    """True if *value* is the CROWD_UNKNOWN sentinel."""
+    return value is CROWD_UNKNOWN
+
+
+class Expression:
+    """Base class for expression nodes."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        """Evaluate against *row*: a value, None (NULL), or CROWD_UNKNOWN."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Names of columns this expression reads."""
+        return set()
+
+    # Builder sugar so tests/examples can write col("a") == lit(3) etc.
+    def __eq__(self, other: object):  # type: ignore[override]
+        return Comparison("=", self, _wrap(other))
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return Comparison("!=", self, _wrap(other))
+
+    def __lt__(self, other: object):
+        return Comparison("<", self, _wrap(other))
+
+    def __le__(self, other: object):
+        return Comparison("<=", self, _wrap(other))
+
+    def __gt__(self, other: object):
+        return Comparison(">", self, _wrap(other))
+
+    def __ge__(self, other: object):
+        return Comparison(">=", self, _wrap(other))
+
+    def __and__(self, other: "Expression"):
+        return And(self, _wrap(other))
+
+    def __or__(self, other: "Expression"):
+        return Or(self, _wrap(other))
+
+    def __invert__(self):
+        return Not(self)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+def _wrap(value: Any) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+@dataclass(eq=False)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(eq=False)
+class ColumnRef(Expression):
+    """Reference to a column of the input row."""
+
+    name: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise ExpressionError(f"row has no column {self.name!r}") from None
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(eq=False)
+class Comparison(Expression):
+    """Binary comparison with NULL / CNULL propagation."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        lhs = self.left.evaluate(row)
+        rhs = self.right.evaluate(row)
+        if is_cnull(lhs) or is_cnull(rhs):
+            return CROWD_UNKNOWN
+        if lhs is None or rhs is None:
+            return None
+        try:
+            return _COMPARATORS[self.op](lhs, rhs)
+        except TypeError as exc:
+            raise ExpressionError(
+                f"cannot compare {lhs!r} {self.op} {rhs!r}: {exc}"
+            ) from None
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(eq=False)
+class And(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        lhs = self.left.evaluate(row)
+        # Short-circuit only on definite False.
+        if lhs is False:
+            return False
+        rhs = self.right.evaluate(row)
+        if rhs is False:
+            return False
+        if is_crowd_unknown(lhs) or is_crowd_unknown(rhs):
+            return CROWD_UNKNOWN
+        if lhs is None or rhs is None:
+            return None
+        return True
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+@dataclass(eq=False)
+class Or(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        lhs = self.left.evaluate(row)
+        if lhs is True:
+            return True
+        rhs = self.right.evaluate(row)
+        if rhs is True:
+            return True
+        if is_crowd_unknown(lhs) or is_crowd_unknown(rhs):
+            return CROWD_UNKNOWN
+        if lhs is None or rhs is None:
+            return None
+        return False
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+@dataclass(eq=False)
+class Not(Expression):
+    operand: Expression
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        val = self.operand.evaluate(row)
+        if is_crowd_unknown(val):
+            return CROWD_UNKNOWN
+        if val is None:
+            return None
+        return not val
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+@dataclass(eq=False)
+class IsNull(Expression):
+    """SQL ``x IS NULL`` — True for NULL, False otherwise (CNULL is not NULL)."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        val = self.operand.evaluate(row)
+        result = val is None
+        return (not result) if self.negated else result
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} IS {'NOT ' if self.negated else ''}NULL)"
+
+
+@dataclass(eq=False)
+class IsCNull(Expression):
+    """CrowdSQL ``x IS CNULL`` — True when the cell is crowd-unknown."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        val = self.operand.evaluate(row)
+        result = is_cnull(val)
+        return (not result) if self.negated else result
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} IS {'NOT ' if self.negated else ''}CNULL)"
+
+
+@dataclass(eq=False)
+class InList(Expression):
+    """SQL ``x IN (v1, v2, ...)`` over literal lists."""
+
+    operand: Expression
+    values: tuple[Any, ...]
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        val = self.operand.evaluate(row)
+        if is_cnull(val):
+            return CROWD_UNKNOWN
+        if val is None:
+            return None
+        result = val in self.values
+        return (not result) if self.negated else result
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} {'NOT ' if self.negated else ''}IN {self.values!r})"
+
+
+@dataclass(eq=False)
+class Arithmetic(Expression):
+    """Binary arithmetic (+, -, *, /) with NULL/CNULL propagation."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    _OPS: dict[str, Callable[[Any, Any], Any]] = None  # type: ignore[assignment]
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        lhs = self.left.evaluate(row)
+        rhs = self.right.evaluate(row)
+        if is_cnull(lhs) or is_cnull(rhs):
+            return CROWD_UNKNOWN
+        if lhs is None or rhs is None:
+            return None
+        try:
+            if self.op == "+":
+                return lhs + rhs
+            if self.op == "-":
+                return lhs - rhs
+            if self.op == "*":
+                return lhs * rhs
+            if self.op == "/":
+                if rhs == 0:
+                    return None
+                return lhs / rhs
+        except TypeError as exc:
+            raise ExpressionError(f"cannot compute {lhs!r} {self.op} {rhs!r}: {exc}") from None
+        raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(eq=False)
+class CrowdPredicate(Expression):
+    """A predicate the machine cannot evaluate: CROWDEQUAL / crowd UDF.
+
+    During plain evaluation it always yields :data:`CROWD_UNKNOWN`; the
+    executor detects these nodes and routes them to the platform. ``kind``
+    distinguishes the Qurk-style crowd comparators:
+
+    * ``"equal"``   — CROWDEQUAL(a, b): do these refer to the same entity?
+    * ``"order"``   — CROWDORDER(a, b): should a rank before b?
+    * ``"filter"``  — CROWDFILTER(a, question): does a satisfy the question?
+    """
+
+    kind: str
+    operands: tuple[Expression, ...]
+    question: str = ""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return CROWD_UNKNOWN
+
+    def operand_values(self, row: Mapping[str, Any]) -> tuple[Any, ...]:
+        """Materialize operand values for task generation."""
+        return tuple(op.evaluate(row) for op in self.operands)
+
+    def columns(self) -> set[str]:
+        cols: set[str] = set()
+        for op in self.operands:
+            cols |= op.columns()
+        return cols
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(op) for op in self.operands)
+        return f"CROWD{self.kind.upper()}({inner})"
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand constructor for a column reference."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand constructor for a literal."""
+    return Literal(value)
+
+
+def contains_crowd_predicate(expr: Expression) -> bool:
+    """True if any node of *expr* is a :class:`CrowdPredicate`."""
+    if isinstance(expr, CrowdPredicate):
+        return True
+    for attr in ("left", "right", "operand"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, Expression) and contains_crowd_predicate(child):
+            return True
+    if isinstance(expr, CrowdPredicate):
+        return True
+    operands = getattr(expr, "operands", ())
+    return any(
+        isinstance(child, Expression) and contains_crowd_predicate(child)
+        for child in operands
+    )
+
+
+def split_conjuncts(expr: Expression) -> list[Expression]:
+    """Flatten a tree of ANDs into its conjunct list."""
+    if isinstance(expr, And):
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[Expression]) -> Expression:
+    """Rebuild a conjunction from a non-empty conjunct list."""
+    if not conjuncts:
+        raise ExpressionError("cannot conjoin an empty list")
+    expr = conjuncts[0]
+    for part in conjuncts[1:]:
+        expr = And(expr, part)
+    return expr

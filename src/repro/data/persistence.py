@@ -1,0 +1,89 @@
+"""Database persistence: save/load a catalog to a directory.
+
+Layout: one ``<table>.csv`` per table (CNULL-aware, via
+:mod:`repro.data.csvio`) plus a ``catalog.json`` describing schemas —
+enough to round-trip every table including crowd columns and primary keys.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.data.csvio import read_csv, write_csv
+from repro.data.database import Database
+from repro.data.schema import Column, ColumnType, Schema
+
+CATALOG_FILE = "catalog.json"
+
+
+def _schema_to_dict(schema: Schema) -> dict:
+    return {
+        "columns": [
+            {
+                "name": c.name,
+                "type": c.ctype.value,
+                "crowd": c.crowd,
+                "nullable": c.nullable,
+            }
+            for c in schema.columns
+        ],
+        "primary_key": list(schema.primary_key),
+        "crowd_table": schema.crowd_table,
+    }
+
+
+def _schema_from_dict(data: dict) -> Schema:
+    columns = [
+        Column(
+            c["name"],
+            ColumnType(c["type"]),
+            crowd=c.get("crowd", False),
+            nullable=c.get("nullable", True),
+        )
+        for c in data["columns"]
+    ]
+    return Schema(
+        columns,
+        primary_key=tuple(data.get("primary_key", ())),
+        crowd_table=data.get("crowd_table", False),
+    )
+
+
+def save_database(database: Database, directory: Path | str) -> None:
+    """Write *database* (catalog + all rows) under *directory*.
+
+    The directory is created if needed; existing files for the same table
+    names are overwritten, other files are left alone.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    catalog = {
+        "name": database.name,
+        "tables": {
+            table.name: _schema_to_dict(table.schema) for table in database
+        },
+    }
+    (root / CATALOG_FILE).write_text(json.dumps(catalog, indent=2), encoding="utf-8")
+    for table in database:
+        write_csv(table, root / f"{table.name}.csv")
+
+
+def load_database(directory: Path | str) -> Database:
+    """Reconstruct a database previously written by :func:`save_database`."""
+    root = Path(directory)
+    catalog_path = root / CATALOG_FILE
+    if not catalog_path.exists():
+        raise FileNotFoundError(f"no {CATALOG_FILE} in {root}")
+    catalog = json.loads(catalog_path.read_text(encoding="utf-8"))
+    database = Database(catalog.get("name", "crowddm"))
+    for table_name, schema_dict in catalog.get("tables", {}).items():
+        schema = _schema_from_dict(schema_dict)
+        csv_path = root / f"{table_name}.csv"
+        if not csv_path.exists():
+            raise FileNotFoundError(f"catalog lists {table_name!r} but {csv_path} is missing")
+        loaded = read_csv(csv_path, table_name, schema)
+        table = database.create_table(table_name, schema)
+        for row in loaded:
+            table.insert(row.as_dict())
+    return database

@@ -1,0 +1,339 @@
+"""Relation schemas with crowd-powered column support.
+
+This module implements the CrowdDB-style data model the SIGMOD'17 tutorial
+describes: ordinary relational schemas extended with *crowd columns* (values
+the machine may not know and must ask the crowd for) and *crowd tables*
+(whole relations whose membership is open-world).
+
+A :class:`Schema` is an ordered collection of :class:`Column` objects plus an
+optional primary key. Crowd-unknown values are represented by the singleton
+:data:`CNULL`, which is distinct from Python ``None`` (SQL NULL): ``None``
+means "known to be missing", ``CNULL`` means "ask the crowd".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import SchemaError, TypeMismatchError, UnknownColumnError
+
+
+class _CNullType:
+    """Singleton marker for crowd-unknown values (CrowdDB's CNULL)."""
+
+    _instance: "_CNullType | None" = None
+
+    def __new__(cls) -> "_CNullType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "CNULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (_CNullType, ())
+
+
+#: The crowd-unknown marker. A cell holding CNULL is eligible for crowd fill.
+CNULL = _CNullType()
+
+
+def is_cnull(value: Any) -> bool:
+    """Return True if *value* is the crowd-unknown marker."""
+    return value is CNULL
+
+
+class ColumnType(enum.Enum):
+    """Supported column types for the relational substrate."""
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+
+    def validate(self, value: Any) -> Any:
+        """Coerce *value* to this type, raising TypeMismatchError on failure.
+
+        ``None`` (SQL NULL) and :data:`CNULL` pass through unchanged.
+        Integers are accepted for FLOAT columns; bools are *not* accepted
+        for INTEGER columns (a common silent-bug source in Python).
+        """
+        if value is None or is_cnull(value):
+            return value
+        if self is ColumnType.STRING:
+            if isinstance(value, str):
+                return value
+        elif self is ColumnType.INTEGER:
+            if isinstance(value, bool):
+                raise TypeMismatchError(f"boolean {value!r} is not a valid INTEGER")
+            if isinstance(value, int):
+                return value
+        elif self is ColumnType.FLOAT:
+            if isinstance(value, bool):
+                raise TypeMismatchError(f"boolean {value!r} is not a valid FLOAT")
+            if isinstance(value, (int, float)):
+                return float(value)
+        elif self is ColumnType.BOOLEAN:
+            if isinstance(value, bool):
+                return value
+        raise TypeMismatchError(
+            f"value {value!r} (type {type(value).__name__}) is not a valid {self.value.upper()}"
+        )
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a relation schema.
+
+    Attributes:
+        name: Column name; must be a valid identifier-like string.
+        ctype: Declared :class:`ColumnType`.
+        crowd: True for CrowdDB-style ``CROWD`` columns — cells default to
+            CNULL and may be filled by crowd tasks.
+        nullable: Whether SQL NULL is allowed. Crowd columns are always
+            nullable in the CNULL sense regardless of this flag.
+    """
+
+    name: str
+    ctype: ColumnType
+    crowd: bool = False
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+    def validate(self, value: Any) -> Any:
+        """Validate *value* for this column, applying nullability rules."""
+        if is_cnull(value):
+            if not self.crowd:
+                raise TypeMismatchError(
+                    f"column {self.name!r} is not a CROWD column; CNULL not allowed"
+                )
+            return value
+        if value is None:
+            if not self.nullable:
+                raise TypeMismatchError(f"column {self.name!r} is NOT NULL")
+            return value
+        return self.ctype.validate(value)
+
+
+class Schema:
+    """An ordered, named collection of columns with an optional primary key.
+
+    Args:
+        columns: The columns, in order. Names must be unique.
+        primary_key: Names of key columns (subset of column names).
+        crowd_table: True for ``CREATE CROWD TABLE`` relations whose
+            membership is open-world (the crowd may add rows).
+    """
+
+    def __init__(
+        self,
+        columns: Iterable[Column],
+        primary_key: Iterable[str] = (),
+        crowd_table: bool = False,
+    ):
+        self._columns: list[Column] = list(columns)
+        if not self._columns:
+            raise SchemaError("a schema requires at least one column")
+        names = [c.name for c in self._columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column name(s): {', '.join(dupes)}")
+        self._by_name = {c.name: c for c in self._columns}
+        self.primary_key: tuple[str, ...] = tuple(primary_key)
+        for key_col in self.primary_key:
+            if key_col not in self._by_name:
+                raise SchemaError(f"primary key column {key_col!r} not in schema")
+            if self._by_name[key_col].crowd:
+                raise SchemaError(f"primary key column {key_col!r} cannot be a CROWD column")
+        self.crowd_table = crowd_table
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return tuple(self._columns)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    @property
+    def crowd_columns(self) -> tuple[Column, ...]:
+        """Columns the crowd may be asked to fill."""
+        return tuple(c for c in self._columns if c.crowd)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self._columns == other._columns
+            and self.primary_key == other.primary_key
+            and self.crowd_table == other.crowd_table
+        )
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{c.name} {c.ctype.value}" + (" CROWD" if c.crowd else "") for c in self._columns
+        )
+        kind = "CROWD TABLE" if self.crowd_table else "TABLE"
+        return f"Schema<{kind}({cols})>"
+
+    def column(self, name: str) -> Column:
+        """Return the column named *name*, raising UnknownColumnError if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownColumnError(
+                f"no column {name!r}; available: {', '.join(self.column_names)}"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        """Return the position of column *name* within the schema."""
+        self.column(name)
+        return self.column_names.index(name)
+
+    def validate_row(self, values: dict[str, Any]) -> dict[str, Any]:
+        """Validate and complete a row dict against this schema.
+
+        Unknown keys raise; missing crowd columns default to CNULL; missing
+        nullable columns default to None; missing NOT NULL columns raise.
+        Returns a new dict with columns in schema order.
+        """
+        for key in values:
+            if key not in self._by_name:
+                raise UnknownColumnError(
+                    f"no column {key!r}; available: {', '.join(self.column_names)}"
+                )
+        row: dict[str, Any] = {}
+        for col in self._columns:
+            if col.name in values:
+                row[col.name] = col.validate(values[col.name])
+            elif col.crowd:
+                row[col.name] = CNULL
+            elif col.nullable:
+                row[col.name] = None
+            else:
+                raise TypeMismatchError(f"missing value for NOT NULL column {col.name!r}")
+        return row
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Return a new schema containing only *names*, in the given order."""
+        cols = [self.column(n) for n in names]
+        kept = set(n for n in names)
+        key = self.primary_key if all(k in kept for k in self.primary_key) else ()
+        return Schema(cols, primary_key=key, crowd_table=self.crowd_table)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Return a new schema with columns renamed per *mapping*."""
+        cols = []
+        for c in self._columns:
+            new_name = mapping.get(c.name, c.name)
+            cols.append(Column(new_name, c.ctype, crowd=c.crowd, nullable=c.nullable))
+        key = tuple(mapping.get(k, k) for k in self.primary_key)
+        return Schema(cols, primary_key=key, crowd_table=self.crowd_table)
+
+    def join(self, other: "Schema", prefix_self: str = "", prefix_other: str = "") -> "Schema":
+        """Concatenate two schemas for a join result.
+
+        Name clashes are resolved with the given prefixes (``prefix + '.' +
+        name`` style using ``_`` as the separator to stay identifier-safe).
+        """
+        cols: list[Column] = []
+        self_names = set(self.column_names)
+        other_names = set(other.column_names)
+        clashes = self_names & other_names
+        for c in self._columns:
+            name = f"{prefix_self}_{c.name}" if c.name in clashes and prefix_self else c.name
+            cols.append(Column(name, c.ctype, crowd=c.crowd, nullable=c.nullable))
+        for c in other.columns:
+            name = f"{prefix_other}_{c.name}" if c.name in clashes and prefix_other else c.name
+            cols.append(Column(name, c.ctype, crowd=c.crowd, nullable=c.nullable))
+        return Schema(cols)
+
+
+@dataclass
+class SchemaBuilder:
+    """Fluent helper for building schemas in examples and tests.
+
+    Example:
+        >>> schema = (SchemaBuilder()
+        ...           .string("name")
+        ...           .crowd_string("hometown")
+        ...           .integer("age", nullable=True)
+        ...           .key("name")
+        ...           .build())
+    """
+
+    _columns: list[Column] = field(default_factory=list)
+    _key: tuple[str, ...] = ()
+    _crowd_table: bool = False
+
+    def string(self, name: str, nullable: bool = True) -> "SchemaBuilder":
+        """Append a STRING column."""
+        self._columns.append(Column(name, ColumnType.STRING, nullable=nullable))
+        return self
+
+    def integer(self, name: str, nullable: bool = True) -> "SchemaBuilder":
+        """Append an INTEGER column."""
+        self._columns.append(Column(name, ColumnType.INTEGER, nullable=nullable))
+        return self
+
+    def float(self, name: str, nullable: bool = True) -> "SchemaBuilder":
+        """Append a FLOAT column."""
+        self._columns.append(Column(name, ColumnType.FLOAT, nullable=nullable))
+        return self
+
+    def boolean(self, name: str, nullable: bool = True) -> "SchemaBuilder":
+        """Append a BOOLEAN column."""
+        self._columns.append(Column(name, ColumnType.BOOLEAN, nullable=nullable))
+        return self
+
+    def crowd_string(self, name: str) -> "SchemaBuilder":
+        """Append a crowd-filled STRING column."""
+        self._columns.append(Column(name, ColumnType.STRING, crowd=True))
+        return self
+
+    def crowd_integer(self, name: str) -> "SchemaBuilder":
+        """Append a crowd-filled INTEGER column."""
+        self._columns.append(Column(name, ColumnType.INTEGER, crowd=True))
+        return self
+
+    def crowd_float(self, name: str) -> "SchemaBuilder":
+        """Append a crowd-filled FLOAT column."""
+        self._columns.append(Column(name, ColumnType.FLOAT, crowd=True))
+        return self
+
+    def crowd_boolean(self, name: str) -> "SchemaBuilder":
+        """Append a crowd-filled BOOLEAN column."""
+        self._columns.append(Column(name, ColumnType.BOOLEAN, crowd=True))
+        return self
+
+    def key(self, *names: str) -> "SchemaBuilder":
+        """Declare the primary key columns."""
+        self._key = names
+        return self
+
+    def crowd_table(self) -> "SchemaBuilder":
+        """Mark the relation open-world (CREATE CROWD TABLE)."""
+        self._crowd_table = True
+        return self
+
+    def build(self) -> Schema:
+        """Produce the immutable Schema."""
+        return Schema(self._columns, primary_key=self._key, crowd_table=self._crowd_table)

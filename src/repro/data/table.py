@@ -1,0 +1,245 @@
+"""In-memory tables with crowd-aware semantics.
+
+A :class:`Table` stores rows conforming to a :class:`~repro.data.schema.Schema`.
+Rows are immutable-by-convention dicts; mutation goes through the table API so
+primary-key indexes and CNULL bookkeeping stay consistent.
+
+The table tracks which cells are crowd-unknown (CNULL) so the engine can
+enumerate outstanding crowd work cheaply (:meth:`Table.cnull_cells`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.data.schema import CNULL, Schema, is_cnull
+from repro.errors import KeyViolationError, UnknownColumnError
+
+
+class Row:
+    """A single tuple of a table.
+
+    Thin wrapper over a dict that supports attribute-free, ordered access and
+    keeps a stable ``rowid`` assigned by its table (unique within the table,
+    never reused).
+    """
+
+    __slots__ = ("rowid", "_values")
+
+    def __init__(self, rowid: int, values: dict[str, Any]):
+        self.rowid = rowid
+        self._values = values
+
+    def __getitem__(self, column: str) -> Any:
+        try:
+            return self._values[column]
+        except KeyError:
+            raise UnknownColumnError(f"row has no column {column!r}") from None
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values
+        if isinstance(other, dict):
+            return self._values == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"Row#{self.rowid}({inner})"
+
+    def get(self, column: str, default: Any = None) -> Any:
+        """Value of *column*, or *default* when absent."""
+        return self._values.get(column, default)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Return a copy of the row's values."""
+        return dict(self._values)
+
+    def values(self) -> tuple[Any, ...]:
+        """Cell values in schema order."""
+        return tuple(self._values.values())
+
+    def has_cnull(self) -> bool:
+        """True if any cell is crowd-unknown."""
+        return any(is_cnull(v) for v in self._values.values())
+
+
+class Table:
+    """A named, schema-validated collection of rows.
+
+    Args:
+        name: Table name (used by the catalog and CrowdSQL).
+        schema: The table's schema.
+    """
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self._rows: dict[int, Row] = {}
+        self._next_rowid = 1
+        self._pk_index: dict[tuple[Any, ...], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows.values())
+
+    def __repr__(self) -> str:
+        return f"Table<{self.name}, {len(self)} rows>"
+
+    @property
+    def rows(self) -> list[Row]:
+        """All rows in insertion order."""
+        return list(self._rows.values())
+
+    def row(self, rowid: int) -> Row:
+        """Return the row with the given rowid."""
+        try:
+            return self._rows[rowid]
+        except KeyError:
+            raise KeyError(f"table {self.name!r} has no rowid {rowid}") from None
+
+    def _pk_tuple(self, values: dict[str, Any]) -> tuple[Any, ...] | None:
+        if not self.schema.primary_key:
+            return None
+        return tuple(values[k] for k in self.schema.primary_key)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def insert(self, values: dict[str, Any]) -> Row:
+        """Validate and insert one row; returns the stored :class:`Row`.
+
+        Crowd columns omitted from *values* default to CNULL; primary-key
+        duplicates raise :class:`KeyViolationError`.
+        """
+        validated = self.schema.validate_row(values)
+        pk = self._pk_tuple(validated)
+        if pk is not None:
+            if any(v is None or is_cnull(v) for v in pk):
+                raise KeyViolationError(
+                    f"table {self.name!r}: primary key columns cannot be NULL/CNULL"
+                )
+            if pk in self._pk_index:
+                raise KeyViolationError(
+                    f"table {self.name!r}: duplicate primary key {pk!r}"
+                )
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        row = Row(rowid, validated)
+        self._rows[rowid] = row
+        if pk is not None:
+            self._pk_index[pk] = rowid
+        return row
+
+    def insert_many(self, rows: Iterable[dict[str, Any]]) -> list[Row]:
+        """Insert several rows; returns the stored rows."""
+        return [self.insert(r) for r in rows]
+
+    def update_cell(self, rowid: int, column: str, value: Any) -> None:
+        """Set one cell, validating against the column type.
+
+        This is the hook crowd answers flow through when resolving CNULLs;
+        primary-key columns cannot be updated.
+        """
+        row = self.row(rowid)
+        col = self.schema.column(column)
+        if column in self.schema.primary_key:
+            raise KeyViolationError(f"cannot update primary key column {column!r}")
+        row._values[column] = col.validate(value)
+
+    def delete(self, rowid: int) -> None:
+        """Remove the row with the given rowid."""
+        row = self._rows.pop(rowid, None)
+        if row is None:
+            raise KeyError(f"table {self.name!r} has no rowid {rowid}")
+        pk = self._pk_tuple(row._values)
+        if pk is not None:
+            self._pk_index.pop(pk, None)
+
+    def clear(self) -> None:
+        """Remove all rows (rowids are not reused)."""
+        self._rows.clear()
+        self._pk_index.clear()
+
+    # ------------------------------------------------------------------ #
+    # Query helpers
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, **key_values: Any) -> Row | None:
+        """Primary-key lookup; returns None if absent.
+
+        All primary-key columns must be supplied as keyword arguments.
+        """
+        if set(key_values) != set(self.schema.primary_key):
+            raise KeyViolationError(
+                f"lookup requires exactly the primary key columns "
+                f"{self.schema.primary_key!r}"
+            )
+        pk = tuple(key_values[k] for k in self.schema.primary_key)
+        rowid = self._pk_index.get(pk)
+        return self._rows.get(rowid) if rowid is not None else None
+
+    def scan(self, predicate: Callable[[Row], bool] | None = None) -> Iterator[Row]:
+        """Yield rows, optionally filtered by *predicate*."""
+        for row in self._rows.values():
+            if predicate is None or predicate(row):
+                yield row
+
+    def cnull_cells(self) -> list[tuple[int, str]]:
+        """Enumerate (rowid, column) pairs whose value is crowd-unknown."""
+        cells = []
+        crowd_cols = [c.name for c in self.schema.crowd_columns]
+        for row in self._rows.values():
+            for col in crowd_cols:
+                if is_cnull(row[col]):
+                    cells.append((row.rowid, col))
+        return cells
+
+    def completeness(self) -> float:
+        """Fraction of crowd-column cells that are resolved (non-CNULL).
+
+        Returns 1.0 for tables without crowd columns or without rows.
+        """
+        crowd_cols = [c.name for c in self.schema.crowd_columns]
+        total = len(self._rows) * len(crowd_cols)
+        if total == 0:
+            return 1.0
+        unresolved = len(self.cnull_cells())
+        return 1.0 - unresolved / total
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Materialize all rows as plain dicts (CNULL markers preserved)."""
+        return [row.as_dict() for row in self._rows.values()]
+
+    def copy(self, name: str | None = None) -> "Table":
+        """Deep-ish copy: new table object with copied row dicts."""
+        clone = Table(name or self.name, self.schema)
+        for row in self._rows.values():
+            clone.insert(row.as_dict())
+        return clone
+
+
+def make_table(name: str, schema: Schema, rows: Iterable[dict[str, Any]] = ()) -> Table:
+    """Convenience constructor: build a table and bulk-insert *rows*."""
+    table = Table(name, schema)
+    table.insert_many(rows)
+    return table
+
+
+__all__ = ["Row", "Table", "make_table", "CNULL"]

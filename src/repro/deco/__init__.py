@@ -1,0 +1,29 @@
+"""Deco-style declarative crowdsourcing: conceptual relations, fetch rules,
+resolution rules, and fetch-until-satisfied query semantics."""
+
+from repro.deco.fetch import AnchorFetchRule, DependentFetchRule, FetchRuleSet
+from repro.deco.model import (
+    ConceptualRelation,
+    DependentGroup,
+    dedup_exact,
+    first_resolution,
+    majority_resolution,
+    mean_resolution,
+    single_column_group,
+)
+from repro.deco.query import DecoQueryEngine, DecoQueryResult
+
+__all__ = [
+    "AnchorFetchRule",
+    "ConceptualRelation",
+    "DecoQueryEngine",
+    "DecoQueryResult",
+    "DependentFetchRule",
+    "DependentGroup",
+    "FetchRuleSet",
+    "dedup_exact",
+    "first_resolution",
+    "majority_resolution",
+    "mean_resolution",
+    "single_column_group",
+]

@@ -1,0 +1,258 @@
+"""Deco-style conceptual relations: raw vs resolved data.
+
+Deco (Parameswaran et al.) is the declarative crowdsourcing design the
+tutorial profiles alongside CrowdDB and Qurk. Its data model splits a
+logical ("conceptual") relation into:
+
+* **anchor attributes** — the entity identity (e.g. ``restaurant``), whose
+  instances can be *fetched* from the crowd (open world);
+* **dependent attribute groups** — facts about an anchor (e.g.
+  ``(cuisine)``, ``(rating)``), each fetched independently and possibly
+  multiple times, yielding conflicting *raw* values;
+* **resolution rules** — per-group functions that collapse raw values into
+  the single *resolved* value queries see (dedup for anchors,
+  majority/mean for dependents).
+
+This module implements the storage side: raw anchor instances, raw
+dependent values, and the resolved view. The fetch side (crowd
+procedures) lives in :mod:`repro.deco.fetch`; query semantics
+("fetch until the result is good enough") in :mod:`repro.deco.query`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError, SchemaError
+
+ResolutionFn = Callable[[Sequence[Any]], Any]
+
+
+def majority_resolution(raw_values: Sequence[Any]) -> Any:
+    """Resolve to the most frequent raw value (ties: smallest repr)."""
+    if not raw_values:
+        return None
+    counts = Counter(raw_values)
+    peak = max(counts.values())
+    tied = [value for value, count in counts.items() if count == peak]
+    return min(tied, key=repr)
+
+
+def mean_resolution(raw_values: Sequence[Any]) -> Any:
+    """Resolve numeric raw values to their mean (non-numeric junk skipped)."""
+    numeric = []
+    for value in raw_values:
+        try:
+            numeric.append(float(value))
+        except (TypeError, ValueError):
+            continue
+    if not numeric:
+        return None
+    return sum(numeric) / len(numeric)
+
+
+def first_resolution(raw_values: Sequence[Any]) -> Any:
+    """Resolve to the earliest raw value (trust the first fetch)."""
+    return raw_values[0] if raw_values else None
+
+
+def dedup_exact(values: Iterable[Any]) -> list[Any]:
+    """Anchor dedup: exact-match, order-preserving."""
+    seen: set[Any] = set()
+    out = []
+    for value in values:
+        if value not in seen:
+            seen.add(value)
+            out.append(value)
+    return out
+
+
+@dataclass(frozen=True)
+class DependentGroup:
+    """One dependent attribute group of a conceptual relation.
+
+    Attributes:
+        name: Group name; also the resolved column name for 1-column groups.
+        columns: The group's attribute names (most groups have one).
+        resolution: Collapses the group's raw value dicts into one resolved
+            dict. Receives a list of per-fetch dicts {column: value}.
+        min_raw: Raw fetches required before the group counts as resolved
+            (Deco's per-group resolution arity, e.g. 2 agreeing answers).
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    resolution: Callable[[Sequence[dict[str, Any]]], dict[str, Any] | None] | None = None
+    min_raw: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError(f"dependent group {self.name!r} needs columns")
+        if self.min_raw < 1:
+            raise SchemaError("min_raw must be >= 1")
+
+    def resolve(self, raw: Sequence[dict[str, Any]]) -> dict[str, Any] | None:
+        """Resolved values for this group, or None if insufficient raw data."""
+        if len(raw) < self.min_raw:
+            return None
+        if self.resolution is not None:
+            return self.resolution(raw)
+        # Default: per-column majority.
+        resolved = {}
+        for column in self.columns:
+            resolved[column] = majority_resolution([r[column] for r in raw if column in r])
+        return resolved
+
+
+def single_column_group(
+    name: str,
+    resolution: ResolutionFn = majority_resolution,
+    min_raw: int = 1,
+) -> DependentGroup:
+    """Convenience: a one-column group resolved by a value-level function."""
+
+    def resolve(raw: Sequence[dict[str, Any]]) -> dict[str, Any]:
+        return {name: resolution([r[name] for r in raw if name in r])}
+
+    return DependentGroup(name=name, columns=(name,), resolution=resolve, min_raw=min_raw)
+
+
+class ConceptualRelation:
+    """A Deco conceptual relation: anchors + dependent groups + raw store.
+
+    Args:
+        name: Relation name.
+        anchors: Anchor attribute names (entity identity).
+        groups: Dependent attribute groups.
+    """
+
+    def __init__(self, name: str, anchors: Sequence[str], groups: Sequence[DependentGroup]):
+        if not anchors:
+            raise SchemaError("a conceptual relation needs at least one anchor")
+        self.name = name
+        self.anchors = tuple(anchors)
+        self.groups = list(groups)
+        names = [g.name for g in self.groups]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate dependent group names")
+        column_sets = [set(g.columns) for g in self.groups]
+        for i, columns in enumerate(column_sets):
+            if columns & set(self.anchors):
+                raise SchemaError("dependent columns cannot repeat anchor names")
+            for other in column_sets[i + 1 :]:
+                if columns & other:
+                    raise SchemaError("dependent groups must have disjoint columns")
+        # anchor key -> group name -> list of raw value dicts
+        self._raw: dict[tuple[Any, ...], dict[str, list[dict[str, Any]]]] = {}
+        self._anchor_order: list[tuple[Any, ...]] = []
+
+    # ------------------------------------------------------------------ #
+    # Raw-side mutation
+    # ------------------------------------------------------------------ #
+
+    def _key(self, anchor_values: dict[str, Any]) -> tuple[Any, ...]:
+        missing = [a for a in self.anchors if a not in anchor_values]
+        if missing:
+            raise ConfigurationError(f"anchor values missing {missing}")
+        return tuple(anchor_values[a] for a in self.anchors)
+
+    def add_anchor(self, **anchor_values: Any) -> bool:
+        """Insert a raw anchor instance (deduped exactly). Returns True if new."""
+        key = self._key(anchor_values)
+        if key in self._raw:
+            return False
+        self._raw[key] = {g.name: [] for g in self.groups}
+        self._anchor_order.append(key)
+        return True
+
+    def add_raw_value(self, anchor_values: dict[str, Any], group: str, **values: Any) -> None:
+        """Record one raw fetch result for a dependent group."""
+        key = self._key(anchor_values)
+        if key not in self._raw:
+            raise ConfigurationError(f"unknown anchor {key!r}; add_anchor first")
+        store = self._raw[key]
+        if group not in store:
+            raise ConfigurationError(f"unknown dependent group {group!r}")
+        group_def = self.group(group)
+        unexpected = set(values) - set(group_def.columns)
+        if unexpected:
+            raise ConfigurationError(
+                f"values {sorted(unexpected)} not in group {group!r} columns"
+            )
+        store[group].append(dict(values))
+
+    def group(self, name: str) -> DependentGroup:
+        """Look up a dependent group definition by name."""
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise ConfigurationError(f"unknown dependent group {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def anchor_keys(self) -> list[tuple[Any, ...]]:
+        return list(self._anchor_order)
+
+    def raw_values(self, anchor_values: dict[str, Any], group: str) -> list[dict[str, Any]]:
+        """Raw fetch results recorded for one anchor's group."""
+        key = self._key(anchor_values)
+        return list(self._raw.get(key, {}).get(group, []))
+
+    def raw_count(self, anchor_values: dict[str, Any], group: str) -> int:
+        """Number of raw fetches recorded for one anchor's group."""
+        return len(self.raw_values(anchor_values, group))
+
+    def unresolved_groups(self, anchor_values: dict[str, Any]) -> list[str]:
+        """Groups of this anchor still lacking min_raw raw fetches."""
+        key = self._key(anchor_values)
+        store = self._raw.get(key, {})
+        return [
+            g.name for g in self.groups if len(store.get(g.name, [])) < g.min_raw
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Resolved view
+    # ------------------------------------------------------------------ #
+
+    def resolved_row(self, key: tuple[Any, ...]) -> dict[str, Any] | None:
+        """The resolved tuple for one anchor, or None if any group lacks data."""
+        store = self._raw[key]
+        row = dict(zip(self.anchors, key))
+        for group in self.groups:
+            resolved = group.resolve(store[group.name])
+            if resolved is None:
+                return None
+            row.update(resolved)
+        return row
+
+    def resolved_rows(self, include_partial: bool = False) -> list[dict[str, Any]]:
+        """The resolved relation (complete tuples only, unless asked)."""
+        rows = []
+        for key in self._anchor_order:
+            row = self.resolved_row(key)
+            if row is not None:
+                rows.append(row)
+            elif include_partial:
+                partial = dict(zip(self.anchors, key))
+                store = self._raw[key]
+                for group in self.groups:
+                    resolved = group.resolve(store[group.name])
+                    if resolved:
+                        partial.update(resolved)
+                rows.append(partial)
+        return rows
+
+    def __len__(self) -> int:
+        return len(self._anchor_order)
+
+    def __repr__(self) -> str:
+        groups = ", ".join(g.name for g in self.groups)
+        return (
+            f"ConceptualRelation<{self.name}({', '.join(self.anchors)} | {groups}), "
+            f"{len(self)} anchors>"
+        )

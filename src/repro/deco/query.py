@@ -1,0 +1,176 @@
+"""Deco query semantics: fetch raw data until the result is good enough.
+
+Deco's signature behaviour — and the reason the tutorial presents it as
+the most principled of the declarative designs — is *pull-based fetching*:
+a query over the resolved relation triggers exactly the crowd fetches
+needed to satisfy it. The canonical constraint is ``MinTuples(n)``:
+"return at least n resolved tuples matching the predicate", fetching new
+anchors and missing dependent values on demand, within a budget.
+
+:class:`DecoQueryEngine` implements that loop:
+
+1. resolve; count matching tuples;
+2. if short: fetch dependent groups for anchors that are *partially*
+   resolved (cheapest way to finish a tuple);
+3. still short: fetch new anchors, then their groups;
+4. stop when satisfied, out of budget, or fetches stop producing progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.deco.fetch import FetchRuleSet
+from repro.deco.model import ConceptualRelation
+from repro.errors import BudgetExceededError, ConfigurationError
+from repro.platform.platform import SimulatedPlatform
+
+Predicate = Callable[[dict[str, Any]], bool]
+
+
+@dataclass
+class DecoQueryResult:
+    """Outcome of a fetch-until-satisfied query."""
+
+    rows: list[dict[str, Any]]
+    satisfied: bool
+    anchors_fetched: int
+    dependent_fetches: int
+    cost: float
+    stop_reason: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class DecoQueryEngine:
+    """Runs MinTuples queries over a conceptual relation.
+
+    Args:
+        relation: The conceptual relation (raw store).
+        rules: Its fetch rules (anchor + per-group).
+        platform: Marketplace fetches run against.
+        max_fetch_rounds: Safety cap on fetch iterations.
+    """
+
+    relation: ConceptualRelation
+    rules: FetchRuleSet
+    platform: SimulatedPlatform
+    max_fetch_rounds: int = 200
+    patience: int = 10  # consecutive no-progress fetch rounds before giving up
+
+    def _matching_rows(self, predicate: Predicate | None) -> list[dict[str, Any]]:
+        rows = self.relation.resolved_rows()
+        if predicate is None:
+            return rows
+        return [row for row in rows if predicate(row)]
+
+    def _complete_anchor(self, key: tuple[Any, ...]) -> int:
+        """Fetch every lacking group of one anchor; returns fetches made."""
+        anchor_values = dict(zip(self.relation.anchors, key))
+        fetches = 0
+        for group_name in self.relation.unresolved_groups(anchor_values):
+            group = self.relation.group(group_name)
+            rule = self.rules.dependent_rule(group_name)
+            needed = group.min_raw - self.relation.raw_count(anchor_values, group_name)
+            fetches += rule.fetch(self.relation, self.platform, anchor_values, times=needed)
+        return fetches
+
+    def min_tuples(
+        self,
+        n: int,
+        predicate: Predicate | None = None,
+        anchor_batch: int = 3,
+    ) -> DecoQueryResult:
+        """Fetch until at least *n* resolved tuples satisfy *predicate*.
+
+        Args:
+            n: Required matching-tuple count.
+            predicate: Filter over resolved rows (None = all rows count).
+            anchor_batch: COLLECT attempts per anchor-fetch round.
+
+        Returns a result even on failure (``satisfied`` False, with the
+        stop reason: budget, no anchor rule, or fetch exhaustion).
+        """
+        if n < 1:
+            raise ConfigurationError("n must be >= 1")
+        if not self.rules.covers(self.relation):
+            raise ConfigurationError("every dependent group needs a fetch rule")
+
+        before_cost = self.platform.stats.cost_spent
+        anchors_fetched = 0
+        dependent_fetches = 0
+        stop_reason = "satisfied"
+        stale_rounds = 0
+
+        for _round in range(self.max_fetch_rounds):
+            matching = self._matching_rows(predicate)
+            if len(matching) >= n:
+                break
+
+            progressed = False
+            try:
+                # Step 1: finish partially-resolved anchors (cheapest tuples).
+                for key in self.relation.anchor_keys:
+                    anchor_values = dict(zip(self.relation.anchors, key))
+                    if self.relation.unresolved_groups(anchor_values):
+                        made = self._complete_anchor(key)
+                        dependent_fetches += made
+                        progressed = progressed or made > 0
+                if progressed:
+                    continue
+
+                # Step 2: no partial anchors left — enumerate new ones.
+                if self.rules.anchor_rule is None:
+                    stop_reason = "no_anchor_fetch_rule"
+                    break
+                added = self.rules.anchor_rule.fetch(
+                    self.relation, self.platform, attempts=anchor_batch
+                )
+                anchors_fetched += added
+                progressed = added > 0
+            except BudgetExceededError:
+                stop_reason = "budget_exhausted"
+                break
+
+            if not progressed:
+                stale_rounds += 1
+                if stale_rounds >= self.patience:
+                    stop_reason = "fetch_exhausted"
+                    break
+            else:
+                stale_rounds = 0
+        else:
+            stop_reason = "round_cap"
+
+        matching = self._matching_rows(predicate)
+        return DecoQueryResult(
+            rows=matching[: max(n, len(matching))],
+            satisfied=len(matching) >= n,
+            anchors_fetched=anchors_fetched,
+            dependent_fetches=dependent_fetches,
+            cost=self.platform.stats.cost_spent - before_cost,
+            stop_reason=stop_reason if len(matching) < n else "satisfied",
+        )
+
+    def resolve_all(self) -> DecoQueryResult:
+        """Fetch every known anchor to full resolution (no enumeration)."""
+        before_cost = self.platform.stats.cost_spent
+        dependent_fetches = 0
+        stop_reason = "satisfied"
+        try:
+            for key in self.relation.anchor_keys:
+                dependent_fetches += self._complete_anchor(key)
+        except BudgetExceededError:
+            stop_reason = "budget_exhausted"
+        rows = self.relation.resolved_rows()
+        return DecoQueryResult(
+            rows=rows,
+            satisfied=stop_reason == "satisfied",
+            anchors_fetched=0,
+            dependent_fetches=dependent_fetches,
+            cost=self.platform.stats.cost_spent - before_cost,
+            stop_reason=stop_reason,
+        )

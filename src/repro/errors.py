@@ -1,0 +1,97 @@
+"""Exception hierarchy for the crowddm library.
+
+All exceptions raised by the library derive from :class:`CrowdDMError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class CrowdDMError(Exception):
+    """Base class for every error raised by crowddm."""
+
+
+class SchemaError(CrowdDMError):
+    """Schema definition or validation failed (bad column, type mismatch)."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not conform to its column's declared type."""
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist in the schema."""
+
+
+class UnknownTableError(CrowdDMError):
+    """A referenced table is not present in the database catalog."""
+
+
+class DuplicateTableError(CrowdDMError):
+    """A table with the same name already exists in the catalog."""
+
+
+class KeyViolationError(CrowdDMError):
+    """Insertion would violate a primary-key constraint."""
+
+
+class ExpressionError(CrowdDMError):
+    """An expression could not be evaluated (bad operands, unknown op)."""
+
+
+class ParseError(CrowdDMError):
+    """CrowdSQL text could not be tokenized or parsed.
+
+    Attributes:
+        line: 1-based line of the offending token, if known.
+        column: 1-based column of the offending token, if known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class PlanError(CrowdDMError):
+    """A logical plan could not be constructed or optimized."""
+
+
+class ExecutionError(CrowdDMError):
+    """A physical plan failed during execution."""
+
+
+class PlatformError(CrowdDMError):
+    """The simulated crowdsourcing platform rejected an operation."""
+
+
+class BudgetExceededError(PlatformError):
+    """The requester's budget cannot cover the requested tasks."""
+
+
+class NoWorkersAvailableError(PlatformError):
+    """No eligible worker is available to answer a task."""
+
+
+class TaskStateError(PlatformError):
+    """A task transition is invalid for its current lifecycle state."""
+
+
+class InferenceError(CrowdDMError):
+    """A truth-inference algorithm received inconsistent input or diverged."""
+
+
+class AssignmentError(CrowdDMError):
+    """A task-assignment strategy could not produce an assignment."""
+
+
+class DeductionError(CrowdDMError):
+    """The answer-deduction engine received contradictory evidence."""
+
+
+class ConfigurationError(CrowdDMError):
+    """Engine or component configuration is invalid."""

@@ -1,0 +1,97 @@
+"""Confidence calibration analysis for truth-inference output.
+
+A truth-inference method's per-task confidence is only useful for routing
+(early termination, task selection, human escalation) if it is
+*calibrated*: among tasks reported at ~0.8 confidence, ~80% should be
+right. These helpers compute the standard reliability diagram and expected
+calibration error (ECE) from an
+:class:`~repro.quality.truth.base.InferenceResult` plus ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.quality.truth.base import InferenceResult
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One bin of a reliability diagram."""
+
+    low: float
+    high: float
+    count: int
+    mean_confidence: float
+    accuracy: float
+
+    @property
+    def gap(self) -> float:
+        """|confidence - accuracy| for this bin."""
+        return abs(self.mean_confidence - self.accuracy)
+
+
+def reliability_bins(
+    result: InferenceResult,
+    truth: Mapping[str, Any],
+    n_bins: int = 10,
+) -> list[ReliabilityBin]:
+    """Bin tasks by reported confidence; measure accuracy per bin.
+
+    Only tasks present in both the result and *truth* are scored. Empty
+    bins are omitted.
+    """
+    if n_bins < 1:
+        raise ConfigurationError("n_bins must be >= 1")
+    scored = [
+        (result.confidences.get(task_id, 0.0), result.truths[task_id] == truth[task_id])
+        for task_id in result.truths
+        if task_id in truth
+    ]
+    if not scored:
+        raise ConfigurationError("no overlapping tasks to calibrate on")
+    bins: list[ReliabilityBin] = []
+    width = 1.0 / n_bins
+    for b in range(n_bins):
+        low = b * width
+        high = low + width if b < n_bins - 1 else 1.0 + 1e-9
+        members = [(c, ok) for c, ok in scored if low <= c < high]
+        if not members:
+            continue
+        confidences = [c for c, _ok in members]
+        hits = [1.0 if ok else 0.0 for _c, ok in members]
+        bins.append(
+            ReliabilityBin(
+                low=low,
+                high=min(high, 1.0),
+                count=len(members),
+                mean_confidence=sum(confidences) / len(members),
+                accuracy=sum(hits) / len(members),
+            )
+        )
+    return bins
+
+
+def expected_calibration_error(
+    result: InferenceResult,
+    truth: Mapping[str, Any],
+    n_bins: int = 10,
+) -> float:
+    """ECE: count-weighted mean |confidence - accuracy| over the bins."""
+    bins = reliability_bins(result, truth, n_bins)
+    total = sum(b.count for b in bins)
+    return sum(b.count * b.gap for b in bins) / total
+
+
+def overconfidence(result: InferenceResult, truth: Mapping[str, Any]) -> float:
+    """Signed mean (confidence - correctness): positive = overconfident."""
+    scored = [
+        (result.confidences.get(task_id, 0.0), result.truths[task_id] == truth[task_id])
+        for task_id in result.truths
+        if task_id in truth
+    ]
+    if not scored:
+        raise ConfigurationError("no overlapping tasks")
+    return sum(c - (1.0 if ok else 0.0) for c, ok in scored) / len(scored)

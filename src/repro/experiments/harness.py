@@ -1,0 +1,111 @@
+"""Experiment harness: platform construction and repeated-trial running.
+
+Benchmarks describe *what* to run; this module owns *how*: reproducible
+platform/pool construction from a small spec, multi-trial averaging, and a
+uniform result record that the report renderers consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.platform.platform import SimulatedPlatform
+from repro.workers.pool import WorkerPool
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Declarative description of a worker population."""
+
+    kind: str = "heterogeneous"      # uniform | heterogeneous | spammers | glad | comparison
+    size: int = 25
+    accuracy: float = 0.8            # uniform pools
+    accuracy_low: float = 0.55       # heterogeneous pools
+    accuracy_high: float = 0.95
+    spammer_fraction: float = 0.0    # spammer pools
+    sharpness: float = 6.0           # comparison pools
+    ability_mean: float = 1.5        # glad pools
+    ability_std: float = 1.0
+
+    def build(self, seed: int | None = None) -> WorkerPool:
+        """Instantiate the described worker pool with *seed*."""
+        if self.kind == "uniform":
+            return WorkerPool.uniform(self.size, self.accuracy, seed=seed)
+        if self.kind == "heterogeneous":
+            return WorkerPool.heterogeneous(
+                self.size, self.accuracy_low, self.accuracy_high, seed=seed
+            )
+        if self.kind == "spammers":
+            return WorkerPool.with_spammers(
+                self.size, self.spammer_fraction, self.accuracy, seed=seed
+            )
+        if self.kind == "glad":
+            return WorkerPool.glad_spectrum(
+                self.size, self.ability_mean, self.ability_std, seed=seed
+            )
+        if self.kind == "comparison":
+            return WorkerPool.comparison_pool(self.size, self.sharpness, seed=seed)
+        raise ConfigurationError(f"unknown pool kind {self.kind!r}")
+
+
+def make_platform(
+    spec: PoolSpec,
+    seed: int = 0,
+    budget: float = math.inf,
+) -> SimulatedPlatform:
+    """Deterministic platform: pool seeded with *seed*, market with seed+1."""
+    return SimulatedPlatform(spec.build(seed=seed), budget=budget, seed=seed + 1)
+
+
+@dataclass
+class TrialResult:
+    """One trial's named measurements."""
+
+    values: dict[str, float]
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated measurements over repeated trials."""
+
+    name: str
+    trials: list[TrialResult] = field(default_factory=list)
+
+    def mean(self, key: str) -> float:
+        """Mean of metric *key* across trials."""
+        vals = [t.values[key] for t in self.trials if key in t.values]
+        if not vals:
+            raise ConfigurationError(f"no trials recorded metric {key!r}")
+        return sum(vals) / len(vals)
+
+    def std(self, key: str) -> float:
+        """Sample standard deviation of metric *key* (0 for one trial)."""
+        vals = [t.values[key] for t in self.trials if key in t.values]
+        if len(vals) < 2:
+            return 0.0
+        mu = sum(vals) / len(vals)
+        return math.sqrt(sum((v - mu) ** 2 for v in vals) / (len(vals) - 1))
+
+    def summary(self, keys: Sequence[str] | None = None) -> dict[str, float]:
+        """Metric means as a dict (all metrics unless *keys* given)."""
+        keys = keys or sorted({k for t in self.trials for k in t.values})
+        return {k: self.mean(k) for k in keys}
+
+
+def run_trials(
+    name: str,
+    trial_fn: Callable[[int], Mapping[str, float]],
+    n_trials: int = 3,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Run *trial_fn(seed)* for seeds base_seed..base_seed+n-1 and aggregate."""
+    if n_trials < 1:
+        raise ConfigurationError("n_trials must be >= 1")
+    result = ExperimentResult(name=name)
+    for trial in range(n_trials):
+        values = dict(trial_fn(base_seed + trial))
+        result.trials.append(TrialResult(values={k: float(v) for k, v in values.items()}))
+    return result

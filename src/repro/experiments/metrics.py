@@ -1,0 +1,74 @@
+"""Evaluation metrics shared by tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def accuracy(predicted: Mapping[Any, Any], truth: Mapping[Any, Any]) -> float:
+    """Fraction of keys (present in both) with equal values."""
+    common = [k for k in predicted if k in truth]
+    if not common:
+        raise ConfigurationError("no overlapping keys to score")
+    return sum(1 for k in common if predicted[k] == truth[k]) / len(common)
+
+
+def precision_recall_f1(
+    predicted: set[Any], truth: set[Any]
+) -> tuple[float, float, float]:
+    """Set-based precision, recall, F1."""
+    if not predicted and not truth:
+        return 1.0, 1.0, 1.0
+    tp = len(predicted & truth)
+    precision = tp / len(predicted) if predicted else 0.0
+    recall = tp / len(truth) if truth else 1.0
+    if precision + recall == 0:
+        return precision, recall, 0.0
+    return precision, recall, 2 * precision * recall / (precision + recall)
+
+
+def kendall_tau(order_a: Sequence[Any], order_b: Sequence[Any]) -> float:
+    """Kendall tau-a between two total orders over the same items."""
+    if set(order_a) != set(order_b):
+        raise ConfigurationError("orders must contain the same items")
+    n = len(order_a)
+    if n < 2:
+        return 1.0
+    pos_a = {item: i for i, item in enumerate(order_a)}
+    pos_b = {item: i for i, item in enumerate(order_b)}
+    items = list(order_a)
+    concordant = discordant = 0
+    for x in range(n):
+        for y in range(x + 1, n):
+            da = pos_a[items[x]] - pos_a[items[y]]
+            db = pos_b[items[x]] - pos_b[items[y]]
+            if da * db > 0:
+                concordant += 1
+            elif da * db < 0:
+                discordant += 1
+    return (concordant - discordant) / (n * (n - 1) // 2)
+
+
+def precision_at_k(predicted: Sequence[Any], truth: Sequence[Any], k: int) -> float:
+    """Overlap of the top-k prefixes (order-insensitive within the prefix)."""
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+    top_predicted = set(predicted[:k])
+    top_truth = set(truth[:k])
+    return len(top_predicted & top_truth) / k
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / |truth| (truth 0 handled with absolute error)."""
+    if truth == 0:
+        return abs(estimate)
+    return abs(estimate - truth) / abs(truth)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ConfigurationError("mean of empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,79 @@
+"""Plain-text table and series renderers for benchmark output.
+
+Benchmarks print the same row/series structure the paper-style report in
+EXPERIMENTS.md records; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(columns or rows[0].keys())
+
+    def render(value: Any) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[Any],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render a (figure-style) series as labeled bars."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label} -> {y_label}")
+    if not ys:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    peak = max(abs(y) for y in ys) or 1.0
+    for x, y in zip(xs, ys):
+        bar = "#" * max(0, int(round(abs(y) / peak * width)))
+        lines.append(f"{str(x):>12s} | {bar} {y:.4g}")
+    return "\n".join(lines)
+
+
+def print_table(*args: Any, **kwargs: Any) -> None:
+    """Print a formatted table preceded by a blank line."""
+    print()
+    print(format_table(*args, **kwargs))
+
+
+def print_series(*args: Any, **kwargs: Any) -> None:
+    """Print a formatted series preceded by a blank line."""
+    print()
+    print(format_series(*args, **kwargs))

@@ -1,0 +1,6 @@
+"""Hybrid human/machine pipelines: classifier + crowd-in-the-loop labeling."""
+
+from repro.hybrid.active import ActiveLearner, ActiveLearningResult
+from repro.hybrid.naive_bayes import NaiveBayesText
+
+__all__ = ["ActiveLearner", "ActiveLearningResult", "NaiveBayesText"]

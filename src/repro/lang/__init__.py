@@ -1,0 +1,57 @@
+"""CrowdSQL: lexer, parser, planner, optimizer, executor, session."""
+
+from repro.lang.ast_nodes import (
+    ColumnDef,
+    CreateTable,
+    CrowdOrderSpec,
+    DropTable,
+    Insert,
+    JoinClause,
+    OrderSpec,
+    ParsedScript,
+    Select,
+)
+from repro.lang.executor import (
+    CrowdOracle,
+    ExecutionStats,
+    Executor,
+    QueryResult,
+)
+from repro.lang.interpreter import CrowdSQLSession, StatementResult
+from repro.lang.lexer import Token, TokenType, tokenize
+from repro.lang.optimizer import CostModel, Optimizer, estimate_plan_cost
+from repro.lang.parser import parse, parse_one
+from repro.lang.planner import (
+    LogicalPlan,
+    build_plan,
+    count_crowd_operators,
+)
+
+__all__ = [
+    "ColumnDef",
+    "CostModel",
+    "CreateTable",
+    "CrowdOracle",
+    "CrowdOrderSpec",
+    "CrowdSQLSession",
+    "DropTable",
+    "ExecutionStats",
+    "Executor",
+    "Insert",
+    "JoinClause",
+    "LogicalPlan",
+    "Optimizer",
+    "OrderSpec",
+    "ParsedScript",
+    "QueryResult",
+    "Select",
+    "StatementResult",
+    "Token",
+    "TokenType",
+    "build_plan",
+    "count_crowd_operators",
+    "estimate_plan_cost",
+    "parse",
+    "parse_one",
+    "tokenize",
+]

@@ -1,0 +1,139 @@
+"""Abstract syntax for CrowdSQL statements.
+
+Expressions reuse :mod:`repro.data.expressions` directly (the parser builds
+:class:`~repro.data.expressions.Expression` trees), so only statement-level
+nodes live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.data.expressions import Expression
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column in a CREATE TABLE statement."""
+
+    name: str
+    type_name: str          # STRING | INTEGER | FLOAT | BOOLEAN
+    crowd: bool = False
+    not_null: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    primary_key: tuple[str, ...] = ()
+    crowd_table: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...]
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """ORDER BY item: machine order on a column."""
+
+    column: str
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class CrowdOrderSpec:
+    """CROWDORDER BY item: crowd-comparison order on a column's values."""
+
+    column: str
+    ascending: bool = False   # crowd order defaults to best-first
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """JOIN (machine) or CROWDJOIN (crowd-verified equality)."""
+
+    table: str
+    alias: str | None
+    condition: Expression | None   # None only for CROWDJOIN with CROWDEQUAL
+    crowd: bool = False
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate select item: COUNT(*) / SUM(c) / AVG(c) / MIN(c) / MAX(c).
+
+    ``column`` is None for COUNT(*). ``output_name`` is the result column:
+    ``count`` for COUNT(*), else ``{func}_{column}`` (e.g. ``sum_price``).
+    """
+
+    func: str                 # COUNT | SUM | AVG | MIN | MAX
+    column: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        if self.column is None:
+            return "count"
+        return f"{self.func.lower()}_{self.column}"
+
+
+@dataclass(frozen=True)
+class Select:
+    columns: tuple[str, ...]            # () means SELECT * (when no aggregates)
+    table: str
+    alias: str | None = None
+    joins: tuple[JoinClause, ...] = ()
+    where: Expression | None = None
+    order: tuple[OrderSpec, ...] = ()
+    crowd_order: CrowdOrderSpec | None = None
+    limit: int | None = None
+    distinct: bool = False
+    aggregates: tuple[AggregateSpec, ...] = ()
+    group_by: str | None = None
+    having: Expression | None = None
+
+
+@dataclass(frozen=True)
+class Update:
+    """UPDATE table SET col = literal [, ...] [WHERE expr]."""
+
+    table: str
+    assignments: tuple[tuple[str, Any], ...]
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    """DELETE FROM table [WHERE expr]."""
+
+    table: str
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class Explain:
+    """EXPLAIN SELECT ...: show the (optimized) plan instead of executing."""
+
+    select: Select
+
+
+Statement = CreateTable | DropTable | Insert | Select | Update | Delete | Explain
+
+
+@dataclass
+class ParsedScript:
+    """A sequence of parsed statements from one SQL text."""
+
+    statements: list[Statement] = field(default_factory=list)

@@ -1,0 +1,488 @@
+"""Pull-based executor for CrowdSQL logical plans.
+
+Machine operators evaluate rows directly; crowd operators route through the
+platform with the configured redundancy and truth-inference method. Ground
+truth for the simulated workers comes from a :class:`CrowdOracle`, which a
+real deployment would simply omit (workers would supply knowledge instead).
+
+Per-run accounting (questions, answers, spend) is collected in
+:class:`ExecutionStats` so the T7 benchmark can compare plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cost.similarity import jaccard_tokens
+from repro.data.database import Database
+from repro.data.expressions import (
+    And,
+    CrowdPredicate,
+    Expression,
+    Not,
+    Or,
+    contains_crowd_predicate,
+    is_crowd_unknown,
+)
+from repro.data.schema import Column, ColumnType, Schema, is_cnull
+from repro.errors import ExecutionError
+from repro.lang.planner import (
+    AggregateNode,
+    CrowdFilterNode,
+    CrowdJoinNode,
+    CrowdOrderNode,
+    DistinctNode,
+    FillNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    LogicalPlan,
+    OrderNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+)
+from repro.operators.fill import CrowdFill
+from repro.operators.sort import CrowdComparator, merge_sort_crowd
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import Task, TaskType
+from repro.quality.truth import MajorityVote, TruthInference
+
+YES = "yes"
+NO = "no"
+
+
+def _default_equal_truth(a: Any, b: Any) -> bool:
+    """Simulation default for CROWDEQUAL: token-normalized equality."""
+    if isinstance(a, str) and isinstance(b, str):
+        return sorted(a.lower().split()) == sorted(b.lower().split())
+    return a == b
+
+
+@dataclass
+class CrowdOracle:
+    """Ground truth the simulated workers answer from.
+
+    Attributes:
+        equal_fn: CROWDEQUAL(a, b) truth; defaults to normalized equality.
+        filter_fn: CROWDFILTER(value, question) truth; required when the
+            query uses CROWDFILTER.
+        order_score_fn: Latent utility for CROWDORDER BY values; defaults
+            to the value itself when numeric.
+        fill_fn: (row dict, column) -> value for CNULL resolution; required
+            when a referenced crowd column has unresolved cells.
+        equal_similarity_prune: Optional threshold in (0, 1]: CROWDEQUAL
+            over two strings with token-Jaccard below it is auto-answered
+            "no" without crowd spend (machine pruning inside the executor).
+    """
+
+    equal_fn: Callable[[Any, Any], bool] = _default_equal_truth
+    filter_fn: Callable[[Any, str], bool] | None = None
+    order_score_fn: Callable[[Any], float] | None = None
+    fill_fn: Callable[[dict[str, Any], str], Any] | None = None
+    equal_similarity_prune: float | None = None
+
+
+@dataclass
+class ExecutionStats:
+    crowd_questions: int = 0
+    crowd_answers: int = 0
+    crowd_cost: float = 0.0
+    cells_filled: int = 0
+    pairs_pruned: int = 0
+
+
+@dataclass
+class QueryResult:
+    """Rows plus per-query crowd accounting."""
+
+    columns: tuple[str, ...]
+    rows: list[dict[str, Any]]
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+    plan_text: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one result column, in row order."""
+        return [row[name] for row in self.rows]
+
+
+class Executor:
+    """Executes logical plans against a database + platform pair.
+
+    Args:
+        database: Catalog with the base tables.
+        platform: Marketplace for crowd operators.
+        redundancy: Votes per crowd question.
+        inference: Aggregation for crowd votes (default majority).
+        oracle: Simulation ground truth (see :class:`CrowdOracle`).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        platform: SimulatedPlatform,
+        redundancy: int = 3,
+        inference: TruthInference | None = None,
+        oracle: CrowdOracle | None = None,
+    ):
+        self.database = database
+        self.platform = platform
+        self.redundancy = redundancy
+        self.inference = inference or MajorityVote()
+        self.oracle = oracle or CrowdOracle()
+        self._predicate_cache: dict[tuple[Any, ...], bool] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def execute(self, plan: LogicalPlan) -> QueryResult:
+        """Run a logical plan; returns rows plus crowd accounting."""
+        stats = ExecutionStats()
+        schema, rows = self._run(plan.root, stats)
+        return QueryResult(
+            columns=schema.column_names,
+            rows=rows,
+            stats=stats,
+            plan_text=plan.explain(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Node dispatch
+    # ------------------------------------------------------------------ #
+
+    def _run(self, node: PlanNode, stats: ExecutionStats) -> tuple[Schema, list[dict[str, Any]]]:
+        if isinstance(node, ScanNode):
+            table = self.database.table(node.table)
+            return table.schema, [row.as_dict() for row in table]
+        if isinstance(node, FillNode):
+            return self._run_fill(node, stats)
+        if isinstance(node, FilterNode):
+            schema, rows = self._run(node.child, stats)
+            kept = [r for r in rows if node.predicate.evaluate(r) is True]
+            return schema, kept
+        if isinstance(node, CrowdFilterNode):
+            schema, rows = self._run(node.child, stats)
+            kept = [r for r in rows if self._eval_crowd(node.predicate, r, stats) is True]
+            return schema, kept
+        if isinstance(node, JoinNode):
+            return self._run_join(node, stats, crowd=False)
+        if isinstance(node, CrowdJoinNode):
+            return self._run_join(node, stats, crowd=True)
+        if isinstance(node, ProjectNode):
+            schema, rows = self._run(node.child, stats)
+            projected_schema = schema.project(node.columns)
+            projected = [{c: r[c] for c in node.columns} for r in rows]
+            return projected_schema, projected
+        if isinstance(node, DistinctNode):
+            schema, rows = self._run(node.child, stats)
+            seen: set[tuple[Any, ...]] = set()
+            unique = []
+            for row in rows:
+                key = tuple(row[c] for c in schema.column_names)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            return schema, unique
+        if isinstance(node, OrderNode):
+            schema, rows = self._run(node.child, stats)
+            for column, _ascending in node.keys:
+                if column not in schema:
+                    raise ExecutionError(f"ORDER BY unknown column {column!r}")
+            # Stable multi-key sort: apply keys minor-to-major; NULL/CNULL
+            # always sorts last regardless of direction.
+            ordered = list(rows)
+            for column, ascending in reversed(node.keys):
+
+                def missing(row: dict[str, Any], column=column) -> bool:
+                    value = row[column]
+                    return value is None or is_cnull(value)
+
+                present = [r for r in ordered if not missing(r)]
+                absent = [r for r in ordered if missing(r)]
+                present.sort(key=lambda r: r[column], reverse=not ascending)
+                ordered = present + absent
+            return schema, ordered
+        if isinstance(node, CrowdOrderNode):
+            return self._run_crowd_order(node, stats)
+        if isinstance(node, LimitNode):
+            schema, rows = self._run(node.child, stats)
+            return schema, rows[: node.limit]
+        if isinstance(node, AggregateNode):
+            return self._run_aggregate(node, stats)
+        raise ExecutionError(f"unknown plan node {type(node).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _aggregate_value(func: str, values: list[Any]) -> Any:
+        """Compute one aggregate over non-NULL/non-CNULL values."""
+        if func == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if func == "SUM":
+            return sum(values)
+        if func == "AVG":
+            return sum(values) / len(values)
+        if func == "MIN":
+            return min(values)
+        if func == "MAX":
+            return max(values)
+        raise ExecutionError(f"unknown aggregate {func!r}")
+
+    def _run_aggregate(
+        self, node: AggregateNode, stats: ExecutionStats
+    ) -> tuple[Schema, list[dict[str, Any]]]:
+        schema, rows = self._run(node.child, stats)
+        for spec in node.aggregates:
+            if spec.column is not None and spec.column not in schema:
+                raise ExecutionError(f"aggregate over unknown column {spec.column!r}")
+        if node.group_by is not None and node.group_by not in schema:
+            raise ExecutionError(f"GROUP BY unknown column {node.group_by!r}")
+
+        def compute(bucket: list[dict[str, Any]]) -> dict[str, Any]:
+            out: dict[str, Any] = {}
+            for spec in node.aggregates:
+                if spec.column is None:
+                    out[spec.output_name] = len(bucket)
+                    continue
+                values = [
+                    row[spec.column]
+                    for row in bucket
+                    if row[spec.column] is not None and not is_cnull(row[spec.column])
+                ]
+                if spec.func in ("SUM", "AVG") and any(
+                    not isinstance(v, (int, float)) or isinstance(v, bool)
+                    for v in values
+                ):
+                    raise ExecutionError(
+                        f"{spec.func} requires numeric values in {spec.column!r}"
+                    )
+                out[spec.output_name] = self._aggregate_value(spec.func, values)
+            return out
+
+        # Result schema: grouping column (if any) + one column per aggregate.
+        columns: list[Column] = []
+        if node.group_by is not None:
+            columns.append(Column(node.group_by, schema.column(node.group_by).ctype))
+        for spec in node.aggregates:
+            if spec.func == "COUNT":
+                ctype = ColumnType.INTEGER
+            elif spec.func in ("SUM", "AVG"):
+                ctype = ColumnType.FLOAT
+            else:  # MIN / MAX inherit the source column type
+                ctype = schema.column(spec.column).ctype  # type: ignore[arg-type]
+            columns.append(Column(spec.output_name, ctype))
+        out_schema = Schema(columns)
+
+        if node.group_by is None:
+            return out_schema, [compute(rows)]
+        buckets: dict[Any, list[dict[str, Any]]] = {}
+        for row in rows:
+            buckets.setdefault(row[node.group_by], []).append(row)
+        result_rows = []
+        for key in sorted(buckets, key=repr):
+            grouped = compute(buckets[key])
+            grouped = {node.group_by: key, **grouped}
+            result_rows.append(grouped)
+        return out_schema, result_rows
+
+    # ------------------------------------------------------------------ #
+    # Crowd-powered pieces
+    # ------------------------------------------------------------------ #
+
+    def _run_fill(self, node: FillNode, stats: ExecutionStats) -> tuple[Schema, list[dict[str, Any]]]:
+        table = self.database.table(node.table)
+        pending = [c for c in table.cnull_cells() if c[1] in set(node.columns)]
+        if pending:
+            if self.oracle.fill_fn is None:
+                raise ExecutionError(
+                    f"table {node.table!r} has {len(pending)} unresolved CNULL "
+                    f"cell(s) in {node.columns!r} but no fill oracle is configured"
+                )
+            before = self.platform.stats.cost_spent
+            filler = CrowdFill(
+                self.platform,
+                truth_fn=self.oracle.fill_fn,
+                redundancy=self.redundancy,
+                inference=self.inference,
+            )
+            result = filler.run(table, columns=node.columns)
+            stats.cells_filled += result.filled_cells
+            stats.crowd_questions += result.filled_cells
+            stats.crowd_answers += result.questions_asked
+            stats.crowd_cost += self.platform.stats.cost_spent - before
+        schema, rows = self._run(node.child, stats)
+        # Re-read from the (now filled) table rows when the child is a scan.
+        if isinstance(node.child, ScanNode):
+            rows = [row.as_dict() for row in table]
+        return schema, rows
+
+    def _run_join(
+        self,
+        node: JoinNode | CrowdJoinNode,
+        stats: ExecutionStats,
+        crowd: bool,
+    ) -> tuple[Schema, list[dict[str, Any]]]:
+        left_schema, left_rows = self._run(node.left, stats)
+        right_schema, right_rows = self._run(node.right, stats)
+        joined_schema = left_schema.join(right_schema, "left", "right")
+        clashes = set(left_schema.column_names) & set(right_schema.column_names)
+        if clashes:
+            raise ExecutionError(
+                f"join inputs share column name(s) {sorted(clashes)}; "
+                "rename columns so names are unique"
+            )
+        out = []
+        for lrow in left_rows:
+            for rrow in right_rows:
+                merged = {**lrow, **rrow}
+                if crowd:
+                    verdict = self._eval_crowd(node.condition, merged, stats)
+                else:
+                    verdict = node.condition.evaluate(merged)
+                if verdict is True:
+                    out.append(merged)
+        return joined_schema, out
+
+    def _run_crowd_order(
+        self, node: CrowdOrderNode, stats: ExecutionStats
+    ) -> tuple[Schema, list[dict[str, Any]]]:
+        schema, rows = self._run(node.child, stats)
+        if node.column not in schema:
+            raise ExecutionError(f"CROWDORDER BY unknown column {node.column!r}")
+        if len(rows) < 2:
+            return schema, rows
+        values = [row[node.column] for row in rows]
+        score_fn = self.oracle.order_score_fn
+        if score_fn is None:
+            if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+                score_fn = float
+            else:
+                raise ExecutionError(
+                    "CROWDORDER BY over non-numeric values requires an "
+                    "order_score_fn oracle"
+                )
+        before = self.platform.stats.cost_spent
+        comparator = CrowdComparator(
+            self.platform,
+            values,
+            score_fn,
+            redundancy=self.redundancy,
+            inference=self.inference,
+        )
+        result = merge_sort_crowd(comparator)
+        stats.crowd_questions += result.comparisons_asked
+        stats.crowd_answers += result.answers_bought
+        stats.crowd_cost += self.platform.stats.cost_spent - before
+        order = result.order if not node.ascending else list(reversed(result.order))
+        return schema, [rows[i] for i in order]
+
+    # ------------------------------------------------------------------ #
+    # Crowd-aware expression evaluation
+    # ------------------------------------------------------------------ #
+
+    def _eval_crowd(self, expr: Expression, row: dict[str, Any], stats: ExecutionStats) -> Any:
+        """Evaluate *expr* on *row*, buying crowd answers as needed."""
+        if isinstance(expr, CrowdPredicate):
+            return self._resolve_predicate(expr, row, stats)
+        if not contains_crowd_predicate(expr):
+            return expr.evaluate(row)
+        if isinstance(expr, And):
+            lhs = self._eval_crowd(expr.left, row, stats)
+            if lhs is False:
+                return False
+            rhs = self._eval_crowd(expr.right, row, stats)
+            if rhs is False:
+                return False
+            if lhs is None or rhs is None:
+                return None
+            return True
+        if isinstance(expr, Or):
+            lhs = self._eval_crowd(expr.left, row, stats)
+            if lhs is True:
+                return True
+            rhs = self._eval_crowd(expr.right, row, stats)
+            if rhs is True:
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return False
+        if isinstance(expr, Not):
+            value = self._eval_crowd(expr.operand, row, stats)
+            if value is None or is_crowd_unknown(value):
+                return value
+            return not value
+        raise ExecutionError(
+            f"crowd predicates may appear only under AND/OR/NOT, not inside "
+            f"{type(expr).__name__}"
+        )
+
+    def _resolve_predicate(
+        self, predicate: CrowdPredicate, row: dict[str, Any], stats: ExecutionStats
+    ) -> bool:
+        values = predicate.operand_values(row)
+        cache_key = (predicate.kind, predicate.question, values)
+        if cache_key in self._predicate_cache:
+            return self._predicate_cache[cache_key]
+
+        if predicate.kind == "equal":
+            if len(values) != 2:
+                raise ExecutionError("CROWDEQUAL takes exactly two operands")
+            a, b = values
+            prune = self.oracle.equal_similarity_prune
+            if (
+                prune is not None
+                and isinstance(a, str)
+                and isinstance(b, str)
+                and jaccard_tokens(a, b) < prune
+            ):
+                stats.pairs_pruned += 1
+                self._predicate_cache[cache_key] = False
+                return False
+            truth = self.oracle.equal_fn(a, b)
+            question = f"Do these refer to the same thing? A: {a} | B: {b}"
+        elif predicate.kind == "filter":
+            if len(values) != 1:
+                raise ExecutionError("CROWDFILTER takes exactly one operand")
+            if self.oracle.filter_fn is None:
+                raise ExecutionError(
+                    "query uses CROWDFILTER but no filter oracle is configured"
+                )
+            truth = self.oracle.filter_fn(values[0], predicate.question)
+            question = f"{predicate.question} — value: {values[0]}"
+        elif predicate.kind == "order":
+            if len(values) != 2:
+                raise ExecutionError("CROWDORDER takes exactly two operands")
+            score = self.oracle.order_score_fn or (
+                lambda v: float(v) if isinstance(v, (int, float)) else 0.0
+            )
+            truth = score(values[0]) >= score(values[1])
+            question = f"Does A rank at least as high as B? A: {values[0]} | B: {values[1]}"
+        else:
+            raise ExecutionError(f"unknown crowd predicate kind {predicate.kind!r}")
+
+        before = self.platform.stats.cost_spent
+        task = Task(
+            TaskType.SINGLE_CHOICE,
+            question=question,
+            options=(YES, NO),
+            truth=YES if truth else NO,
+        )
+        collected = self.platform.collect([task], redundancy=self.redundancy)
+        verdict = self.inference.infer(collected).truths[task.task_id] == YES
+        stats.crowd_questions += 1
+        stats.crowd_answers += self.redundancy
+        stats.crowd_cost += self.platform.stats.cost_spent - before
+        self._predicate_cache[cache_key] = verdict
+        return verdict

@@ -1,0 +1,168 @@
+"""Tokenizer for the CrowdSQL dialect.
+
+Hand-written scanner producing a flat token stream. Keywords are
+case-insensitive; identifiers preserve case. String literals use single
+quotes with ``''`` as the escape, SQL-style.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by the scanner."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IS", "IN", "NULL",
+    "CNULL", "CREATE", "CROWD", "TABLE", "DROP", "INSERT", "INTO", "VALUES",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "JOIN", "ON", "AS", "PRIMARY",
+    "KEY", "STRING", "INTEGER", "FLOAT", "BOOLEAN", "TEXT", "INT", "TRUE",
+    "FALSE", "CROWDEQUAL", "CROWDORDER", "CROWDFILTER", "CROWDJOIN",
+    "IF", "EXISTS", "GROUP", "COUNT", "DISTINCT", "STAR",
+    "SUM", "AVG", "MIN", "MAX", "HAVING", "UPDATE", "SET", "DELETE",
+    "EXPLAIN",
+}
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Any
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """True if this token is one of the named keywords."""
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan *text* into tokens (always ending with an EOF token)."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, column
+        for _ in range(count):
+            if i < n and text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":  # line comment
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+        start_line, start_col = line, column
+        if ch == "'":
+            # SQL string literal with '' escape.
+            advance(1)
+            chunks: list[str] = []
+            while True:
+                if i >= n:
+                    raise ParseError("unterminated string literal", start_line, start_col)
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        chunks.append("'")
+                        advance(2)
+                        continue
+                    advance(1)
+                    break
+                chunks.append(text[i])
+                advance(1)
+            tokens.append(Token(TokenType.STRING, "".join(chunks), start_line, start_col))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is punctuation (t.col).
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            literal = text[i:j]
+            value: Any = float(literal) if "." in literal else int(literal)
+            advance(j - i)
+            tokens.append(Token(TokenType.NUMBER, value, start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            advance(j - i)
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start_line, start_col))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start_line, start_col))
+            continue
+        matched_operator = None
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                matched_operator = op
+                break
+        if matched_operator:
+            advance(len(matched_operator))
+            normalized = "!=" if matched_operator == "<>" else matched_operator
+            tokens.append(Token(TokenType.OPERATOR, normalized, start_line, start_col))
+            continue
+        if ch in _PUNCT:
+            advance(1)
+            tokens.append(Token(TokenType.PUNCT, ch, start_line, start_col))
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token(TokenType.EOF, None, line, column))
+    return tokens
+
+
+def iter_statements(tokens: list[Token]) -> Iterator[list[Token]]:
+    """Split a token stream on top-level semicolons (each chunk + EOF)."""
+    current: list[Token] = []
+    for token in tokens:
+        if token.type is TokenType.EOF:
+            break
+        if token.type is TokenType.PUNCT and token.value == ";":
+            if current:
+                current.append(Token(TokenType.EOF, None, token.line, token.column))
+                yield current
+                current = []
+            continue
+        current.append(token)
+    if current:
+        last = current[-1]
+        current.append(Token(TokenType.EOF, None, last.line, last.column))
+        yield current

@@ -1,0 +1,610 @@
+"""Recursive-descent parser for CrowdSQL.
+
+Grammar (informal):
+
+    script      := statement (';' statement)* [';']
+    statement   := create | drop | insert | select | update | delete | explain
+    create      := CREATE [CROWD] TABLE [IF NOT EXISTS] name
+                   '(' coldef (',' coldef)* [',' PRIMARY KEY '(' names ')'] ')'
+    coldef      := name type [CROWD] [NOT NULL]
+    type        := STRING | TEXT | INTEGER | INT | FLOAT | BOOLEAN
+    drop        := DROP TABLE [IF EXISTS] name
+    insert      := INSERT INTO name ['(' names ')'] VALUES tuple (',' tuple)*
+    update      := UPDATE name SET col '=' literal (',' col '=' literal)*
+                   [WHERE expr]
+    delete      := DELETE FROM name [WHERE expr]
+    explain     := EXPLAIN select
+    select      := SELECT [DISTINCT] items FROM name [AS alias]
+                   (JOIN name [AS alias] ON expr | CROWDJOIN name [AS alias] ON expr)*
+                   [WHERE expr]
+                   [GROUP BY name] [HAVING having_expr]
+                   [ORDER BY name [ASC|DESC] | CROWDORDER BY name [ASC|DESC]]
+                   [LIMIT n]
+    items       := item (',' item)*      -- column names and/or aggregates
+    item        := name | COUNT '(' '*' ')' | (SUM|AVG|MIN|MAX) '(' name ')'
+    expr        := or_expr with NOT/comparison/IS [NOT] NULL/IS [NOT] CNULL/
+                   IN list/CROWDEQUAL(e, e)/CROWDFILTER(e, 'question')
+
+Expressions are built directly as :mod:`repro.data.expressions` trees.
+Qualified names ``t.col`` are accepted and resolved to ``col`` (aliases are
+a readability feature; the executor requires join-input column names to be
+unique, which :class:`~repro.data.schema.Schema.join` enforces by prefixing
+clashes).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.data.expressions import (
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    CrowdPredicate,
+    Expression,
+    InList,
+    IsCNull,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+)
+from repro.data.schema import CNULL
+from repro.errors import ParseError
+from repro.lang.ast_nodes import (
+    AggregateSpec,
+    ColumnDef,
+    CreateTable,
+    CrowdOrderSpec,
+    Delete,
+    DropTable,
+    Explain,
+    Insert,
+    JoinClause,
+    OrderSpec,
+    ParsedScript,
+    Select,
+    Statement,
+    Update,
+)
+
+from repro.lang.lexer import Token, TokenType, iter_statements, tokenize
+
+_AGGREGATE_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+_TYPE_ALIASES = {
+    "STRING": "STRING",
+    "TEXT": "STRING",
+    "INTEGER": "INTEGER",
+    "INT": "INTEGER",
+    "FLOAT": "FLOAT",
+    "BOOLEAN": "BOOLEAN",
+}
+
+
+class _Parser:
+    """One statement's token cursor."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------ cursor ------------------------------ #
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(f"{message} (got {token.value!r})", token.line, token.column)
+
+    def expect_keyword(self, *names: str) -> Token:
+        if self.current.is_keyword(*names):
+            return self.advance()
+        raise self.error(f"expected {' or '.join(names)}")
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, symbol: str) -> Token:
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value == symbol:
+            return self.advance()
+        raise self.error(f"expected {symbol!r}")
+
+    def accept_punct(self, symbol: str) -> bool:
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_identifier(self) -> str:
+        token = self.current
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            return token.value
+        # Allow non-reserved-looking keywords as identifiers where unambiguous.
+        raise self.error("expected identifier")
+
+    def qualified_name(self) -> str:
+        """identifier ['.' identifier] -> unqualified column name."""
+        first = self.expect_identifier()
+        if self.accept_punct("."):
+            return self.expect_identifier()
+        return first
+
+    # ---------------------------- statements ---------------------------- #
+
+    def parse_statement(self) -> Statement:
+        if self.current.is_keyword("CREATE"):
+            return self.parse_create()
+        if self.current.is_keyword("DROP"):
+            return self.parse_drop()
+        if self.current.is_keyword("INSERT"):
+            return self.parse_insert()
+        if self.current.is_keyword("SELECT"):
+            return self.parse_select()
+        if self.current.is_keyword("UPDATE"):
+            return self.parse_update()
+        if self.current.is_keyword("DELETE"):
+            return self.parse_delete()
+        if self.current.is_keyword("EXPLAIN"):
+            self.advance()
+            select = self.parse_statement()
+            if not isinstance(select, Select):
+                raise self.error("EXPLAIN supports SELECT statements only")
+            return Explain(select=select)
+        raise self.error(
+            "expected CREATE, DROP, INSERT, SELECT, UPDATE, DELETE, or EXPLAIN"
+        )
+
+    def parse_create(self) -> CreateTable:
+        self.expect_keyword("CREATE")
+        crowd_table = self.accept_keyword("CROWD")
+        self.expect_keyword("TABLE")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.expect_identifier()
+        self.expect_punct("(")
+        columns: list[ColumnDef] = []
+        primary_key: tuple[str, ...] = ()
+        while True:
+            if self.current.is_keyword("PRIMARY"):
+                self.advance()
+                self.expect_keyword("KEY")
+                self.expect_punct("(")
+                keys = [self.expect_identifier()]
+                while self.accept_punct(","):
+                    keys.append(self.expect_identifier())
+                self.expect_punct(")")
+                primary_key = tuple(keys)
+            else:
+                col_name = self.expect_identifier()
+                type_token = self.advance()
+                if type_token.type is not TokenType.KEYWORD or type_token.value not in _TYPE_ALIASES:
+                    raise ParseError(
+                        f"unknown column type {type_token.value!r}",
+                        type_token.line,
+                        type_token.column,
+                    )
+                crowd = self.accept_keyword("CROWD")
+                not_null = False
+                if self.accept_keyword("NOT"):
+                    self.expect_keyword("NULL")
+                    not_null = True
+                columns.append(
+                    ColumnDef(col_name, _TYPE_ALIASES[type_token.value], crowd, not_null)
+                )
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return CreateTable(
+            name=name,
+            columns=tuple(columns),
+            primary_key=primary_key,
+            crowd_table=crowd_table,
+            if_not_exists=if_not_exists,
+        )
+
+    def parse_drop(self) -> DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return DropTable(name=self.expect_identifier(), if_exists=if_exists)
+
+    def parse_insert(self) -> Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_identifier()
+        columns: tuple[str, ...] = ()
+        if self.accept_punct("("):
+            names = [self.expect_identifier()]
+            while self.accept_punct(","):
+                names.append(self.expect_identifier())
+            self.expect_punct(")")
+            columns = tuple(names)
+        self.expect_keyword("VALUES")
+        rows: list[tuple[Any, ...]] = []
+        while True:
+            self.expect_punct("(")
+            values = [self.parse_literal_value()]
+            while self.accept_punct(","):
+                values.append(self.parse_literal_value())
+            self.expect_punct(")")
+            rows.append(tuple(values))
+            if not self.accept_punct(","):
+                break
+        return Insert(table=table, columns=columns, rows=tuple(rows))
+
+    def parse_update(self) -> Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_identifier()
+        self.expect_keyword("SET")
+        assignments = []
+        while True:
+            column = self.expect_identifier()
+            token = self.current
+            if token.type is not TokenType.OPERATOR or token.value != "=":
+                raise self.error("expected '=' in SET assignment")
+            self.advance()
+            assignments.append((column, self.parse_literal_value()))
+            if not self.accept_punct(","):
+                break
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        if self.current.type is not TokenType.EOF:
+            raise self.error("unexpected trailing input")
+        return Update(table=table, assignments=tuple(assignments), where=where)
+
+    def parse_delete(self) -> Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_identifier()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        if self.current.type is not TokenType.EOF:
+            raise self.error("unexpected trailing input")
+        return Delete(table=table, where=where)
+
+    def parse_literal_value(self) -> Any:
+        token = self.current
+        if token.type is TokenType.NUMBER or token.type is TokenType.STRING:
+            self.advance()
+            return token.value
+        if token.is_keyword("NULL"):
+            self.advance()
+            return None
+        if token.is_keyword("CNULL"):
+            self.advance()
+            return CNULL
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return True
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return False
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self.advance()
+            number = self.current
+            if number.type is TokenType.NUMBER:
+                self.advance()
+                return -number.value
+            raise self.error("expected number after unary minus")
+        raise self.error("expected literal value")
+
+    def parse_select_item(self) -> str | AggregateSpec:
+        """One select-list item: a column name or an aggregate call."""
+        if self.current.is_keyword(*_AGGREGATE_FUNCS):
+            func = self.advance().value
+            self.expect_punct("(")
+            if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+                if func != "COUNT":
+                    raise self.error(f"{func}(*) is not supported; only COUNT(*)")
+                self.advance()
+                column = None
+            else:
+                column = self.qualified_name()
+            self.expect_punct(")")
+            return AggregateSpec(func=func, column=column)
+        return self.qualified_name()
+
+    def parse_select(self) -> Select:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        columns: tuple[str, ...] = ()
+        aggregates: tuple[AggregateSpec, ...] = ()
+        if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+            self.advance()
+        else:
+            items = [self.parse_select_item()]
+            while self.accept_punct(","):
+                items.append(self.parse_select_item())
+            columns = tuple(i for i in items if isinstance(i, str))
+            aggregates = tuple(i for i in items if isinstance(i, AggregateSpec))
+        self.expect_keyword("FROM")
+        table = self.expect_identifier()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier()
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+
+        joins: list[JoinClause] = []
+        while self.current.is_keyword("JOIN", "CROWDJOIN"):
+            crowd = self.advance().value == "CROWDJOIN"
+            join_table = self.expect_identifier()
+            join_alias = None
+            if self.accept_keyword("AS"):
+                join_alias = self.expect_identifier()
+            elif self.current.type is TokenType.IDENTIFIER:
+                join_alias = self.advance().value
+            self.expect_keyword("ON")
+            condition = self.parse_expression()
+            joins.append(JoinClause(join_table, join_alias, condition, crowd=crowd))
+
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+
+        group_by = None
+        having = None
+        if self.current.is_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            group_by = self.qualified_name()
+        if self.current.is_keyword("HAVING"):
+            if not aggregates:
+                raise self.error("HAVING requires aggregates")
+            self.advance()
+            having = self.parse_having_expression()
+        if aggregates:
+            extra = set(columns) - ({group_by} if group_by else set())
+            if extra:
+                raise self.error(
+                    f"non-aggregated column(s) {sorted(extra)} require GROUP BY"
+                )
+        elif group_by is not None:
+            raise self.error("GROUP BY requires at least one aggregate")
+
+        order: tuple[OrderSpec, ...] = ()
+        crowd_order = None
+        if self.current.is_keyword("ORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            specs = []
+            while True:
+                column = self.qualified_name()
+                ascending = True
+                if self.accept_keyword("DESC"):
+                    ascending = False
+                else:
+                    self.accept_keyword("ASC")
+                specs.append(OrderSpec(column=column, ascending=ascending))
+                if not self.accept_punct(","):
+                    break
+            order = tuple(specs)
+        elif self.current.is_keyword("CROWDORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            column = self.qualified_name()
+            ascending = False
+            if self.accept_keyword("ASC"):
+                ascending = True
+            else:
+                self.accept_keyword("DESC")
+            crowd_order = CrowdOrderSpec(column=column, ascending=ascending)
+
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.current
+            if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+                raise self.error("LIMIT expects an integer")
+            self.advance()
+            limit = token.value
+
+        if self.current.type is not TokenType.EOF:
+            raise self.error("unexpected trailing input")
+        return Select(
+            columns=columns,
+            table=table,
+            alias=alias,
+            joins=tuple(joins),
+            where=where,
+            order=order,
+            crowd_order=crowd_order,
+            limit=limit,
+            distinct=distinct,
+            aggregates=aggregates,
+            group_by=group_by,
+            having=having,
+        )
+
+    # --------------------------- expressions ---------------------------- #
+
+    def parse_having_expression(self) -> Expression:
+        """HAVING predicate: aggregate calls become refs to output columns."""
+        self._in_having = True
+        try:
+            return self.parse_expression()
+        finally:
+            self._in_having = False
+
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = And(left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return Not(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expression:
+        left = self.parse_additive()
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value in ("=", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            right = self.parse_additive()
+            return Comparison(token.value, left, right)
+        if token.is_keyword("IS"):
+            self.advance()
+            negated = self.accept_keyword("NOT")
+            if self.accept_keyword("NULL"):
+                return IsNull(left, negated=negated)
+            if self.accept_keyword("CNULL"):
+                return IsCNull(left, negated=negated)
+            raise self.error("expected NULL or CNULL after IS")
+        if token.is_keyword("IN") or token.is_keyword("NOT"):
+            negated = False
+            if token.is_keyword("NOT"):
+                # lookahead: NOT IN
+                saved = self.pos
+                self.advance()
+                if not self.current.is_keyword("IN"):
+                    self.pos = saved
+                    return left
+                negated = True
+            self.expect_keyword("IN")
+            self.expect_punct("(")
+            values = [self.parse_literal_value()]
+            while self.accept_punct(","):
+                values.append(self.parse_literal_value())
+            self.expect_punct(")")
+            return InList(left, tuple(values), negated=negated)
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while (
+            self.current.type is TokenType.OPERATOR
+            and self.current.value in ("+", "-")
+        ):
+            op = self.advance().value
+            left = Arithmetic(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_primary()
+        while (
+            self.current.type is TokenType.OPERATOR
+            and self.current.value in ("*", "/")
+        ):
+            op = self.advance().value
+            left = Arithmetic(op, left, self.parse_primary())
+        return left
+
+    def parse_primary(self) -> Expression:
+        token = self.current
+        if getattr(self, "_in_having", False) and token.is_keyword(*_AGGREGATE_FUNCS):
+            func = self.advance().value
+            self.expect_punct("(")
+            if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+                if func != "COUNT":
+                    raise self.error(f"{func}(*) is not supported; only COUNT(*)")
+                self.advance()
+                column = None
+            else:
+                column = self.qualified_name()
+            self.expect_punct(")")
+            return ColumnRef(AggregateSpec(func=func, column=column).output_name)
+        if token.is_keyword("CROWDEQUAL"):
+            self.advance()
+            self.expect_punct("(")
+            first = self.parse_expression()
+            self.expect_punct(",")
+            second = self.parse_expression()
+            self.expect_punct(")")
+            return CrowdPredicate("equal", (first, second))
+        if token.is_keyword("CROWDFILTER"):
+            self.advance()
+            self.expect_punct("(")
+            operand = self.parse_expression()
+            self.expect_punct(",")
+            question_token = self.current
+            if question_token.type is not TokenType.STRING:
+                raise self.error("CROWDFILTER expects a quoted question")
+            self.advance()
+            self.expect_punct(")")
+            return CrowdPredicate("filter", (operand,), question=question_token.value)
+        if token.is_keyword("CROWDORDER"):
+            self.advance()
+            self.expect_punct("(")
+            first = self.parse_expression()
+            self.expect_punct(",")
+            second = self.parse_expression()
+            self.expect_punct(")")
+            return CrowdPredicate("order", (first, second))
+        if self.accept_punct("("):
+            inner = self.parse_expression()
+            self.expect_punct(")")
+            return inner
+        if token.type is TokenType.NUMBER or token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.is_keyword("CNULL"):
+            self.advance()
+            return Literal(CNULL)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self.advance()
+            return Arithmetic("-", Literal(0), self.parse_primary())
+        if token.type is TokenType.IDENTIFIER:
+            return ColumnRef(self.qualified_name())
+        raise self.error("expected expression")
+
+
+def parse(sql: str) -> ParsedScript:
+    """Parse a script of ';'-separated CrowdSQL statements."""
+    script = ParsedScript()
+    for statement_tokens in iter_statements(tokenize(sql)):
+        parser = _Parser(statement_tokens)
+        script.statements.append(parser.parse_statement())
+    if not script.statements:
+        raise ParseError("empty SQL script")
+    return script
+
+
+def parse_one(sql: str) -> Statement:
+    """Parse exactly one statement."""
+    script = parse(sql)
+    if len(script.statements) != 1:
+        raise ParseError(f"expected one statement, got {len(script.statements)}")
+    return script.statements[0]

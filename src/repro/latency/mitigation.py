@@ -1,0 +1,185 @@
+"""Straggler mitigation: replication and pool maintenance.
+
+The tail of the completion-time distribution dominates crowdsourcing
+makespan: one slow (or absent) worker holds the whole job. The surveyed
+mitigations implemented here:
+
+* :func:`run_with_replication` — issue r copies of every assignment and
+  take the first answer per task ("hedged requests"); cuts tail latency
+  for ~r× cost on the replicated fraction.
+* :func:`run_with_straggler_rescue` — run once, detect assignments slower
+  than a fitted straggler threshold, and re-issue only those.
+* :class:`RetainerPool` — model of pre-recruited on-call workers
+  (retainer pattern) that removes recruitment latency entirely for a flat
+  standby fee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.latency.statistical import fit_completion_model, straggler_threshold
+from repro.platform.platform import SimulatedPlatform, TimelineResult
+from repro.platform.task import Task
+
+
+@dataclass
+class MitigationResult:
+    """Latency/cost outcome of a mitigation strategy."""
+
+    makespan: float
+    p50: float
+    p95: float
+    answers_used: int
+    cost: float
+    strategy: str
+
+    @classmethod
+    def from_timeline(
+        cls, timeline: TimelineResult, cost: float, strategy: str
+    ) -> "MitigationResult":
+        return cls(
+            makespan=timeline.makespan,
+            p50=timeline.percentile(50),
+            p95=timeline.percentile(95),
+            answers_used=len(timeline.answers),
+            cost=cost,
+            strategy=strategy,
+        )
+
+
+def run_baseline(
+    platform: SimulatedPlatform,
+    tasks: Sequence[Task],
+    redundancy: int = 1,
+) -> MitigationResult:
+    """No mitigation: one pass at the given redundancy."""
+    before = platform.stats.cost_spent
+    timeline = platform.simulate_timeline(tasks, redundancy=redundancy)
+    return MitigationResult.from_timeline(
+        timeline, platform.stats.cost_spent - before, "baseline"
+    )
+
+
+def run_with_replication(
+    platform: SimulatedPlatform,
+    tasks: Sequence[Task],
+    replication: int = 2,
+    redundancy: int = 1,
+) -> MitigationResult:
+    """Hedged execution: request ``redundancy * replication`` answers but
+    count a task complete at its first *redundancy* answers.
+
+    The timeline already credits completion at the redundancy-th answer;
+    extra replicas only exist to make that answer arrive sooner.
+    """
+    if replication < 1:
+        raise ConfigurationError("replication must be >= 1")
+    before = platform.stats.cost_spent
+    timeline = platform.simulate_timeline(
+        tasks, redundancy=redundancy * replication
+    )
+    # Re-derive completion at the redundancy-th answer instead of the last.
+    arrivals: dict[str, list[float]] = {}
+    for answer in timeline.answers:
+        arrivals.setdefault(answer.task_id, []).append(answer.submitted_at)
+    completion = {}
+    for task in tasks:
+        times = sorted(arrivals.get(task.task_id, ()))
+        if len(times) >= redundancy:
+            completion[task.task_id] = times[redundancy - 1]
+    hedged = TimelineResult(
+        makespan=max(completion.values(), default=0.0),
+        answers=timeline.answers,
+        completion_times=completion,
+    )
+    return MitigationResult.from_timeline(
+        hedged, platform.stats.cost_spent - before, f"replication_x{replication}"
+    )
+
+
+def run_with_straggler_rescue(
+    platform: SimulatedPlatform,
+    tasks: Sequence[Task],
+    redundancy: int = 1,
+    percentile: float = 0.75,
+) -> MitigationResult:
+    """Two-phase: run once, re-issue only assignments in the slow tail.
+
+    Phase 1 runs all tasks; a completion model is fitted to the observed
+    per-task times, tasks slower than the *percentile* threshold are
+    re-issued in phase 2, and each straggler's completion is the earlier of
+    its two runs. Cheaper than blanket replication when the tail is thin.
+    """
+    before = platform.stats.cost_spent
+    first = platform.simulate_timeline(tasks, redundancy=redundancy)
+    durations = list(first.completion_times.values())
+    if len(durations) < 2:
+        return MitigationResult.from_timeline(
+            first, platform.stats.cost_spent - before, "straggler_rescue"
+        )
+    model = fit_completion_model(durations)
+    threshold = straggler_threshold(model, percentile)
+    stragglers = [
+        t for t in tasks if first.completion_times.get(t.task_id, 0.0) > threshold
+    ]
+    completion = dict(first.completion_times)
+    if stragglers:
+        # Fresh task copies so platform bookkeeping stays per-task-id clean.
+        clones = {
+            t.task_id: Task(
+                t.task_type,
+                question=t.question,
+                options=t.options,
+                payload=dict(t.payload),
+                truth=t.truth,
+                difficulty=t.difficulty,
+                reward=t.reward,
+            )
+            for t in stragglers
+        }
+        rescue = platform.simulate_timeline(list(clones.values()), redundancy=redundancy)
+        for original_id, clone in clones.items():
+            rescued = rescue.completion_times.get(clone.task_id)
+            if rescued is not None:
+                completion[original_id] = min(completion[original_id], rescued)
+    merged = TimelineResult(
+        makespan=max(completion.values(), default=0.0),
+        answers=first.answers,
+        completion_times=completion,
+    )
+    return MitigationResult.from_timeline(
+        merged, platform.stats.cost_spent - before, "straggler_rescue"
+    )
+
+
+@dataclass
+class RetainerPool:
+    """Pre-recruited standby workers (the retainer latency pattern).
+
+    Workers on retainer respond immediately (no arrival delay) in exchange
+    for a standby wage. :meth:`expected_latency` and :meth:`expected_cost`
+    quantify the trade against cold-start recruitment.
+    """
+
+    standby_workers: int
+    standby_wage_per_second: float = 0.0005
+    mean_service_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.standby_workers < 1:
+            raise ConfigurationError("standby_workers must be >= 1")
+
+    def expected_latency(self, n_tasks: int) -> float:
+        """Service-bound makespan: waves of standby workers, no recruiting."""
+        if n_tasks < 1:
+            raise ConfigurationError("n_tasks must be >= 1")
+        waves = -(-n_tasks // self.standby_workers)
+        return waves * self.mean_service_seconds
+
+    def expected_cost(self, n_tasks: int, task_reward: float) -> float:
+        """Task payments plus standby wages for the job's duration."""
+        duration = self.expected_latency(n_tasks)
+        return n_tasks * task_reward + duration * self.standby_wage_per_second * self.standby_workers

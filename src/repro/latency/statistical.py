@@ -1,0 +1,111 @@
+"""Statistical completion-time model.
+
+The second latency-control family the tutorial surveys: fit a distribution
+to observed task completion times, then *predict* job completion and decide
+interventions (raise pay, replicate stragglers) from the model rather than
+waiting. We fit a lognormal by method-of-moments on log-times, which matches
+the service-time generator in :mod:`repro.workers.worker` and, empirically,
+real microtask platforms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CompletionModel:
+    """A fitted lognormal completion-time distribution."""
+
+    mu: float       # mean of log-times
+    sigma: float    # std of log-times
+    n_observations: int
+
+    @property
+    def median(self) -> float:
+        return math.exp(self.mu)
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma ** 2 / 2.0)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF via the normal quantile of log-time."""
+        if not 0.0 < q < 1.0:
+            raise ConfigurationError("quantile q must be in (0, 1)")
+        from repro.cost.sampling import _z_for
+
+        # _z_for returns the two-sided z; convert: for one-sided q we need
+        # z such that Phi(z) = q.
+        if q == 0.5:
+            z = 0.0
+        elif q > 0.5:
+            z = _z_for(2.0 * q - 1.0)
+        else:
+            z = -_z_for(1.0 - 2.0 * q)
+        return math.exp(self.mu + self.sigma * z)
+
+    def probability_done_by(self, deadline: float) -> float:
+        """P(one task finishes within *deadline*) under the fitted model."""
+        if deadline <= 0:
+            return 0.0
+        z = (math.log(deadline) - self.mu) / max(self.sigma, 1e-9)
+        return _phi(z)
+
+    def expected_makespan(self, n_tasks: int, parallelism: int) -> float:
+        """Rough makespan prediction: waves of *parallelism* tasks, each wave
+        bounded by the max of *parallelism* draws (extreme-value estimate).
+        """
+        if n_tasks < 1 or parallelism < 1:
+            raise ConfigurationError("n_tasks and parallelism must be >= 1")
+        waves = -(-n_tasks // parallelism)
+        # E[max of k lognormals] approximated via the k/(k+1) quantile.
+        per_wave = self.quantile(parallelism / (parallelism + 1.0))
+        return waves * per_wave
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def fit_completion_model(durations: Sequence[float]) -> CompletionModel:
+    """Fit the lognormal by moments of log-durations."""
+    cleaned = [d for d in durations if d > 0]
+    if len(cleaned) < 2:
+        raise ConfigurationError("need at least two positive durations to fit")
+    logs = np.log(np.asarray(cleaned, dtype=float))
+    return CompletionModel(
+        mu=float(logs.mean()),
+        sigma=float(logs.std(ddof=1)),
+        n_observations=len(cleaned),
+    )
+
+
+def straggler_threshold(model: CompletionModel, percentile: float = 0.9) -> float:
+    """Duration beyond which a task counts as a straggler."""
+    return model.quantile(percentile)
+
+
+def predict_speedup_from_reward(
+    model: CompletionModel,
+    current_reward: float,
+    proposed_reward: float,
+    elasticity: float = 0.6,
+) -> float:
+    """Predicted makespan ratio (old/new) from a pay raise.
+
+    Combines the fitted service model with the log-linear supply response
+    of :class:`repro.platform.pricing.PriceResponseModel`: more arrivals per
+    second shrink queueing delay proportionally; service time is unchanged.
+    """
+    if current_reward <= 0 or proposed_reward <= 0:
+        raise ConfigurationError("rewards must be positive")
+    multiplier = 1.0 + elasticity * math.log(proposed_reward / current_reward)
+    return max(0.1, multiplier)

@@ -1,0 +1,141 @@
+"""Crowd-powered skyline queries.
+
+The skyline of a set of items under d preference dimensions is the set of
+items not *dominated* by any other (dominated = at least as bad on every
+dimension and strictly worse on one). When the dimensions are subjective
+("more scenic", "more convenient"), each dominance check decomposes into
+per-dimension crowd comparisons — the crowdsourced-skyline setting the
+tutorial's operator section surveys.
+
+Cost structure implemented here:
+
+* one :class:`~repro.operators.sort.CrowdComparator` per dimension, so
+  every pairwise verdict is bought once and cached;
+* optional per-dimension transitivity deduction;
+* a block-nested-loop skyline with early candidate elimination, which
+  skips dominance checks against already-dominated items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.operators.sort import CrowdComparator
+from repro.platform.platform import SimulatedPlatform
+from repro.quality.truth import TruthInference
+
+
+@dataclass
+class SkylineResult:
+    """Outcome of a crowd skyline computation."""
+
+    skyline: list[int]                 # item indices, input order
+    comparisons_asked: int
+    answers_bought: int
+    cost: float
+    dominance_checks: int
+
+    def matches(self, expected: Sequence[int]) -> bool:
+        """True if the computed skyline equals *expected* (order-free)."""
+        return sorted(self.skyline) == sorted(expected)
+
+
+def true_skyline(scores: Sequence[Sequence[float]]) -> list[int]:
+    """Ground-truth skyline of per-item score vectors (higher = better)."""
+    n = len(scores)
+    skyline = []
+    for i in range(n):
+        dominated = False
+        for j in range(n):
+            if i == j:
+                continue
+            if all(scores[j][d] >= scores[i][d] for d in range(len(scores[i]))) and any(
+                scores[j][d] > scores[i][d] for d in range(len(scores[i]))
+            ):
+                dominated = True
+                break
+        if not dominated:
+            skyline.append(i)
+    return skyline
+
+
+class CrowdSkyline:
+    """Compute a skyline with crowd comparisons per dimension.
+
+    Args:
+        platform: Marketplace.
+        items: The records.
+        dimension_scores: One ground-truth score function per dimension
+            (drives the simulated comparison workers; higher = better).
+        redundancy: Votes per comparison.
+        inference: Vote aggregation.
+        use_deduction: Per-dimension transitivity (skips implied buys).
+    """
+
+    def __init__(
+        self,
+        platform: SimulatedPlatform,
+        items: Sequence[Any],
+        dimension_scores: Sequence[Callable[[Any], float]],
+        redundancy: int = 3,
+        inference: TruthInference | None = None,
+        use_deduction: bool = True,
+    ):
+        if len(dimension_scores) < 2:
+            raise ConfigurationError("a skyline needs at least two dimensions")
+        self.platform = platform
+        self.items = list(items)
+        self.comparators = [
+            CrowdComparator(
+                platform,
+                self.items,
+                score_fn,
+                redundancy=redundancy,
+                inference=inference,
+                use_deduction=use_deduction,
+                question=f"Which is better on dimension {d}?",
+            )
+            for d, score_fn in enumerate(dimension_scores)
+        ]
+
+    def _dominates(self, candidate: int, other: int) -> bool:
+        """Does *candidate* dominate *other* per the crowd's verdicts?
+
+        Crowd comparisons are strict ("ranks above"), so dominance here is
+        "candidate above other on every dimension" — the standard
+        strict-order reduction used by the crowdsourced-skyline papers.
+        """
+        return all(comp.above(candidate, other) for comp in self.comparators)
+
+    def run(self) -> SkylineResult:
+        """Compute the skyline; returns members and comparison accounting."""
+        before_cost = self.platform.stats.cost_spent
+        n = len(self.items)
+        if n == 0:
+            raise ConfigurationError("no items")
+        alive = list(range(n))
+        dominated: set[int] = set()
+        checks = 0
+        # Block-nested-loop with symmetric elimination.
+        for i in range(n):
+            if i in dominated:
+                continue
+            for j in range(n):
+                if i == j or j in dominated or i in dominated:
+                    continue
+                checks += 1
+                if self._dominates(j, i):
+                    dominated.add(i)
+                    break
+                if self._dominates(i, j):
+                    dominated.add(j)
+        skyline = [i for i in alive if i not in dominated]
+        return SkylineResult(
+            skyline=skyline,
+            comparisons_asked=sum(c.comparisons_asked for c in self.comparators),
+            answers_bought=sum(c.answers_bought for c in self.comparators),
+            cost=self.platform.stats.cost_spent - before_cost,
+            dominance_checks=checks,
+        )

@@ -1,0 +1,275 @@
+"""Crowd-powered sorting (the Qurk CROWDORDER family).
+
+Rank items by a criterion only humans can judge. Implemented strategies,
+in the cost/quality order the tutorial discusses:
+
+* :func:`all_pairs_sort` — buy every pairwise comparison, rank by Copeland
+  score (win count). Most robust, O(n^2) comparisons.
+* :func:`merge_sort_crowd` — comparison-optimal O(n log n) merge sort over
+  the crowd comparator. Sensitive to single comparison errors.
+* :func:`rating_sort` — one RATE task per item, sort by mean rating.
+  O(n) tasks, coarse: close items tie or invert.
+* :func:`hybrid_sort` — Qurk's refinement: rating pass first, then buy
+  comparisons only for adjacent pairs whose ratings are too close to call.
+
+All strategies share :class:`CrowdComparator`, which caches pair verdicts
+and can consult a :class:`~repro.cost.deduction.ComparisonDeducer` so no
+implied comparison is ever purchased twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.cost.deduction import ComparisonDeducer
+from repro.errors import ConfigurationError
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import Task, TaskType
+from repro.quality.truth import MajorityVote, TruthInference
+
+
+@dataclass
+class SortResult:
+    """Outcome of a crowd sort: best-first order plus accounting."""
+
+    order: list[int]                  # item indices, best first
+    comparisons_asked: int
+    answers_bought: int
+    cost: float
+    ratings: dict[int, float] = field(default_factory=dict)
+
+    def kendall_tau(self, true_order: Sequence[int]) -> float:
+        """Kendall tau-a correlation with a ground-truth order (1 = equal)."""
+        position = {item: rank for rank, item in enumerate(self.order)}
+        true_position = {item: rank for rank, item in enumerate(true_order)}
+        items = list(position)
+        n = len(items)
+        if n < 2:
+            return 1.0
+        concordant = 0
+        discordant = 0
+        for x in range(n):
+            for y in range(x + 1, n):
+                a, b = items[x], items[y]
+                ours = position[a] - position[b]
+                truth = true_position[a] - true_position[b]
+                if ours * truth > 0:
+                    concordant += 1
+                elif ours * truth < 0:
+                    discordant += 1
+        total = n * (n - 1) // 2
+        return (concordant - discordant) / total
+
+
+class CrowdComparator:
+    """Buys (and caches) crowd verdicts for "does item i rank above item j?".
+
+    Args:
+        platform: Marketplace.
+        items: The records being sorted.
+        score_fn: Ground-truth utility per item (drives simulated workers
+            through the COMPARE payload; never read by the sort logic).
+        redundancy: Votes per comparison.
+        inference: Vote aggregation (default majority).
+        use_deduction: Skip purchases that transitivity already implies.
+        question: Task instruction text.
+    """
+
+    def __init__(
+        self,
+        platform: SimulatedPlatform,
+        items: Sequence[Any],
+        score_fn: Callable[[Any], float],
+        redundancy: int = 3,
+        inference: TruthInference | None = None,
+        use_deduction: bool = False,
+        question: str = "Which item ranks higher?",
+    ):
+        if redundancy < 1:
+            raise ConfigurationError("redundancy must be >= 1")
+        self.platform = platform
+        self.items = list(items)
+        self.score_fn = score_fn
+        self.redundancy = redundancy
+        self.inference = inference or MajorityVote()
+        self.deducer = ComparisonDeducer(strict=False) if use_deduction else None
+        self.question = question
+        self._cache: dict[tuple[int, int], bool] = {}
+        self.comparisons_asked = 0
+        self.answers_bought = 0
+
+    def above(self, i: int, j: int) -> bool:
+        """True if item i ranks above item j (buying a task if needed)."""
+        if i == j:
+            raise ConfigurationError("cannot compare an item to itself")
+        key = (min(i, j), max(i, j))
+        if key in self._cache:
+            verdict_low_high = self._cache[key]
+            return verdict_low_high if i == key[0] else not verdict_low_high
+        if self.deducer is not None:
+            deduced = self.deducer.infer(i, j)
+            if deduced is not None:
+                self._cache[key] = deduced if i == key[0] else not deduced
+                return deduced
+        left, right = self.items[key[0]], self.items[key[1]]
+        left_score, right_score = self.score_fn(left), self.score_fn(right)
+        task = Task(
+            TaskType.COMPARE,
+            question=f"{self.question} A: {left} | B: {right}",
+            options=("left", "right"),
+            payload={
+                "left": left,
+                "right": right,
+                "left_score": left_score,
+                "right_score": right_score,
+            },
+            truth="left" if left_score >= right_score else "right",
+        )
+        collected = self.platform.collect([task], redundancy=self.redundancy)
+        self.comparisons_asked += 1
+        self.answers_bought += self.redundancy
+        winner = self.inference.infer(collected).truths[task.task_id]
+        verdict_low_high = winner == "left"  # key[0] above key[1]?
+        self._cache[key] = verdict_low_high
+        if self.deducer is not None:
+            if verdict_low_high:
+                self.deducer.record(key[0], key[1])
+            else:
+                self.deducer.record(key[1], key[0])
+        return verdict_low_high if i == key[0] else not verdict_low_high
+
+
+def all_pairs_sort(comparator: CrowdComparator) -> SortResult:
+    """Every pairwise comparison; rank by Copeland win count."""
+    before = comparator.platform.stats.cost_spent
+    n = len(comparator.items)
+    wins = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if comparator.above(i, j):
+                wins[i] += 1
+            else:
+                wins[j] += 1
+    order = sorted(range(n), key=lambda idx: (-wins[idx], idx))
+    return SortResult(
+        order=order,
+        comparisons_asked=comparator.comparisons_asked,
+        answers_bought=comparator.answers_bought,
+        cost=comparator.platform.stats.cost_spent - before,
+    )
+
+
+def merge_sort_crowd(comparator: CrowdComparator) -> SortResult:
+    """Comparison-optimal merge sort over the crowd comparator."""
+    before = comparator.platform.stats.cost_spent
+
+    def merge(left: list[int], right: list[int]) -> list[int]:
+        merged: list[int] = []
+        li = ri = 0
+        while li < len(left) and ri < len(right):
+            if comparator.above(left[li], right[ri]):
+                merged.append(left[li])
+                li += 1
+            else:
+                merged.append(right[ri])
+                ri += 1
+        merged.extend(left[li:])
+        merged.extend(right[ri:])
+        return merged
+
+    def sort(indices: list[int]) -> list[int]:
+        if len(indices) <= 1:
+            return indices
+        mid = len(indices) // 2
+        return merge(sort(indices[:mid]), sort(indices[mid:]))
+
+    order = sort(list(range(len(comparator.items))))
+    return SortResult(
+        order=order,
+        comparisons_asked=comparator.comparisons_asked,
+        answers_bought=comparator.answers_bought,
+        cost=comparator.platform.stats.cost_spent - before,
+    )
+
+
+def rating_sort(
+    platform: SimulatedPlatform,
+    items: Sequence[Any],
+    score_fn: Callable[[Any], float],
+    redundancy: int = 3,
+    scale: tuple[int, int] = (1, 10),
+    question: str = "Rate this item.",
+) -> SortResult:
+    """One RATE task per item; sort by mean rating (descending).
+
+    Ground-truth scores are mapped linearly onto the scale so simulated
+    raters produce calibrated noisy ratings.
+    """
+    if redundancy < 1:
+        raise ConfigurationError("redundancy must be >= 1")
+    before = platform.stats.cost_spent
+    scores = [score_fn(item) for item in items]
+    low, high = min(scores), max(scores)
+    span = (high - low) or 1.0
+    tasks = []
+    for item, score in zip(items, scores):
+        scaled = scale[0] + (score - low) / span * (scale[1] - scale[0])
+        tasks.append(
+            Task(
+                TaskType.RATE,
+                question=f"{question} {item}",
+                payload={"scale": scale},
+                truth=scaled,
+            )
+        )
+    collected = platform.collect(tasks, redundancy=redundancy)
+    ratings = {
+        i: float(np.mean([a.value for a in collected[t.task_id]]))
+        for i, t in enumerate(tasks)
+    }
+    order = sorted(range(len(items)), key=lambda i: (-ratings[i], i))
+    return SortResult(
+        order=order,
+        comparisons_asked=0,
+        answers_bought=len(items) * redundancy,
+        cost=platform.stats.cost_spent - before,
+        ratings=ratings,
+    )
+
+
+def hybrid_sort(
+    platform: SimulatedPlatform,
+    items: Sequence[Any],
+    score_fn: Callable[[Any], float],
+    redundancy: int = 3,
+    scale: tuple[int, int] = (1, 10),
+    close_threshold: float = 1.0,
+    inference: TruthInference | None = None,
+) -> SortResult:
+    """Rating pass, then comparisons for rating-adjacent close pairs.
+
+    After the rating sort, any adjacent pair whose mean ratings differ by
+    less than *close_threshold* is re-decided with a pairwise comparison
+    (one local bubble pass) — Qurk's cost/quality compromise.
+    """
+    before = platform.stats.cost_spent
+    base = rating_sort(platform, items, score_fn, redundancy, scale)
+    comparator = CrowdComparator(
+        platform, items, score_fn, redundancy=redundancy, inference=inference
+    )
+    order = list(base.order)
+    for position in range(len(order) - 1):
+        i, j = order[position], order[position + 1]
+        if abs(base.ratings[i] - base.ratings[j]) < close_threshold:
+            if not comparator.above(i, j):
+                order[position], order[position + 1] = j, i
+    return SortResult(
+        order=order,
+        comparisons_asked=comparator.comparisons_asked,
+        answers_bought=base.answers_bought + comparator.answers_bought,
+        cost=platform.stats.cost_spent - before,
+        ratings=base.ratings,
+    )

@@ -1,0 +1,41 @@
+"""Simulated crowdsourcing platform: tasks, HITs, events, pricing, market."""
+
+from repro.platform.events import Event, EventSimulator
+from repro.platform.platform import PlatformStats, SimulatedPlatform, TimelineResult
+from repro.platform.pricing import PriceResponseModel, PricingPolicy
+from repro.platform.task import (
+    HIT,
+    Answer,
+    Task,
+    TaskState,
+    TaskType,
+    collect,
+    compare,
+    fill,
+    multi_choice,
+    numeric,
+    rate,
+    single_choice,
+)
+
+__all__ = [
+    "HIT",
+    "Answer",
+    "Event",
+    "EventSimulator",
+    "PlatformStats",
+    "PriceResponseModel",
+    "PricingPolicy",
+    "SimulatedPlatform",
+    "Task",
+    "TaskState",
+    "TaskType",
+    "TimelineResult",
+    "collect",
+    "compare",
+    "fill",
+    "multi_choice",
+    "numeric",
+    "rate",
+    "single_choice",
+]

@@ -1,0 +1,349 @@
+"""The simulated crowdsourcing platform (an AMT stand-in).
+
+:class:`SimulatedPlatform` is the single choke point through which every
+crowd answer in the library flows. It owns:
+
+* the worker pool and per-task assignment sampling,
+* budget accounting (every answer costs its task's reward),
+* the answer log used by truth inference and worker quality control,
+* an optional discrete-event timeline for latency experiments.
+
+Two usage modes mirror how real requesters interact with platforms:
+
+* **batch** — :meth:`collect`: publish tasks with redundancy *k*; the
+  platform gathers *k* answers per task from distinct workers.
+* **online** — :meth:`worker_stream` + :meth:`ask`: workers "arrive" one at
+  a time and an assignment strategy decides which task each gets (the
+  QASCA/CDAS regime in :mod:`repro.quality.assignment`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import BudgetExceededError, NoWorkersAvailableError, PlatformError
+from repro.platform.events import EventSimulator
+from repro.platform.pricing import PriceResponseModel, PricingPolicy
+from repro.platform.task import Answer, Task
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle with workers
+    from repro.workers.pool import WorkerPool
+    from repro.workers.worker import Worker
+
+
+@dataclass
+class PlatformStats:
+    """Running totals the requester can inspect at any time."""
+
+    answers_collected: int = 0
+    tasks_published: int = 0
+    cost_spent: float = 0.0
+    answers_by_worker: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+
+@dataclass
+class TimelineResult:
+    """Outcome of a discrete-event latency simulation."""
+
+    makespan: float
+    answers: list[Answer]
+    completion_times: dict[str, float]
+    rounds: int = 1
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile of per-task completion times."""
+        if not self.completion_times:
+            return 0.0
+        return float(np.percentile(list(self.completion_times.values()), q))
+
+
+class SimulatedPlatform:
+    """An in-process crowdsourcing marketplace backed by simulated workers.
+
+    Args:
+        pool: The worker population.
+        budget: Maximum total spend; answers beyond it raise
+            :class:`~repro.errors.BudgetExceededError`.
+        pricing: Reward policy stamped onto published tasks.
+        seed: Seed for the platform's own RNG (assignment sampling and the
+            workers' answer randomness both derive from it, so a seeded
+            platform is fully reproducible).
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        budget: float = math.inf,
+        pricing: PricingPolicy | None = None,
+        seed: int | None = None,
+    ):
+        self.pool = pool
+        self.budget = budget
+        self.pricing = pricing or PricingPolicy()
+        self.rng = np.random.default_rng(seed)
+        self.stats = PlatformStats()
+        self.answers: list[Answer] = []
+        self._answers_by_task: dict[str, list[Answer]] = defaultdict(list)
+        self._tasks: dict[str, Task] = {}
+
+    # ------------------------------------------------------------------ #
+    # Publishing & bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def publish(self, tasks: Sequence[Task]) -> None:
+        """Register tasks and stamp rewards from the pricing policy."""
+        for task in tasks:
+            if task.task_id in self._tasks:
+                raise PlatformError(f"task {task.task_id} already published")
+            task.reward = self.pricing.price(task)
+            self._tasks[task.task_id] = task
+        self.stats.tasks_published += len(tasks)
+
+    def task(self, task_id: str) -> Task:
+        """Look up a published task by id."""
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise PlatformError(f"unknown task {task_id!r}") from None
+
+    def answers_for(self, task_id: str) -> list[Answer]:
+        """All answers gathered so far for one task."""
+        return list(self._answers_by_task[task_id])
+
+    @property
+    def remaining_budget(self) -> float:
+        return self.budget - self.stats.cost_spent
+
+    def _charge(self, amount: float) -> None:
+        if self.stats.cost_spent + amount > self.budget + 1e-12:
+            raise BudgetExceededError(
+                f"budget {self.budget:.4f} exhausted "
+                f"(spent {self.stats.cost_spent:.4f}, need {amount:.4f} more)"
+            )
+        self.stats.cost_spent += amount
+
+    # ------------------------------------------------------------------ #
+    # Answer collection
+    # ------------------------------------------------------------------ #
+
+    def ask(self, task: Task, worker: Worker | None = None, now: float = 0.0) -> Answer:
+        """Obtain one answer for *task*, charging its reward.
+
+        When *worker* is None, a uniformly random active worker who has not
+        yet answered this task is chosen.
+        """
+        if task.task_id not in self._tasks:
+            self.publish([task])
+        if not task.is_open:
+            raise PlatformError(f"task {task.task_id} is not open")
+        if worker is None:
+            done = {a.worker_id for a in self._answers_by_task[task.task_id]}
+            worker = self.pool.sample(1, exclude=done)[0]
+        self._charge(task.reward)
+        answer = worker.submit(task, self.rng, now=now)
+        self.answers.append(answer)
+        self._answers_by_task[task.task_id].append(answer)
+        self.stats.answers_collected += 1
+        self.stats.answers_by_worker[worker.worker_id] += 1
+        return answer
+
+    def collect(
+        self,
+        tasks: Sequence[Task],
+        redundancy: int = 3,
+    ) -> dict[str, list[Answer]]:
+        """Batch mode: gather *redundancy* answers per task from distinct workers.
+
+        Returns {task_id: [answers]}. Tasks are completed afterwards.
+        """
+        if redundancy < 1:
+            raise PlatformError(f"redundancy must be >= 1, got {redundancy}")
+        if redundancy > len(self.pool.active_workers):
+            raise NoWorkersAvailableError(
+                f"redundancy {redundancy} exceeds pool of {len(self.pool.active_workers)}"
+            )
+        self.publish([t for t in tasks if t.task_id not in self._tasks])
+        result: dict[str, list[Answer]] = {}
+        for task in tasks:
+            workers = self.pool.sample(redundancy)
+            result[task.task_id] = [self.ask(task, worker) for worker in workers]
+            task.complete()
+        return result
+
+    def collect_batched(
+        self,
+        hits: Sequence["HIT"],
+        redundancy: int = 3,
+        fatigue: "FatigueModel | None" = None,
+    ) -> dict[str, list[Answer]]:
+        """Batch mode over HITs: one worker answers a whole HIT in sequence.
+
+        Each assignment gives one worker every task of the HIT, in
+        presentation order. With a :class:`~repro.cost.taskdesign.
+        FatigueModel`, the worker's answer at slot k degrades: with
+        probability ``1 - multiplier(k)`` the answer is replaced by a
+        uniform random option (model-agnostic fatigue — effective accuracy
+        becomes ``multiplier * base + (1 - multiplier) / |options|``).
+
+        Returns {task_id: [answers]} like :meth:`collect`. Cost accounting
+        is identical (per-answer reward); what batching *saves* in reality
+        is worker-engagement overhead, which :mod:`repro.cost.taskdesign`
+        models for planning.
+        """
+        from repro.platform.task import HIT  # local import, avoids cycle
+
+        if redundancy < 1:
+            raise PlatformError(f"redundancy must be >= 1, got {redundancy}")
+        if redundancy > len(self.pool.active_workers):
+            raise NoWorkersAvailableError(
+                f"redundancy {redundancy} exceeds pool of "
+                f"{len(self.pool.active_workers)}"
+            )
+        result: dict[str, list[Answer]] = defaultdict(list)
+        for hit in hits:
+            if not isinstance(hit, HIT):
+                raise PlatformError("collect_batched expects HIT objects")
+            self.publish([t for t in hit.tasks if t.task_id not in self._tasks])
+            workers = self.pool.sample(redundancy)
+            for worker in workers:
+                for slot, task in enumerate(hit.tasks):
+                    if not task.is_open:
+                        raise PlatformError(f"task {task.task_id} is not open")
+                    degraded = (
+                        fatigue is not None
+                        and task.options
+                        and self.rng.random() > fatigue.multiplier(slot)
+                    )
+                    self._charge(task.reward)
+                    if degraded:
+                        # Fatigued slip: uniform random option, bypassing
+                        # the worker's answer model.
+                        value = task.options[int(self.rng.integers(len(task.options)))]
+                        duration = worker.latency.service_time(self.rng)
+                        answer = Answer(
+                            task_id=task.task_id,
+                            worker_id=worker.worker_id,
+                            value=value,
+                            submitted_at=duration,
+                            duration=duration,
+                            reward_paid=task.reward,
+                        )
+                        worker.history.append(answer)
+                        worker.earned += task.reward
+                    else:
+                        answer = worker.submit(task, self.rng)
+                    self.answers.append(answer)
+                    self._answers_by_task[task.task_id].append(answer)
+                    self.stats.answers_collected += 1
+                    self.stats.answers_by_worker[worker.worker_id] += 1
+                    result[task.task_id].append(answer)
+            for task in hit.tasks:
+                if task.is_open:
+                    task.complete()
+        return dict(result)
+
+    def worker_stream(self) -> Iterator[Worker]:
+        """Online mode: an endless arrival stream of active workers.
+
+        Arrival order is a random interleaving (uniform over active workers
+        with no two consecutive repeats when avoidable), which is the
+        standard online-assignment arrival model.
+        """
+        last: str | None = None
+        while True:
+            actives = self.pool.active_workers
+            if not actives:
+                raise NoWorkersAvailableError("no active workers remain")
+            candidates = [w for w in actives if w.worker_id != last] or actives
+            worker = candidates[int(self.rng.integers(len(candidates)))]
+            last = worker.worker_id
+            yield worker
+
+    # ------------------------------------------------------------------ #
+    # Latency timeline
+    # ------------------------------------------------------------------ #
+
+    def simulate_timeline(
+        self,
+        tasks: Sequence[Task],
+        redundancy: int = 1,
+        price_response: PriceResponseModel | None = None,
+        horizon: float = 1e9,
+        departure_probability: float = 0.0,
+    ) -> TimelineResult:
+        """Run a discrete-event timeline for answering *tasks*.
+
+        Workers arrive per their Poisson rates (optionally scaled by the
+        price-response model evaluated at each task's reward); each arrival
+        claims the next outstanding assignment and completes it after a
+        sampled service time. A task's completion time is when its last of
+        *redundancy* answers lands. Returns the makespan and per-task
+        completion times. Costs are charged exactly as in batch mode.
+
+        *departure_probability* models pool attrition: after each completed
+        assignment the worker leaves this timeline for good with that
+        probability (they are NOT deactivated in the pool — attrition is a
+        per-job phenomenon). A drained pool leaves tasks uncompleted; the
+        returned ``completion_times`` simply omits them, which is the
+        signal the pool-maintenance techniques react to.
+        """
+        if not 0.0 <= departure_probability < 1.0:
+            raise PlatformError("departure_probability must be in [0, 1)")
+        self.publish([t for t in tasks if t.task_id not in self._tasks])
+        # Copy-major order: every task gets its first answer before any task
+        # gets its second — the wave structure hedged replication relies on.
+        pending: list[tuple[Task, int]] = [(t, i) for i in range(redundancy) for t in tasks]
+        answered_by: dict[str, set[str]] = defaultdict(set)
+        answers_needed = {t.task_id: redundancy for t in tasks}
+        completion: dict[str, float] = {}
+        collected: list[Answer] = []
+
+        sim = EventSimulator()
+        mean_reward = float(np.mean([t.reward for t in tasks])) if tasks else 0.0
+        multiplier = (
+            price_response.rate_multiplier(mean_reward) if price_response is not None else 1.0
+        )
+        for worker in self.pool.active_workers:
+            delay = worker.latency.inter_arrival(self.rng) / multiplier
+            sim.schedule(delay, "arrival", worker_id=worker.worker_id)
+
+        def handle(event, simulator) -> None:
+            if event.kind != "arrival":
+                return
+            worker = self.pool.worker(event.payload["worker_id"])
+            # Claim the first pending assignment this worker hasn't done.
+            claim_index = None
+            for i, (task, _copy) in enumerate(pending):
+                if worker.worker_id not in answered_by[task.task_id]:
+                    claim_index = i
+                    break
+            departed = False
+            if claim_index is not None:
+                task, _copy = pending.pop(claim_index)
+                answered_by[task.task_id].add(worker.worker_id)
+                answer = self.ask(task, worker, now=simulator.now)
+                collected.append(answer)
+                if departure_probability > 0.0 and self.rng.random() < departure_probability:
+                    departed = True
+            if pending and not departed:
+                delay = worker.latency.inter_arrival(self.rng) / multiplier
+                simulator.schedule(delay, "arrival", worker_id=worker.worker_id)
+
+        sim.run(handle, until=horizon)
+        # Completion = when the redundancy-th answer *arrives* (answers are
+        # claimed in queue order but may land out of order).
+        arrival_times: dict[str, list[float]] = defaultdict(list)
+        for answer in collected:
+            arrival_times[answer.task_id].append(answer.submitted_at)
+        for task in tasks:
+            times = sorted(arrival_times.get(task.task_id, ()))
+            needed = answers_needed[task.task_id]
+            if len(times) >= needed:
+                completion[task.task_id] = times[needed - 1]
+        makespan = max(completion.values(), default=0.0)
+        return TimelineResult(makespan=makespan, answers=collected, completion_times=completion)

@@ -1,0 +1,22 @@
+"""Online task assignment strategies."""
+
+from repro.quality.assignment.base import (
+    AssignmentOutcome,
+    AssignmentStrategy,
+    run_assignment,
+)
+from repro.quality.assignment.baseline import RandomAssignment, RoundRobinAssignment
+from repro.quality.assignment.cdas import Cdas
+from repro.quality.assignment.domain import DomainAwareAssignment
+from repro.quality.assignment.qasca import Qasca
+
+__all__ = [
+    "AssignmentOutcome",
+    "AssignmentStrategy",
+    "Cdas",
+    "DomainAwareAssignment",
+    "Qasca",
+    "RandomAssignment",
+    "RoundRobinAssignment",
+    "run_assignment",
+]

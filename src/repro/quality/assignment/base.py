@@ -1,0 +1,148 @@
+"""Online task assignment: the driver loop and strategy interface.
+
+In the online regime a worker "arrives" and the requester must decide, on
+the spot, which task to give them (task-based assignment in the tutorial's
+taxonomy). A strategy sees the arriving worker, the evidence gathered so
+far, and its own quality estimates; it returns a task or ``None`` for
+"nothing useful for this worker".
+
+:func:`run_assignment` is the shared driver: it pulls workers from the
+platform's arrival stream, lets the strategy assign, collects the answer,
+and stops when the strategy declares completion or the answer budget is
+exhausted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import AssignmentError
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import Answer, Task
+from repro.workers.worker import Worker
+
+
+@dataclass
+class AssignmentOutcome:
+    """Result of an online assignment run."""
+
+    answers_by_task: dict[str, list[Answer]]
+    answers_used: int
+    cost: float
+    stopped_reason: str
+    assignments_by_worker: dict[str, int] = field(default_factory=dict)
+
+
+class AssignmentStrategy:
+    """Base class for online assignment strategies."""
+
+    name = "base"
+
+    def begin(self, tasks: Sequence[Task]) -> None:
+        """Reset internal state for a new run over *tasks*."""
+
+    def assign(
+        self,
+        worker: Worker,
+        tasks: Sequence[Task],
+        answers_by_task: Mapping[str, Sequence[Answer]],
+    ) -> Task | None:
+        """Choose a task for the arriving worker (None = skip this worker)."""
+        raise NotImplementedError
+
+    def observe(self, task: Task, answer: Answer) -> None:
+        """Hook called after each collected answer (update posteriors)."""
+
+    def is_finished(
+        self,
+        tasks: Sequence[Task],
+        answers_by_task: Mapping[str, Sequence[Answer]],
+    ) -> bool:
+        """True when the strategy considers the job complete."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _unanswered_by(
+        worker: Worker,
+        tasks: Sequence[Task],
+        answers_by_task: Mapping[str, Sequence[Answer]],
+    ) -> list[Task]:
+        """Open tasks this worker has not answered yet."""
+        eligible = []
+        for task in tasks:
+            if not task.is_open:
+                continue
+            answered = {a.worker_id for a in answers_by_task.get(task.task_id, ())}
+            if worker.worker_id not in answered:
+                eligible.append(task)
+        return eligible
+
+
+def run_assignment(
+    platform: SimulatedPlatform,
+    strategy: AssignmentStrategy,
+    tasks: Sequence[Task],
+    max_answers: int,
+    max_skips: int | None = None,
+) -> AssignmentOutcome:
+    """Drive *strategy* over the platform's worker arrival stream.
+
+    Args:
+        platform: The (simulated) marketplace; supplies workers and answers.
+        strategy: The assignment policy.
+        tasks: Tasks to complete.
+        max_answers: Hard budget on total answers collected.
+        max_skips: Consecutive worker skips before aborting (defaults to
+            4x the pool size — a safety net against livelock when every
+            remaining worker has already answered every open task).
+
+    Returns:
+        AssignmentOutcome with the full evidence set.
+    """
+    if max_answers < 1:
+        raise AssignmentError("max_answers must be >= 1")
+    if max_skips is None:
+        max_skips = 4 * len(platform.pool)
+    platform.publish([t for t in tasks if t.task_id not in platform._tasks])
+    strategy.begin(tasks)
+
+    answers_by_task: dict[str, list[Answer]] = defaultdict(list)
+    per_worker: dict[str, int] = defaultdict(int)
+    used = 0
+    cost = 0.0
+    skips = 0
+    reason = "budget_exhausted"
+
+    stream = platform.worker_stream()
+    while used < max_answers:
+        if strategy.is_finished(tasks, answers_by_task):
+            reason = "strategy_complete"
+            break
+        worker = next(stream)
+        task = strategy.assign(worker, tasks, answers_by_task)
+        if task is None:
+            skips += 1
+            if skips >= max_skips:
+                reason = "no_assignable_work"
+                break
+            continue
+        skips = 0
+        answer = platform.ask(task, worker)
+        answers_by_task[task.task_id].append(answer)
+        per_worker[worker.worker_id] += 1
+        used += 1
+        cost += answer.reward_paid
+        strategy.observe(task, answer)
+    else:
+        if strategy.is_finished(tasks, answers_by_task):
+            reason = "strategy_complete"
+
+    return AssignmentOutcome(
+        answers_by_task=dict(answers_by_task),
+        answers_used=used,
+        cost=cost,
+        stopped_reason=reason,
+        assignments_by_worker=dict(per_worker),
+    )

@@ -1,0 +1,86 @@
+"""Baseline assignment strategies: fixed-redundancy random and round-robin.
+
+These are the offline-equivalent policies real platforms default to: every
+task receives exactly *redundancy* answers regardless of how decisive the
+evidence already is. They are the yardstick QASCA/CDAS are measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AssignmentError
+from repro.platform.task import Answer, Task
+from repro.quality.assignment.base import AssignmentStrategy
+from repro.workers.worker import Worker
+
+
+class FixedRedundancy(AssignmentStrategy):
+    """Shared machinery: complete when every task has *redundancy* answers."""
+
+    def __init__(self, redundancy: int = 3):
+        if redundancy < 1:
+            raise AssignmentError("redundancy must be >= 1")
+        self.redundancy = redundancy
+
+    def _needs_more(
+        self, task: Task, answers_by_task: Mapping[str, Sequence[Answer]]
+    ) -> bool:
+        return len(answers_by_task.get(task.task_id, ())) < self.redundancy
+
+    def is_finished(
+        self,
+        tasks: Sequence[Task],
+        answers_by_task: Mapping[str, Sequence[Answer]],
+    ) -> bool:
+        return all(not self._needs_more(t, answers_by_task) for t in tasks if t.is_open)
+
+
+class RandomAssignment(FixedRedundancy):
+    """Give the arriving worker a uniformly random task still needing answers."""
+
+    name = "random"
+
+    def __init__(self, redundancy: int = 3, seed: int | None = None):
+        super().__init__(redundancy)
+        self.rng = np.random.default_rng(seed)
+
+    def assign(
+        self,
+        worker: Worker,
+        tasks: Sequence[Task],
+        answers_by_task: Mapping[str, Sequence[Answer]],
+    ) -> Task | None:
+        candidates = [
+            t for t in self._unanswered_by(worker, tasks, answers_by_task)
+            if self._needs_more(t, answers_by_task)
+        ]
+        if not candidates:
+            return None
+        return candidates[int(self.rng.integers(len(candidates)))]
+
+
+class RoundRobinAssignment(FixedRedundancy):
+    """Give the arriving worker the eligible task with the fewest answers.
+
+    Breaks ties by task publication order, producing the evenest possible
+    spread of redundancy across tasks.
+    """
+
+    name = "round_robin"
+
+    def assign(
+        self,
+        worker: Worker,
+        tasks: Sequence[Task],
+        answers_by_task: Mapping[str, Sequence[Answer]],
+    ) -> Task | None:
+        candidates = [
+            t for t in self._unanswered_by(worker, tasks, answers_by_task)
+            if self._needs_more(t, answers_by_task)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda t: len(answers_by_task.get(t.task_id, ())))

@@ -1,0 +1,133 @@
+"""CDAS-style confidence-based early termination.
+
+CDAS's insight: most tasks are easy, so stop collecting answers for a task
+as soon as the evidence is statistically decisive, and spend the saved
+budget elsewhere (or not at all). This strategy assigns round-robin (evenest
+coverage) but terminates a task once the one-coin posterior of its leading
+label crosses ``confidence``; a per-task cap bounds the hard cases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import AssignmentError
+from repro.platform.task import Answer, Task
+from repro.quality.assignment.base import AssignmentStrategy
+from repro.workers.worker import Worker
+
+
+class Cdas(AssignmentStrategy):
+    """Early-terminating round-robin assignment.
+
+    Args:
+        confidence: Posterior threshold at which a task is settled.
+        min_answers: Answers required before termination may trigger.
+        max_answers_per_task: Cap for stubborn/ambiguous tasks.
+        assumed_accuracy: Worker accuracy used in the posterior update
+            (CDAS assumes a pool-level accuracy rather than per-worker).
+    """
+
+    name = "cdas"
+
+    def __init__(
+        self,
+        confidence: float = 0.9,
+        min_answers: int = 2,
+        max_answers_per_task: int = 9,
+        assumed_accuracy: float = 0.75,
+    ):
+        if not 0.5 < confidence <= 1.0:
+            raise AssignmentError("confidence must be in (0.5, 1]")
+        if not 0.5 < assumed_accuracy < 1.0:
+            raise AssignmentError("assumed_accuracy must be in (0.5, 1)")
+        if min_answers < 1 or max_answers_per_task < min_answers:
+            raise AssignmentError("need 1 <= min_answers <= max_answers_per_task")
+        self.confidence = confidence
+        self.min_answers = min_answers
+        self.max_answers_per_task = max_answers_per_task
+        self.assumed_accuracy = assumed_accuracy
+        self._posteriors: dict[str, dict[Any, float]] = {}
+        self._options: dict[str, tuple[Any, ...]] = {}
+        self._terminated: set[str] = set()
+        self._answer_counts: dict[str, int] = {}
+
+    def begin(self, tasks: Sequence[Task]) -> None:
+        self._posteriors = {}
+        self._options = {}
+        self._terminated = set()
+        self._answer_counts = {}
+        for task in tasks:
+            options = task.options or ("yes", "no")
+            self._options[task.task_id] = options
+            uniform = 1.0 / len(options)
+            self._posteriors[task.task_id] = {o: uniform for o in options}
+
+    def _needs_more(
+        self, task: Task, answers_by_task: Mapping[str, Sequence[Answer]]
+    ) -> bool:
+        if task.task_id in self._terminated:
+            return False
+        return len(answers_by_task.get(task.task_id, ())) < self.max_answers_per_task
+
+    def assign(
+        self,
+        worker: Worker,
+        tasks: Sequence[Task],
+        answers_by_task: Mapping[str, Sequence[Answer]],
+    ) -> Task | None:
+        candidates = [
+            t for t in self._unanswered_by(worker, tasks, answers_by_task)
+            if self._needs_more(t, answers_by_task)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda t: len(answers_by_task.get(t.task_id, ())))
+
+    def observe(self, task: Task, answer: Answer) -> None:
+        options = self._options[task.task_id]
+        k = max(2, len(options))
+        p = self.assumed_accuracy
+        post = self._posteriors[task.task_id]
+        updated = {
+            label: post[label] * (p if label == answer.value else (1.0 - p) / (k - 1))
+            for label in options
+        }
+        total = sum(updated.values())
+        if total > 0:
+            self._posteriors[task.task_id] = {
+                label: v / total for label, v in updated.items()
+            }
+        self._answer_counts[task.task_id] = self._answer_counts.get(task.task_id, 0) + 1
+        self.note_answer_count(task.task_id, self._answer_counts[task.task_id])
+
+    def note_answer_count(self, task_id: str, count: int) -> None:
+        """Check the termination rule after *count* answers."""
+        if count >= self.min_answers and max(self._posteriors[task_id].values()) >= self.confidence:
+            self._terminated.add(task_id)
+
+    def is_finished(
+        self,
+        tasks: Sequence[Task],
+        answers_by_task: Mapping[str, Sequence[Answer]],
+    ) -> bool:
+        return all(
+            not self._needs_more(task, answers_by_task)
+            for task in tasks
+            if task.is_open
+        )
+
+    def inferred_truths(self) -> dict[str, Any]:
+        """Posterior-mode label per task (CDAS's final answers)."""
+        return {
+            task_id: max(post, key=lambda label: (post[label], repr(label)))
+            for task_id, post in self._posteriors.items()
+        }
+
+    def confidences(self) -> dict[str, float]:
+        """Max posterior per task."""
+        return {task_id: max(post.values()) for task_id, post in self._posteriors.items()}
+
+    @property
+    def terminated_tasks(self) -> set[str]:
+        return set(self._terminated)

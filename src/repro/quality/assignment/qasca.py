@@ -1,0 +1,171 @@
+"""QASCA-style quality-aware online task assignment.
+
+When worker *w* arrives, QASCA asks: *which task's expected quality improves
+most if w answers it?* It maintains, per task, a posterior over candidate
+labels (one-coin likelihoods with online worker-quality estimates), and
+scores each candidate task by the expected max-posterior after receiving
+w's answer, where the answer is marginalized over the posterior predictive:
+
+    gain(t, w) = E_{answer ~ predictive} [ max_l P(l | evidence + answer) ]
+                 - max_l P(l | evidence)
+
+The arriving worker is assigned the argmax-gain task. Worker quality
+estimates start at a prior and are updated from agreement with the current
+posterior mode after every observation — the online analogue of the EM
+loop in :mod:`repro.quality.truth.zencrowd`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import AssignmentError
+from repro.platform.task import Answer, Task
+from repro.quality.assignment.base import AssignmentStrategy
+from repro.workers.worker import Worker
+
+
+class Qasca(AssignmentStrategy):
+    """Quality-aware sequential crowdsourced assignment.
+
+    Args:
+        redundancy_cap: Per-task answer cap (keeps budgets comparable with
+            the fixed-redundancy baselines).
+        confidence_target: Tasks whose max posterior reaches this value are
+            considered settled and receive no further assignments.
+        prior_quality: Initial worker accuracy estimate.
+    """
+
+    name = "qasca"
+
+    def __init__(
+        self,
+        redundancy_cap: int = 7,
+        confidence_target: float = 0.95,
+        prior_quality: float = 0.7,
+    ):
+        if not 0.5 < confidence_target <= 1.0:
+            raise AssignmentError("confidence_target must be in (0.5, 1]")
+        self.redundancy_cap = redundancy_cap
+        self.confidence_target = confidence_target
+        self.prior_quality = prior_quality
+        self._posteriors: dict[str, dict[Any, float]] = {}
+        self._options: dict[str, tuple[Any, ...]] = {}
+        self._quality: dict[str, tuple[float, float]] = {}  # worker -> (hits, total)
+
+    # ------------------------------------------------------------------ #
+    # Posterior machinery
+    # ------------------------------------------------------------------ #
+
+    def begin(self, tasks: Sequence[Task]) -> None:
+        self._posteriors = {}
+        self._options = {}
+        for task in tasks:
+            options = task.options or ("yes", "no")
+            self._options[task.task_id] = options
+            uniform = 1.0 / len(options)
+            self._posteriors[task.task_id] = {o: uniform for o in options}
+        self._quality = {}
+
+    def worker_quality(self, worker_id: str) -> float:
+        """Beta-smoothed online accuracy estimate for a worker."""
+        hits, total = self._quality.get(worker_id, (0.0, 0.0))
+        # Beta-smoothed toward the prior.
+        return (hits + 4.0 * self.prior_quality) / (total + 4.0)
+
+    def _updated(self, task_id: str, value: Any, p: float) -> dict[Any, float]:
+        """Posterior after observing *value* from a worker of quality p."""
+        options = self._options[task_id]
+        k = max(2, len(options))
+        post = self._posteriors[task_id]
+        updated: dict[Any, float] = {}
+        for label in options:
+            like = p if label == value else (1.0 - p) / (k - 1)
+            updated[label] = post[label] * like
+        total = sum(updated.values())
+        if total <= 0:
+            return dict(post)
+        return {label: v / total for label, v in updated.items()}
+
+    def _expected_gain(self, task_id: str, p: float) -> float:
+        """Expected improvement in max-posterior if this worker answers."""
+        options = self._options[task_id]
+        k = max(2, len(options))
+        post = self._posteriors[task_id]
+        current_best = max(post.values())
+        gain = 0.0
+        for value in options:
+            # Posterior predictive of seeing this answer.
+            predictive = sum(
+                post[label] * (p if label == value else (1.0 - p) / (k - 1))
+                for label in options
+            )
+            if predictive <= 0:
+                continue
+            updated = self._updated(task_id, value, p)
+            gain += predictive * max(updated.values())
+        return gain - current_best
+
+    # ------------------------------------------------------------------ #
+    # Strategy interface
+    # ------------------------------------------------------------------ #
+
+    def _settled(self, task_id: str) -> bool:
+        return max(self._posteriors[task_id].values()) >= self.confidence_target
+
+    def assign(
+        self,
+        worker: Worker,
+        tasks: Sequence[Task],
+        answers_by_task: Mapping[str, Sequence[Answer]],
+    ) -> Task | None:
+        p = min(0.99, max(0.01, self.worker_quality(worker.worker_id)))
+        best_task: Task | None = None
+        best_gain = 0.0
+        for task in self._unanswered_by(worker, tasks, answers_by_task):
+            if self._settled(task.task_id):
+                continue
+            if len(answers_by_task.get(task.task_id, ())) >= self.redundancy_cap:
+                continue
+            gain = self._expected_gain(task.task_id, p)
+            if gain > best_gain:
+                best_gain = gain
+                best_task = task
+        return best_task
+
+    def observe(self, task: Task, answer: Answer) -> None:
+        p = min(0.99, max(0.01, self.worker_quality(answer.worker_id)))
+        self._posteriors[task.task_id] = self._updated(task.task_id, answer.value, p)
+        # Credit the worker by agreement with the updated posterior mode.
+        post = self._posteriors[task.task_id]
+        mode = max(post, key=lambda label: (post[label], repr(label)))
+        hits, total = self._quality.get(answer.worker_id, (0.0, 0.0))
+        self._quality[answer.worker_id] = (
+            hits + (1.0 if answer.value == mode else 0.0),
+            total + 1.0,
+        )
+
+    def is_finished(
+        self,
+        tasks: Sequence[Task],
+        answers_by_task: Mapping[str, Sequence[Answer]],
+    ) -> bool:
+        for task in tasks:
+            if not task.is_open:
+                continue
+            if self._settled(task.task_id):
+                continue
+            if len(answers_by_task.get(task.task_id, ())) < self.redundancy_cap:
+                return False
+        return True
+
+    def inferred_truths(self) -> dict[str, Any]:
+        """Posterior-mode labels (QASCA's own final answer per task)."""
+        return {
+            task_id: max(post, key=lambda label: (post[label], repr(label)))
+            for task_id, post in self._posteriors.items()
+        }
+
+    def confidences(self) -> dict[str, float]:
+        """Max posterior per task."""
+        return {task_id: max(post.values()) for task_id, post in self._posteriors.items()}

@@ -1,0 +1,130 @@
+"""Truth-inference interface and shared utilities.
+
+Every algorithm consumes the same evidence — a mapping from task id to the
+list of :class:`~repro.platform.task.Answer` objects gathered for it — and
+produces an :class:`InferenceResult`: the inferred truth per task, a
+confidence per task, and an estimated quality per worker. Ground truth is
+never consulted.
+
+The algorithms cover the design space the SIGMOD'17 tutorial lays out:
+
+======================  ==========================  =====================
+Algorithm               Worker model                Technique
+======================  ==========================  =====================
+MajorityVote            none                        direct aggregation
+WeightedMajorityVote    worker probability          weighted aggregation
+ZenCrowd                worker probability          EM
+DawidSkene              confusion matrix            EM
+Glad                    ability x difficulty        EM / gradient ascent
+BayesianVote            worker probability + prior  iterated posterior
+MeanAggregator etc.     numeric noise               robust statistics
+======================  ==========================  =====================
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import InferenceError
+from repro.platform.task import Answer, Task
+
+
+@dataclass
+class InferenceResult:
+    """Output of a truth-inference run.
+
+    Attributes:
+        truths: task id -> inferred value.
+        confidences: task id -> posterior probability (or analogous score in
+            [0, 1]) of the inferred value.
+        worker_quality: worker id -> estimated accuracy in [0, 1]. For
+            confusion-matrix methods this is the mean diagonal.
+        iterations: EM / fixed-point iterations executed (0 for one-shot).
+        converged: whether iteration stopped by tolerance rather than cap.
+        posteriors: task id -> {label: probability} when available.
+    """
+
+    truths: dict[str, Any]
+    confidences: dict[str, float] = field(default_factory=dict)
+    worker_quality: dict[str, float] = field(default_factory=dict)
+    iterations: int = 0
+    converged: bool = True
+    posteriors: dict[str, dict[Any, float]] = field(default_factory=dict)
+
+    def accuracy_against(self, truth_by_task: Mapping[str, Any]) -> float:
+        """Fraction of tasks whose inferred value matches *truth_by_task*.
+
+        Only tasks present in both mappings are scored; empty overlap
+        raises, because silently returning 0 or 1 hides harness bugs.
+        """
+        common = [t for t in self.truths if t in truth_by_task]
+        if not common:
+            raise InferenceError("no overlapping tasks to score accuracy on")
+        hits = sum(1 for t in common if self.truths[t] == truth_by_task[t])
+        return hits / len(common)
+
+
+class TruthInference:
+    """Base class for truth-inference algorithms."""
+
+    name = "base"
+
+    def infer(self, answers_by_task: Mapping[str, Sequence[Answer]]) -> InferenceResult:
+        """Infer truths from the evidence. Subclasses must override."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(answers_by_task: Mapping[str, Sequence[Answer]]) -> None:
+        if not answers_by_task:
+            raise InferenceError("no answers supplied")
+        for task_id, answers in answers_by_task.items():
+            if not answers:
+                raise InferenceError(f"task {task_id!r} has an empty answer list")
+            for a in answers:
+                if a.task_id != task_id:
+                    raise InferenceError(
+                        f"answer for task {a.task_id!r} filed under {task_id!r}"
+                    )
+
+
+def answers_from_platform(
+    tasks: Sequence[Task],
+    collected: Mapping[str, Sequence[Answer]],
+) -> dict[str, list[Answer]]:
+    """Normalize a platform ``collect`` result to the inference input shape."""
+    return {t.task_id: list(collected.get(t.task_id, [])) for t in tasks}
+
+
+def label_space(answers_by_task: Mapping[str, Sequence[Answer]]) -> list[Any]:
+    """Sorted union of every answered label (stable, hashable order)."""
+    labels = {a.value for answers in answers_by_task.values() for a in answers}
+    try:
+        return sorted(labels)
+    except TypeError:
+        return sorted(labels, key=repr)
+
+
+def votes_by_task(
+    answers_by_task: Mapping[str, Sequence[Answer]],
+) -> dict[str, dict[Any, int]]:
+    """Tally raw vote counts per task."""
+    tally: dict[str, dict[Any, int]] = {}
+    for task_id, answers in answers_by_task.items():
+        counts: dict[Any, int] = defaultdict(int)
+        for a in answers:
+            counts[a.value] += 1
+        tally[task_id] = dict(counts)
+    return tally
+
+
+def worker_answer_index(
+    answers_by_task: Mapping[str, Sequence[Answer]],
+) -> dict[str, list[tuple[str, Any]]]:
+    """worker id -> [(task id, value)] across all evidence."""
+    index: dict[str, list[tuple[str, Any]]] = defaultdict(list)
+    for task_id, answers in answers_by_task.items():
+        for a in answers:
+            index[a.worker_id].append((task_id, a.value))
+    return dict(index)

@@ -1,0 +1,145 @@
+"""Dawid–Skene truth inference: EM over per-worker confusion matrices.
+
+The classic (1979) model the tutorial presents as the canonical EM-based
+truth-inference method:
+
+* Latent truth ``z_t`` per task over label set L.
+* Each worker w has a confusion matrix pi_w[i][j] = P(answer j | truth i).
+* E-step: posterior over z_t given current matrices and class priors.
+* M-step: re-estimate matrices and priors from the posteriors.
+
+This implementation works on an arbitrary hashable label space (the union
+of all observed answers), applies Laplace smoothing to keep matrices
+non-degenerate, and initializes from majority voting (the standard warm
+start, which also pins the label-permutation ambiguity to the sensible
+solution).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.platform.task import Answer
+from repro.quality.truth.base import (
+    InferenceResult,
+    TruthInference,
+    label_space,
+    votes_by_task,
+)
+
+
+class DawidSkene(TruthInference):
+    """EM estimation of worker confusion matrices and task truths.
+
+    Args:
+        max_iterations: EM iteration cap.
+        tolerance: Convergence threshold on the max change of any task
+            posterior between iterations.
+        smoothing: Laplace pseudo-count added to confusion-matrix cells.
+    """
+
+    name = "ds"
+
+    def __init__(
+        self,
+        max_iterations: int = 100,
+        tolerance: float = 1e-5,
+        smoothing: float = 0.01,
+    ):
+        if max_iterations < 1:
+            raise InferenceError("max_iterations must be >= 1")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.smoothing = smoothing
+
+    def infer(self, answers_by_task: Mapping[str, Sequence[Answer]]) -> InferenceResult:
+        self._validate(answers_by_task)
+        labels = label_space(answers_by_task)
+        n_labels = len(labels)
+        label_index = {label: i for i, label in enumerate(labels)}
+        task_ids = list(answers_by_task)
+        task_index = {t: i for i, t in enumerate(task_ids)}
+        worker_ids = sorted({a.worker_id for ans in answers_by_task.values() for a in ans})
+        worker_index = {w: i for i, w in enumerate(worker_ids)}
+        n_tasks, n_workers = len(task_ids), len(worker_ids)
+
+        # Observation tensor as index lists (sparse): (task, worker, label).
+        obs_task, obs_worker, obs_label = [], [], []
+        for task_id, answers in answers_by_task.items():
+            for a in answers:
+                obs_task.append(task_index[task_id])
+                obs_worker.append(worker_index[a.worker_id])
+                obs_label.append(label_index[a.value])
+        obs_task_arr = np.array(obs_task)
+        obs_worker_arr = np.array(obs_worker)
+        obs_label_arr = np.array(obs_label)
+
+        # Initialize posteriors from majority voting.
+        posteriors = np.full((n_tasks, n_labels), 1.0 / n_labels)
+        for task_id, counts in votes_by_task(answers_by_task).items():
+            row = np.zeros(n_labels)
+            for label, c in counts.items():
+                row[label_index[label]] = c
+            total = row.sum()
+            if total > 0:
+                posteriors[task_index[task_id]] = row / total
+
+        priors = np.full(n_labels, 1.0 / n_labels)
+        confusion = np.zeros((n_workers, n_labels, n_labels))
+        iterations = 0
+        converged = False
+
+        for iterations in range(1, self.max_iterations + 1):
+            # ----- M-step: confusion matrices and class priors. -----
+            confusion.fill(self.smoothing)
+            # Accumulate posterior mass: confusion[w, true, answered] += p(task=true).
+            np.add.at(
+                confusion,
+                (obs_worker_arr[:, None].repeat(n_labels, axis=1),
+                 np.arange(n_labels)[None, :].repeat(len(obs_task_arr), axis=0),
+                 obs_label_arr[:, None].repeat(n_labels, axis=1)),
+                posteriors[obs_task_arr],
+            )
+            confusion /= confusion.sum(axis=2, keepdims=True)
+            priors = posteriors.mean(axis=0)
+            priors = np.clip(priors, 1e-9, None)
+            priors /= priors.sum()
+
+            # ----- E-step: task posteriors from log-likelihoods. -----
+            log_like = np.tile(np.log(priors), (n_tasks, 1))
+            contrib = np.log(confusion[obs_worker_arr, :, obs_label_arr])
+            np.add.at(log_like, obs_task_arr, contrib)
+            log_like -= log_like.max(axis=1, keepdims=True)
+            new_posteriors = np.exp(log_like)
+            new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
+
+            delta = float(np.abs(new_posteriors - posteriors).max())
+            posteriors = new_posteriors
+            if delta < self.tolerance:
+                converged = True
+                break
+
+        truths: dict[str, Any] = {}
+        confidences: dict[str, float] = {}
+        posterior_maps: dict[str, dict[Any, float]] = {}
+        for task_id, t_idx in task_index.items():
+            best = int(posteriors[t_idx].argmax())
+            truths[task_id] = labels[best]
+            confidences[task_id] = float(posteriors[t_idx, best])
+            posterior_maps[task_id] = {
+                labels[j]: float(posteriors[t_idx, j]) for j in range(n_labels)
+            }
+        worker_quality = {
+            w: float(np.trace(confusion[worker_index[w]]) / n_labels) for w in worker_ids
+        }
+        return InferenceResult(
+            truths=truths,
+            confidences=confidences,
+            worker_quality=worker_quality,
+            iterations=iterations,
+            converged=converged,
+            posteriors=posterior_maps,
+        )

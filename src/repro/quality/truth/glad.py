@@ -1,0 +1,156 @@
+"""GLAD truth inference: jointly estimate worker ability and task difficulty.
+
+Whitehill et al.'s model, surveyed by the tutorial as the representative
+*ability × difficulty* method: the probability that worker w answers task t
+correctly is ``sigmoid(alpha_w * beta_t)`` with ability ``alpha_w`` in R and
+inverse-difficulty ``beta_t > 0``. Errors spread uniformly over the other
+candidate labels. EM alternates task posteriors (E) with gradient ascent on
+(alpha, log beta) (M).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+from repro.errors import InferenceError
+from repro.platform.task import Answer
+from repro.quality.truth.base import InferenceResult, TruthInference, votes_by_task
+
+
+def _sigmoid(x: float) -> float:
+    if x >= 0:
+        z = math.exp(-x)
+        return 1.0 / (1.0 + z)
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+class Glad(TruthInference):
+    """GLAD EM with gradient-ascent M-step.
+
+    Args:
+        max_iterations: Outer EM iteration cap.
+        gradient_steps: Gradient-ascent steps per M-step.
+        learning_rate: Step size for ability/difficulty updates.
+        tolerance: Convergence threshold on max posterior change.
+        prior_ability: Initial alpha for every worker.
+    """
+
+    name = "glad"
+
+    def __init__(
+        self,
+        max_iterations: int = 50,
+        gradient_steps: int = 10,
+        learning_rate: float = 0.05,
+        tolerance: float = 1e-5,
+        prior_ability: float = 1.0,
+    ):
+        if max_iterations < 1 or gradient_steps < 1:
+            raise InferenceError("iteration counts must be >= 1")
+        self.max_iterations = max_iterations
+        self.gradient_steps = gradient_steps
+        self.learning_rate = learning_rate
+        self.tolerance = tolerance
+        self.prior_ability = prior_ability
+
+    def infer(self, answers_by_task: Mapping[str, Sequence[Answer]]) -> InferenceResult:
+        self._validate(answers_by_task)
+        tally = votes_by_task(answers_by_task)
+        candidates: dict[str, list[Any]] = {
+            task_id: sorted(counts, key=repr) for task_id, counts in tally.items()
+        }
+        worker_ids = sorted({a.worker_id for ans in answers_by_task.values() for a in ans})
+        alpha = {w: self.prior_ability for w in worker_ids}
+        log_beta = {t: 0.0 for t in answers_by_task}  # beta = exp(log_beta) > 0
+
+        # Warm-start posteriors from vote shares.
+        posteriors: dict[str, dict[Any, float]] = {}
+        for task_id, counts in tally.items():
+            total = sum(counts.values())
+            posteriors[task_id] = {label: c / total for label, c in counts.items()}
+
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iterations + 1):
+            # ----- M-step: gradient ascent on expected log-likelihood. -----
+            for _ in range(self.gradient_steps):
+                grad_alpha = {w: 0.0 for w in worker_ids}
+                grad_logbeta = {t: 0.0 for t in answers_by_task}
+                for task_id, answers in answers_by_task.items():
+                    beta = math.exp(log_beta[task_id])
+                    k = max(2, len(candidates[task_id]))
+                    post = posteriors[task_id]
+                    for a in answers:
+                        x = alpha[a.worker_id] * beta
+                        sig = _sigmoid(x)
+                        p_correct = post.get(a.value, 0.0)
+                        # d/dx of E[log P(answer)]:
+                        #   correct with prob q: q*(1-sig) ; incorrect: -(1-q)*sig
+                        # (error likelihood (1-sig)/(k-1); the 1/(k-1) is
+                        #  constant w.r.t. parameters)
+                        dx = p_correct * (1.0 - sig) - (1.0 - p_correct) * sig
+                        grad_alpha[a.worker_id] += dx * beta
+                        grad_logbeta[task_id] += dx * alpha[a.worker_id] * beta
+                for w in worker_ids:
+                    alpha[w] += self.learning_rate * grad_alpha[w]
+                    alpha[w] = max(-6.0, min(6.0, alpha[w]))
+                for t in answers_by_task:
+                    log_beta[t] += self.learning_rate * grad_logbeta[t]
+                    log_beta[t] = max(-3.0, min(3.0, log_beta[t]))
+
+            # ----- E-step: recompute posteriors. -----
+            new_posteriors: dict[str, dict[Any, float]] = {}
+            for task_id, answers in answers_by_task.items():
+                labels = candidates[task_id]
+                k = max(2, len(labels))
+                beta = math.exp(log_beta[task_id])
+                scores: dict[Any, float] = {}
+                for label in labels:
+                    log_like = 0.0
+                    for a in answers:
+                        sig = _sigmoid(alpha[a.worker_id] * beta)
+                        sig = min(0.999, max(0.001, sig))
+                        if a.value == label:
+                            log_like += math.log(sig)
+                        else:
+                            log_like += math.log((1.0 - sig) / (k - 1))
+                    scores[label] = log_like
+                peak = max(scores.values())
+                exp_scores = {label: math.exp(s - peak) for label, s in scores.items()}
+                total = sum(exp_scores.values())
+                new_posteriors[task_id] = {
+                    label: s / total for label, s in exp_scores.items()
+                }
+
+            delta = max(
+                abs(p - posteriors[task_id].get(label, 0.0))
+                for task_id, post in new_posteriors.items()
+                for label, p in post.items()
+            )
+            posteriors = new_posteriors
+            if delta < self.tolerance:
+                converged = True
+                break
+
+        truths: dict[str, Any] = {}
+        confidences: dict[str, float] = {}
+        for task_id, post in posteriors.items():
+            winner = max(post, key=lambda label: (post[label], repr(label)))
+            truths[task_id] = winner
+            confidences[task_id] = post[winner]
+        worker_quality = {w: _sigmoid(alpha[w]) for w in worker_ids}
+        result = InferenceResult(
+            truths=truths,
+            confidences=confidences,
+            worker_quality=worker_quality,
+            iterations=iterations,
+            converged=converged,
+            posteriors=posteriors,
+        )
+        # Expose the learned difficulty estimates for analysis/ablation.
+        result.task_difficulty = {  # type: ignore[attr-defined]
+            t: 1.0 - math.exp(lb) / (1.0 + math.exp(lb)) for t, lb in log_beta.items()
+        }
+        return result

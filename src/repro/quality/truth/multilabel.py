@@ -1,0 +1,89 @@
+"""Truth inference for MULTI_CHOICE tasks: per-option majority voting.
+
+Multi-label answers are sets of options; aggregating them label-set-wise
+(mode over whole sets) wastes evidence, because workers may agree on most
+options while disagreeing on one. The standard decomposition votes each
+option independently: include an option in the inferred set iff more than
+*threshold* of the answers included it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import InferenceError
+from repro.platform.task import Answer
+from repro.quality.truth.base import InferenceResult, TruthInference
+
+
+def set_f1(predicted: frozenset, truth: frozenset) -> float:
+    """Set-F1 between a predicted and a true label set (1.0 if both empty)."""
+    if not predicted and not truth:
+        return 1.0
+    tp = len(predicted & truth)
+    precision = tp / len(predicted) if predicted else 0.0
+    recall = tp / len(truth) if truth else 0.0
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+class MultiLabelVote(TruthInference):
+    """Per-option majority over set-valued answers.
+
+    Args:
+        threshold: Inclusion vote share required (0.5 = strict majority).
+    """
+
+    name = "mlv"
+
+    def __init__(self, threshold: float = 0.5):
+        if not 0.0 < threshold < 1.0:
+            raise InferenceError("threshold must be in (0, 1)")
+        self.threshold = threshold
+
+    def infer(self, answers_by_task: Mapping[str, Sequence[Answer]]) -> InferenceResult:
+        self._validate(answers_by_task)
+        truths: dict[str, Any] = {}
+        confidences: dict[str, float] = {}
+        posteriors: dict[str, dict[Any, float]] = {}
+        agreement: dict[str, list[float]] = {}
+
+        for task_id, answers in answers_by_task.items():
+            sets = []
+            for a in answers:
+                if not isinstance(a.value, (set, frozenset)):
+                    raise InferenceError(
+                        f"multi-label aggregation needs set answers, got {a.value!r}"
+                    )
+                sets.append(frozenset(a.value))
+            options = frozenset().union(*sets) if sets else frozenset()
+            n = len(sets)
+            include_share = {
+                option: sum(1 for s in sets if option in s) / n for option in options
+            }
+            inferred = frozenset(
+                option for option, share in include_share.items()
+                if share > self.threshold
+            )
+            truths[task_id] = inferred
+            posteriors[task_id] = dict(include_share)
+            # Confidence: mean decisiveness of the per-option votes.
+            if include_share:
+                confidences[task_id] = sum(
+                    max(share, 1 - share) for share in include_share.values()
+                ) / len(include_share)
+            else:
+                confidences[task_id] = 1.0
+            for a, answered in zip(answers, sets):
+                agreement.setdefault(a.worker_id, []).append(
+                    set_f1(answered, inferred)
+                )
+
+        worker_quality = {w: sum(v) / len(v) for w, v in agreement.items()}
+        return InferenceResult(
+            truths=truths,
+            confidences=confidences,
+            worker_quality=worker_quality,
+            posteriors=posteriors,
+        )

@@ -1,0 +1,156 @@
+"""Truth inference for numeric tasks: mean, median, and CATD-style weighting.
+
+Numeric crowdsourced answers (counts, estimates, ratings) need different
+aggregation from categorical labels. The tutorial surveys three levels:
+
+* :class:`MeanAggregator` — the naive baseline, sensitive to outliers.
+* :class:`MedianAggregator` — the robust order-statistic baseline.
+* :class:`CatdAggregator` — confidence-aware source weighting in the style
+  of CATD/PM: iterate between per-worker weights inversely proportional to
+  their (chi-square upper-bounded) deviation from the current estimates and
+  weighted estimates of the truths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.platform.task import Answer
+from repro.quality.truth.base import InferenceResult, TruthInference
+
+
+def _numeric_values(answers: Sequence[Answer]) -> list[float]:
+    values = []
+    for a in answers:
+        if not isinstance(a.value, (int, float)) or isinstance(a.value, bool):
+            raise InferenceError(
+                f"numeric aggregation received non-numeric answer {a.value!r}"
+            )
+        values.append(float(a.value))
+    return values
+
+
+class MeanAggregator(TruthInference):
+    """Arithmetic mean per task; confidence = 1/(1+coefficient of variation)."""
+
+    name = "mean"
+
+    def infer(self, answers_by_task: Mapping[str, Sequence[Answer]]) -> InferenceResult:
+        self._validate(answers_by_task)
+        truths: dict[str, Any] = {}
+        confidences: dict[str, float] = {}
+        for task_id, answers in answers_by_task.items():
+            values = np.array(_numeric_values(answers))
+            mean = float(values.mean())
+            truths[task_id] = mean
+            spread = float(values.std()) / (abs(mean) + 1e-9)
+            confidences[task_id] = 1.0 / (1.0 + spread)
+        return InferenceResult(truths=truths, confidences=confidences)
+
+
+class MedianAggregator(TruthInference):
+    """Median per task — robust to spammer outliers."""
+
+    name = "median"
+
+    def infer(self, answers_by_task: Mapping[str, Sequence[Answer]]) -> InferenceResult:
+        self._validate(answers_by_task)
+        truths: dict[str, Any] = {}
+        confidences: dict[str, float] = {}
+        for task_id, answers in answers_by_task.items():
+            values = np.array(_numeric_values(answers))
+            median = float(np.median(values))
+            truths[task_id] = median
+            mad = float(np.median(np.abs(values - median)))
+            confidences[task_id] = 1.0 / (1.0 + mad / (abs(median) + 1e-9))
+        return InferenceResult(truths=truths, confidences=confidences)
+
+
+class CatdAggregator(TruthInference):
+    """Confidence-aware truth discovery for numeric answers.
+
+    Iterates:
+      1. truth_t = weighted mean of answers with current worker weights;
+      2. weight_w ∝ 1 / (sum of squared normalized residuals of w + eps),
+         scaled by a chi-square-style confidence factor that shrinks the
+         weight of workers with few answers.
+
+    Args:
+        max_iterations / tolerance: fixed-point controls.
+    """
+
+    name = "catd"
+
+    def __init__(self, max_iterations: int = 50, tolerance: float = 1e-8):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def infer(self, answers_by_task: Mapping[str, Sequence[Answer]]) -> InferenceResult:
+        self._validate(answers_by_task)
+        worker_ids = sorted({a.worker_id for ans in answers_by_task.values() for a in ans})
+        weights = {w: 1.0 for w in worker_ids}
+        truths: dict[str, float] = {}
+
+        iterations = 0
+        converged = False
+        previous: dict[str, float] = {}
+        for iterations in range(1, self.max_iterations + 1):
+            # Weighted truth estimates.
+            for task_id, answers in answers_by_task.items():
+                values = _numeric_values(answers)
+                ws = [weights[a.worker_id] for a in answers]
+                total = sum(ws)
+                if total <= 0:
+                    truths[task_id] = float(np.mean(values))
+                else:
+                    truths[task_id] = sum(v * w for v, w in zip(values, ws)) / total
+
+            # Residual-based weights with small-sample damping.
+            residual: dict[str, float] = {w: 0.0 for w in worker_ids}
+            counts: dict[str, int] = {w: 0 for w in worker_ids}
+            for task_id, answers in answers_by_task.items():
+                scale = abs(truths[task_id]) + 1e-9
+                for a in answers:
+                    err = (float(a.value) - truths[task_id]) / scale
+                    residual[a.worker_id] += err * err
+                    counts[a.worker_id] += 1
+            for w in worker_ids:
+                n = counts[w]
+                if n == 0:
+                    weights[w] = 1.0
+                    continue
+                # chi-square-flavoured confidence factor: more answers ->
+                # closer to 1; few answers -> damped toward the mean weight.
+                confidence = n / (n + 2.0)
+                weights[w] = confidence / (residual[w] / n + 1e-6)
+            peak = max(weights.values())
+            if peak > 0:
+                weights = {w: v / peak for w, v in weights.items()}
+
+            if previous:
+                delta = max(
+                    abs(truths[t] - previous[t]) / (abs(previous[t]) + 1e-9) for t in truths
+                )
+                if delta < self.tolerance:
+                    converged = True
+                    break
+            previous = dict(truths)
+
+        confidences = {}
+        for task_id, answers in answers_by_task.items():
+            values = np.array(_numeric_values(answers))
+            spread = float(values.std()) / (abs(truths[task_id]) + 1e-9)
+            confidences[task_id] = 1.0 / (1.0 + spread)
+        # Normalize worker weights into [0, 1] quality scores.
+        quality = {w: float(1.0 - math.exp(-v)) for w, v in weights.items()}
+        return InferenceResult(
+            truths=dict(truths),
+            confidences=confidences,
+            worker_quality=quality,
+            iterations=iterations,
+            converged=converged,
+        )

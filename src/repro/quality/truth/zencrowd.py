@@ -1,0 +1,119 @@
+"""ZenCrowd-style truth inference: EM over one-coin worker reliabilities.
+
+The *worker probability* model: worker w answers correctly with a single
+reliability p_w, and errors are spread uniformly over the remaining labels
+of each task. Lighter-weight than Dawid–Skene (one parameter per worker),
+it is the tutorial's canonical middle ground between MV and full confusion
+matrices — and unlike DS it handles tasks whose option sets differ.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import InferenceError
+from repro.platform.task import Answer
+from repro.quality.truth.base import InferenceResult, TruthInference, votes_by_task
+
+
+class ZenCrowd(TruthInference):
+    """One-coin EM truth inference.
+
+    Args:
+        max_iterations: EM iteration cap.
+        tolerance: Convergence threshold on the max posterior change.
+        prior_reliability: Initial p_w for every worker.
+    """
+
+    name = "zc"
+
+    def __init__(
+        self,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        prior_reliability: float = 0.7,
+    ):
+        if not 0.0 < prior_reliability < 1.0:
+            raise InferenceError("prior_reliability must be in (0, 1)")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.prior_reliability = prior_reliability
+
+    def infer(self, answers_by_task: Mapping[str, Sequence[Answer]]) -> InferenceResult:
+        self._validate(answers_by_task)
+        # Candidate label set per task = labels actually answered for it.
+        candidates: dict[str, list[Any]] = {
+            task_id: sorted(counts, key=repr)
+            for task_id, counts in votes_by_task(answers_by_task).items()
+        }
+        worker_ids = sorted({a.worker_id for ans in answers_by_task.values() for a in ans})
+        reliability = {w: self.prior_reliability for w in worker_ids}
+
+        posteriors: dict[str, dict[Any, float]] = {}
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iterations + 1):
+            # E-step: posterior over each task's candidate labels.
+            new_posteriors: dict[str, dict[Any, float]] = {}
+            for task_id, answers in answers_by_task.items():
+                labels = candidates[task_id]
+                k = max(2, len(labels))  # at least binary error spread
+                scores: dict[Any, float] = {}
+                for label in labels:
+                    likelihood = 1.0
+                    for a in answers:
+                        p = min(0.999, max(0.001, reliability[a.worker_id]))
+                        if a.value == label:
+                            likelihood *= p
+                        else:
+                            likelihood *= (1.0 - p) / (k - 1)
+                    scores[label] = likelihood
+                total = sum(scores.values())
+                if total <= 0:
+                    uniform = 1.0 / len(labels)
+                    new_posteriors[task_id] = {label: uniform for label in labels}
+                else:
+                    new_posteriors[task_id] = {
+                        label: s / total for label, s in scores.items()
+                    }
+
+            # M-step: reliability = expected fraction of correct answers.
+            mass: dict[str, float] = {w: 0.0 for w in worker_ids}
+            count: dict[str, int] = {w: 0 for w in worker_ids}
+            for task_id, answers in answers_by_task.items():
+                post = new_posteriors[task_id]
+                for a in answers:
+                    mass[a.worker_id] += post.get(a.value, 0.0)
+                    count[a.worker_id] += 1
+            new_reliability = {
+                w: (mass[w] + 1.0) / (count[w] + 2.0)  # Beta(1,1) smoothing
+                for w in worker_ids
+            }
+
+            delta = 0.0
+            if posteriors:
+                for task_id, post in new_posteriors.items():
+                    for label, p in post.items():
+                        delta = max(delta, abs(p - posteriors[task_id].get(label, 0.0)))
+            else:
+                delta = 1.0
+            posteriors = new_posteriors
+            reliability = new_reliability
+            if delta < self.tolerance:
+                converged = True
+                break
+
+        truths: dict[str, Any] = {}
+        confidences: dict[str, float] = {}
+        for task_id, post in posteriors.items():
+            winner = max(post, key=lambda label: (post[label], repr(label)))
+            truths[task_id] = winner
+            confidences[task_id] = post[winner]
+        return InferenceResult(
+            truths=truths,
+            confidences=confidences,
+            worker_quality=dict(reliability),
+            iterations=iterations,
+            converged=converged,
+            posteriors=posteriors,
+        )

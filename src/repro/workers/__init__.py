@@ -1,0 +1,31 @@
+"""Simulated worker substrate: answer models, workers, pools."""
+
+from repro.workers.models import (
+    AnswerModel,
+    BiasedModel,
+    CollectorModel,
+    ComparisonNoiseModel,
+    ConfusionMatrixModel,
+    DiverseSkillsModel,
+    GladModel,
+    OneCoinModel,
+    SpammerModel,
+)
+from repro.workers.pool import WorkerPool, true_accuracy
+from repro.workers.worker import LatencyModel, Worker
+
+__all__ = [
+    "AnswerModel",
+    "BiasedModel",
+    "CollectorModel",
+    "ComparisonNoiseModel",
+    "ConfusionMatrixModel",
+    "DiverseSkillsModel",
+    "GladModel",
+    "LatencyModel",
+    "OneCoinModel",
+    "SpammerModel",
+    "Worker",
+    "WorkerPool",
+    "true_accuracy",
+]

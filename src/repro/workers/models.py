@@ -1,0 +1,286 @@
+"""Worker accuracy models.
+
+These are the generative counterparts of the task models the tutorial's
+quality-control section surveys: the *worker probability* (one-coin) model,
+the *confusion matrix* model (Dawid–Skene), the *ability × difficulty* model
+(GLAD), and degenerate behaviours (spammers, biased workers). Each model
+answers a :class:`~repro.platform.task.Task` given its ground truth; the
+inference algorithms then try to recover that truth without peeking.
+
+All randomness flows through the ``numpy.random.Generator`` supplied per
+call, so simulations are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.platform.task import Task, TaskType
+
+
+class AnswerModel:
+    """Interface: produce an answer value for a task."""
+
+    def answer(self, task: Task, rng: np.random.Generator) -> Any:
+        """Generate this worker's answer to *task* (may consult task.truth)."""
+        raise NotImplementedError
+
+    def _wrong_option(self, task: Task, rng: np.random.Generator) -> Any:
+        """Uniformly pick an incorrect option (choice/compare tasks)."""
+        wrong = [o for o in task.options if o != task.truth]
+        if not wrong:
+            return task.truth
+        return wrong[int(rng.integers(len(wrong)))]
+
+
+def _answer_numeric_like(task: Task, noise_sigma: float, rng: np.random.Generator) -> Any:
+    """Shared handling of NUMERIC and RATE tasks: truth + Gaussian noise."""
+    truth = float(task.truth if task.truth is not None else 0.0)
+    value = truth * (1.0 + float(rng.normal(0.0, noise_sigma)))
+    if task.task_type is TaskType.RATE:
+        low, high = task.payload.get("scale", (1, 5))
+        return int(min(high, max(low, round(value))))
+    return value
+
+
+@dataclass
+class OneCoinModel(AnswerModel):
+    """Worker probability model: correct with probability *accuracy*.
+
+    On error, a uniformly random wrong option is chosen (choice tasks) or a
+    corrupted string is produced (FILL tasks). NUMERIC/RATE answers are the
+    truth perturbed by relative Gaussian noise scaled by (1 - accuracy).
+    """
+
+    accuracy: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ConfigurationError(f"accuracy must be in [0, 1], got {self.accuracy}")
+
+    def answer(self, task: Task, rng: np.random.Generator) -> Any:
+        if task.task_type in (TaskType.NUMERIC, TaskType.RATE):
+            return _answer_numeric_like(task, noise_sigma=(1.0 - self.accuracy) * 0.5, rng=rng)
+        if task.task_type is TaskType.FILL:
+            if rng.random() < self.accuracy:
+                return task.truth
+            return f"{task.truth}~typo{int(rng.integers(100))}"
+        if task.task_type is TaskType.MULTI_CHOICE:
+            # Per-option independent inclusion decisions, each correct with
+            # probability `accuracy` (the standard multi-label noise model).
+            truth = task.truth or frozenset()
+            chosen = set()
+            for option in task.options:
+                should_include = option in truth
+                correct = rng.random() < self.accuracy
+                if should_include == correct:
+                    chosen.add(option)
+            return frozenset(chosen)
+        if rng.random() < self.accuracy:
+            return task.truth
+        return self._wrong_option(task, rng)
+
+
+@dataclass
+class ConfusionMatrixModel(AnswerModel):
+    """Dawid–Skene generative model: P(answer = j | truth = i) = matrix[i][j].
+
+    Args:
+        matrix: Mapping from true label to a mapping of answer label to
+            probability; each row must sum to ~1 over the task's options.
+    """
+
+    matrix: Mapping[Any, Mapping[Any, float]]
+
+    def __post_init__(self) -> None:
+        for true_label, row in self.matrix.items():
+            total = sum(row.values())
+            if not math.isclose(total, 1.0, abs_tol=1e-6):
+                raise ConfigurationError(
+                    f"confusion row for {true_label!r} sums to {total}, expected 1.0"
+                )
+
+    def answer(self, task: Task, rng: np.random.Generator) -> Any:
+        if task.task_type in (TaskType.NUMERIC, TaskType.RATE):
+            return _answer_numeric_like(task, noise_sigma=0.2, rng=rng)
+        row = self.matrix.get(task.truth)
+        if row is None:
+            # Labels outside the matrix: behave like a decent one-coin worker.
+            return OneCoinModel(accuracy=0.7).answer(task, rng)
+        labels = list(row.keys())
+        probs = np.array([row[label] for label in labels], dtype=float)
+        probs = probs / probs.sum()
+        return labels[int(rng.choice(len(labels), p=probs))]
+
+
+@dataclass
+class GladModel(AnswerModel):
+    """GLAD model: P(correct) = sigmoid(ability / difficulty').
+
+    *ability* in (-inf, inf); task difficulty d in [0, 1) maps to
+    1/(1-d) >= 1, so harder tasks flatten the worker's advantage exactly as
+    in Whitehill et al.'s parameterization (alpha_i * beta_j).
+    """
+
+    ability: float = 1.0
+
+    def correctness_probability(self, task: Task) -> float:
+        """sigmoid(ability x inverse difficulty) for *task*."""
+        inverse_difficulty = 1.0 - task.difficulty  # beta in (0, 1]
+        return 1.0 / (1.0 + math.exp(-self.ability * inverse_difficulty))
+
+    def answer(self, task: Task, rng: np.random.Generator) -> Any:
+        if task.task_type in (TaskType.NUMERIC, TaskType.RATE):
+            sigma = max(0.05, 0.5 / (1.0 + math.exp(self.ability)))
+            return _answer_numeric_like(task, noise_sigma=sigma, rng=rng)
+        if task.task_type is TaskType.FILL:
+            if rng.random() < self.correctness_probability(task):
+                return task.truth
+            return f"{task.truth}~typo{int(rng.integers(100))}"
+        if rng.random() < self.correctness_probability(task):
+            return task.truth
+        return self._wrong_option(task, rng)
+
+
+@dataclass
+class SpammerModel(AnswerModel):
+    """Uniform random answers — the adversary MV fails against."""
+
+    def answer(self, task: Task, rng: np.random.Generator) -> Any:
+        if task.task_type in (TaskType.NUMERIC,):
+            truth = float(task.truth if task.truth is not None else 1.0)
+            return float(rng.uniform(0.0, max(2.0 * truth, 1.0)))
+        if task.task_type is TaskType.RATE:
+            low, high = task.payload.get("scale", (1, 5))
+            return int(rng.integers(low, high + 1))
+        if task.task_type is TaskType.FILL:
+            return f"spam{int(rng.integers(10_000))}"
+        if task.task_type is TaskType.MULTI_CHOICE:
+            return frozenset(
+                option for option in task.options if rng.random() < 0.5
+            )
+        if task.options:
+            return task.options[int(rng.integers(len(task.options)))]
+        return None
+
+
+@dataclass
+class BiasedModel(AnswerModel):
+    """Always answers *preferred* when it is among the options (sloppy worker).
+
+    Falls back to one-coin behaviour with *fallback_accuracy* otherwise.
+    """
+
+    preferred: Any
+    bias_probability: float = 0.9
+    fallback_accuracy: float = 0.7
+    _fallback: OneCoinModel = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bias_probability <= 1.0:
+            raise ConfigurationError("bias_probability must be in [0, 1]")
+        self._fallback = OneCoinModel(accuracy=self.fallback_accuracy)
+
+    def answer(self, task: Task, rng: np.random.Generator) -> Any:
+        if self.preferred in task.options and rng.random() < self.bias_probability:
+            return self.preferred
+        return self._fallback.answer(task, rng)
+
+
+@dataclass
+class ComparisonNoiseModel(AnswerModel):
+    """Bradley–Terry-style comparison worker.
+
+    For COMPARE tasks whose payload includes numeric utilities
+    ``left_score`` / ``right_score``, the probability of choosing the truly
+    better item is ``sigmoid(sharpness * |gap|)`` — close items are genuinely
+    hard, far-apart items are easy. This drives the sort/top-k experiments.
+
+    RATE tasks get deliberately coarse ratings (relative Gaussian noise
+    ``rating_noise``): the Qurk observation that people compare far better
+    than they rate is what makes the hybrid sort strategy interesting.
+    Other task types fall back to one-coin behaviour.
+    """
+
+    sharpness: float = 4.0
+    fallback_accuracy: float = 0.8
+    rating_noise: float = 0.3
+
+    def answer(self, task: Task, rng: np.random.Generator) -> Any:
+        if task.task_type is TaskType.RATE:
+            return _answer_numeric_like(task, noise_sigma=self.rating_noise, rng=rng)
+        if task.task_type is not TaskType.COMPARE:
+            return OneCoinModel(self.fallback_accuracy).answer(task, rng)
+        left = task.payload.get("left_score")
+        right = task.payload.get("right_score")
+        if left is None or right is None:
+            return OneCoinModel(self.fallback_accuracy).answer(task, rng)
+        gap = abs(float(left) - float(right))
+        p_correct = 1.0 / (1.0 + math.exp(-self.sharpness * gap))
+        better = "left" if float(left) > float(right) else "right"
+        worse = "right" if better == "left" else "left"
+        return better if rng.random() < p_correct else worse
+
+
+@dataclass
+class CollectorModel(AnswerModel):
+    """Open-world contributor for COLLECT tasks.
+
+    The worker "knows" a personal subset of the universe (assigned by the
+    dataset generator, stored in the task payload under
+    ``known_items[worker_id]`` or passed via :meth:`bind_knowledge`), and
+    contributes a uniformly random known item each time. Duplicate
+    contributions across workers are exactly what species-estimation
+    coverage analysis consumes.
+    """
+
+    known_items: tuple[Any, ...] = ()
+
+    def bind_knowledge(self, items: tuple[Any, ...]) -> None:
+        """Set the items this collector can contribute."""
+        self.known_items = tuple(items)
+
+    def answer(self, task: Task, rng: np.random.Generator) -> Any:
+        if task.task_type is not TaskType.COLLECT:
+            return OneCoinModel(0.8).answer(task, rng)
+        if not self.known_items:
+            return None
+        return self.known_items[int(rng.integers(len(self.known_items)))]
+
+
+@dataclass
+class DiverseSkillsModel(AnswerModel):
+    """Per-domain accuracy (the tutorial's *diverse skills* worker model).
+
+    A worker may be expert at bird photos and hopeless at legal text. Tasks
+    advertise their domain via ``payload['domain']``; the model answers
+    with that domain's accuracy, falling back to *default_accuracy* for
+    unknown domains. Domain-aware assignment
+    (:class:`repro.quality.assignment.domain.DomainAwareAssignment`)
+    exploits exactly this structure.
+    """
+
+    skills: Mapping[str, float] = field(default_factory=dict)
+    default_accuracy: float = 0.6
+
+    def __post_init__(self) -> None:
+        for domain, accuracy in self.skills.items():
+            if not 0.0 <= accuracy <= 1.0:
+                raise ConfigurationError(
+                    f"accuracy for domain {domain!r} must be in [0, 1]"
+                )
+        if not 0.0 <= self.default_accuracy <= 1.0:
+            raise ConfigurationError("default_accuracy must be in [0, 1]")
+
+    def accuracy_for(self, task: Task) -> float:
+        """Accuracy this worker has in the task's domain."""
+        domain = task.payload.get("domain")
+        return self.skills.get(domain, self.default_accuracy)
+
+    def answer(self, task: Task, rng: np.random.Generator) -> Any:
+        return OneCoinModel(self.accuracy_for(task)).answer(task, rng)

@@ -1,0 +1,198 @@
+"""Worker pools: populations of simulated workers with factory presets.
+
+The presets correspond to the worker populations the tutorial's experiments
+and the surveyed papers assume: homogeneous pools, heterogeneous-quality
+pools, pools contaminated with spammers, and GLAD-style ability spectra.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NoWorkersAvailableError
+from repro.workers.models import (
+    AnswerModel,
+    ComparisonNoiseModel,
+    ConfusionMatrixModel,
+    GladModel,
+    OneCoinModel,
+    SpammerModel,
+)
+from repro.workers.worker import LatencyModel, Worker
+
+
+class WorkerPool:
+    """An ordered collection of workers with sampling helpers."""
+
+    def __init__(self, workers: Sequence[Worker], seed: int | None = None):
+        if not workers:
+            raise ConfigurationError("a worker pool requires at least one worker")
+        self._workers = list(workers)
+        self._by_id = {w.worker_id: w for w in self._workers}
+        if len(self._by_id) != len(self._workers):
+            raise ConfigurationError("duplicate worker ids in pool")
+        self.rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self) -> Iterator[Worker]:
+        return iter(self._workers)
+
+    def __contains__(self, worker_id: object) -> bool:
+        return worker_id in self._by_id
+
+    def __repr__(self) -> str:
+        return f"WorkerPool<{len(self)} workers>"
+
+    @property
+    def workers(self) -> list[Worker]:
+        return list(self._workers)
+
+    @property
+    def active_workers(self) -> list[Worker]:
+        return [w for w in self._workers if w.active]
+
+    def worker(self, worker_id: str) -> Worker:
+        """Look up a worker by id (raises if absent)."""
+        try:
+            return self._by_id[worker_id]
+        except KeyError:
+            raise NoWorkersAvailableError(f"no worker {worker_id!r} in pool") from None
+
+    def deactivate(self, worker_id: str) -> None:
+        """Eliminate a worker (qualification failure, spammer detection)."""
+        self.worker(worker_id).active = False
+
+    def sample(self, k: int, exclude: set[str] = frozenset()) -> list[Worker]:
+        """Sample *k* distinct active workers uniformly, excluding ids in *exclude*.
+
+        Raises NoWorkersAvailableError when fewer than *k* are eligible.
+        """
+        eligible = [w for w in self._workers if w.active and w.worker_id not in exclude]
+        if len(eligible) < k:
+            raise NoWorkersAvailableError(
+                f"requested {k} workers but only {len(eligible)} eligible"
+            )
+        idx = self.rng.choice(len(eligible), size=k, replace=False)
+        return [eligible[i] for i in sorted(int(i) for i in idx)]
+
+    def round_robin(self) -> Iterator[Worker]:
+        """Endless round-robin over active workers (arrival order proxy)."""
+        while True:
+            actives = self.active_workers
+            if not actives:
+                raise NoWorkersAvailableError("no active workers remain")
+            for worker in actives:
+                if worker.active:
+                    yield worker
+
+    def arrivals(self, horizon: float) -> list[tuple[float, Worker]]:
+        """Simulate Poisson arrivals of active workers up to *horizon* seconds.
+
+        Returns (time, worker) pairs sorted by time — the raw material for
+        the latency experiments.
+        """
+        events: list[tuple[float, Worker]] = []
+        for worker in self.active_workers:
+            t = 0.0
+            while True:
+                t += worker.latency.inter_arrival(self.rng)
+                if t > horizon:
+                    break
+                events.append((t, worker))
+        events.sort(key=lambda pair: pair[0])
+        return events
+
+    # ------------------------------------------------------------------ #
+    # Factory presets
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def uniform(cls, n: int, accuracy: float = 0.8, seed: int | None = None) -> "WorkerPool":
+        """Homogeneous one-coin pool."""
+        return cls([Worker(model=OneCoinModel(accuracy)) for _ in range(n)], seed=seed)
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        n: int,
+        accuracy_low: float = 0.55,
+        accuracy_high: float = 0.95,
+        seed: int | None = None,
+    ) -> "WorkerPool":
+        """One-coin pool with accuracies spread uniformly over a range."""
+        rng = np.random.default_rng(seed)
+        accs = rng.uniform(accuracy_low, accuracy_high, size=n)
+        return cls([Worker(model=OneCoinModel(float(a))) for a in accs], seed=seed)
+
+    @classmethod
+    def with_spammers(
+        cls,
+        n: int,
+        spammer_fraction: float,
+        good_accuracy: float = 0.85,
+        seed: int | None = None,
+    ) -> "WorkerPool":
+        """Pool of reliable workers contaminated with uniform spammers."""
+        if not 0.0 <= spammer_fraction <= 1.0:
+            raise ConfigurationError("spammer_fraction must be in [0, 1]")
+        n_spam = int(round(n * spammer_fraction))
+        workers: list[Worker] = []
+        for i in range(n):
+            model: AnswerModel
+            if i < n_spam:
+                model = SpammerModel()
+            else:
+                model = OneCoinModel(good_accuracy)
+            workers.append(Worker(model=model))
+        return cls(workers, seed=seed)
+
+    @classmethod
+    def glad_spectrum(
+        cls,
+        n: int,
+        ability_mean: float = 1.5,
+        ability_std: float = 1.0,
+        seed: int | None = None,
+    ) -> "WorkerPool":
+        """Pool with normally distributed GLAD abilities."""
+        rng = np.random.default_rng(seed)
+        abilities = rng.normal(ability_mean, ability_std, size=n)
+        return cls([Worker(model=GladModel(float(a))) for a in abilities], seed=seed)
+
+    @classmethod
+    def comparison_pool(
+        cls,
+        n: int,
+        sharpness: float = 4.0,
+        seed: int | None = None,
+    ) -> "WorkerPool":
+        """Pool of Bradley–Terry comparison workers for sort/top-k."""
+        return cls([Worker(model=ComparisonNoiseModel(sharpness)) for _ in range(n)], seed=seed)
+
+    @classmethod
+    def confusion_pool(
+        cls,
+        n: int,
+        matrix_factory: Callable[[np.random.Generator], ConfusionMatrixModel],
+        seed: int | None = None,
+    ) -> "WorkerPool":
+        """Pool whose per-worker confusion matrices come from a factory."""
+        rng = np.random.default_rng(seed)
+        return cls([Worker(model=matrix_factory(rng)) for _ in range(n)], seed=seed)
+
+
+def true_accuracy(worker: Worker) -> float | None:
+    """Best-effort readout of a worker's generative accuracy (for reports)."""
+    model = worker.model
+    if isinstance(model, OneCoinModel):
+        return model.accuracy
+    if isinstance(model, SpammerModel):
+        return None
+    if isinstance(model, GladModel):
+        # Accuracy on a difficulty-0 task.
+        return 1.0 / (1.0 + np.exp(-model.ability))
+    return None

@@ -1,0 +1,94 @@
+"""Workers: an answer model plus timing behaviour and history."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.platform.task import Answer, Task
+from repro.workers.models import AnswerModel, OneCoinModel
+
+_worker_counter = itertools.count(1)
+
+
+@dataclass
+class LatencyModel:
+    """Lognormal task service time plus exponential think/arrival gaps.
+
+    ``mean_seconds`` is the median service time; ``sigma`` the lognormal
+    shape. ``arrival_rate`` (tasks/second the worker is willing to start)
+    drives the discrete-event simulation in :mod:`repro.platform.events`.
+    """
+
+    mean_seconds: float = 30.0
+    sigma: float = 0.5
+    arrival_rate: float = 1.0 / 45.0
+
+    def __post_init__(self) -> None:
+        if self.mean_seconds <= 0 or self.sigma < 0 or self.arrival_rate <= 0:
+            raise ConfigurationError("latency parameters must be positive")
+
+    def service_time(self, rng: np.random.Generator) -> float:
+        """Sample a lognormal task service time, seconds."""
+        return float(rng.lognormal(mean=np.log(self.mean_seconds), sigma=self.sigma))
+
+    def inter_arrival(self, rng: np.random.Generator) -> float:
+        """Sample an exponential gap until this worker's next arrival."""
+        return float(rng.exponential(1.0 / self.arrival_rate))
+
+
+@dataclass
+class Worker:
+    """A simulated crowd worker.
+
+    Attributes:
+        worker_id: Unique id.
+        model: The :class:`~repro.workers.models.AnswerModel` generating
+            answer values.
+        latency: Timing behaviour.
+        history: All answers this worker has submitted.
+    """
+
+    model: AnswerModel = field(default_factory=lambda: OneCoinModel(0.8))
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    worker_id: str = field(default_factory=lambda: f"w{next(_worker_counter)}")
+    history: list[Answer] = field(default_factory=list)
+    earned: float = 0.0
+    active: bool = True
+
+    def answer_value(self, task: Task, rng: np.random.Generator) -> Any:
+        """Produce just the answer value (no bookkeeping)."""
+        return self.model.answer(task, rng)
+
+    def submit(
+        self,
+        task: Task,
+        rng: np.random.Generator,
+        now: float = 0.0,
+    ) -> Answer:
+        """Answer *task*, recording history, earnings, and timing."""
+        duration = self.latency.service_time(rng)
+        value = self.model.answer(task, rng)
+        answer = Answer(
+            task_id=task.task_id,
+            worker_id=self.worker_id,
+            value=value,
+            submitted_at=now + duration,
+            duration=duration,
+            reward_paid=task.reward,
+        )
+        self.history.append(answer)
+        self.earned += task.reward
+        return answer
+
+    @property
+    def tasks_done(self) -> int:
+        return len(self.history)
+
+    def has_answered(self, task_id: str) -> bool:
+        """True if this worker already answered the given task id."""
+        return any(a.task_id == task_id for a in self.history)

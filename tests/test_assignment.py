@@ -1,0 +1,176 @@
+"""Unit tests for repro.quality.assignment."""
+
+import pytest
+
+from repro.errors import AssignmentError
+from repro.platform.platform import SimulatedPlatform
+from repro.quality.assignment import (
+    Cdas,
+    Qasca,
+    RandomAssignment,
+    RoundRobinAssignment,
+    run_assignment,
+)
+from repro.quality.truth import MajorityVote
+from repro.workers.pool import WorkerPool
+
+from conftest import make_choice_tasks
+
+
+def _setup(n_tasks=40, pool_size=15, accuracy=0.85, seed=10):
+    pool = WorkerPool.uniform(pool_size, accuracy, seed=seed)
+    platform = SimulatedPlatform(pool, seed=seed + 1)
+    tasks = make_choice_tasks(n_tasks, labels=("yes", "no"), seed=seed)
+    truth = {t.task_id: t.truth for t in tasks}
+    return platform, tasks, truth
+
+
+class TestDriver:
+    def test_budget_is_respected(self):
+        platform, tasks, _ = _setup()
+        outcome = run_assignment(
+            platform, RandomAssignment(redundancy=5, seed=0), tasks, max_answers=30
+        )
+        assert outcome.answers_used == 30
+        assert outcome.stopped_reason == "budget_exhausted"
+
+    def test_completes_when_strategy_satisfied(self):
+        platform, tasks, _ = _setup(n_tasks=10)
+        outcome = run_assignment(
+            platform, RoundRobinAssignment(redundancy=2), tasks, max_answers=1000
+        )
+        assert outcome.answers_used == 20
+        assert outcome.stopped_reason == "strategy_complete"
+
+    def test_invalid_budget_rejected(self):
+        platform, tasks, _ = _setup(n_tasks=2)
+        with pytest.raises(AssignmentError):
+            run_assignment(platform, RandomAssignment(), tasks, max_answers=0)
+
+    def test_no_assignable_work_detected(self):
+        # 2 workers, redundancy 3 can never complete: each worker answers
+        # each task at most once.
+        platform, tasks, _ = _setup(n_tasks=2, pool_size=2)
+        outcome = run_assignment(
+            platform, RoundRobinAssignment(redundancy=3), tasks, max_answers=100
+        )
+        assert outcome.stopped_reason == "no_assignable_work"
+        assert outcome.answers_used == 4  # 2 tasks x 2 workers
+
+    def test_cost_matches_answers(self):
+        platform, tasks, _ = _setup(n_tasks=5)
+        outcome = run_assignment(
+            platform, RoundRobinAssignment(redundancy=2), tasks, max_answers=100
+        )
+        assert outcome.cost == pytest.approx(outcome.answers_used * 0.01)
+
+
+class TestBaselines:
+    def test_round_robin_spreads_evenly(self):
+        platform, tasks, _ = _setup(n_tasks=20)
+        outcome = run_assignment(
+            platform, RoundRobinAssignment(redundancy=3), tasks, max_answers=1000
+        )
+        counts = [len(outcome.answers_by_task[t.task_id]) for t in tasks]
+        assert counts == [3] * 20
+
+    def test_random_never_exceeds_redundancy(self):
+        platform, tasks, _ = _setup(n_tasks=20)
+        outcome = run_assignment(
+            platform, RandomAssignment(redundancy=3, seed=1), tasks, max_answers=1000
+        )
+        assert all(
+            len(outcome.answers_by_task[t.task_id]) <= 3 for t in tasks
+        )
+
+    def test_no_worker_answers_task_twice(self):
+        platform, tasks, _ = _setup(n_tasks=10)
+        outcome = run_assignment(
+            platform, RoundRobinAssignment(redundancy=4), tasks, max_answers=1000
+        )
+        for answers in outcome.answers_by_task.values():
+            workers = [a.worker_id for a in answers]
+            assert len(workers) == len(set(workers))
+
+    def test_redundancy_validated(self):
+        with pytest.raises(AssignmentError):
+            RandomAssignment(redundancy=0)
+
+
+class TestQasca:
+    def test_config_validated(self):
+        with pytest.raises(AssignmentError):
+            Qasca(confidence_target=0.4)
+
+    def test_produces_truths_for_all_tasks(self):
+        platform, tasks, _ = _setup()
+        strategy = Qasca(redundancy_cap=5)
+        run_assignment(platform, strategy, tasks, max_answers=200)
+        assert set(strategy.inferred_truths()) == {t.task_id for t in tasks}
+
+    def test_skips_settled_tasks(self):
+        platform, tasks, _ = _setup(n_tasks=10, accuracy=0.95)
+        strategy = Qasca(redundancy_cap=9, confidence_target=0.9)
+        outcome = run_assignment(platform, strategy, tasks, max_answers=500)
+        # With 95% workers, tasks settle after ~2-3 agreeing answers.
+        assert outcome.answers_used < 10 * 9
+
+    def test_matches_or_beats_random_at_equal_budget(self):
+        accuracies = []
+        for strategy_factory in (
+            lambda: RandomAssignment(redundancy=3, seed=2),
+            lambda: Qasca(redundancy_cap=7),
+        ):
+            platform, tasks, truth = _setup(n_tasks=50, accuracy=0.75, seed=21)
+            strategy = strategy_factory()
+            outcome = run_assignment(platform, strategy, tasks, max_answers=150)
+            if hasattr(strategy, "inferred_truths"):
+                inferred = strategy.inferred_truths()
+            else:
+                inferred = MajorityVote().infer(outcome.answers_by_task).truths
+            accuracies.append(
+                sum(1 for t in truth if inferred.get(t) == truth[t]) / len(truth)
+            )
+        random_acc, qasca_acc = accuracies
+        assert qasca_acc >= random_acc - 0.02
+
+    def test_worker_quality_estimates_bounded(self):
+        platform, tasks, _ = _setup()
+        strategy = Qasca()
+        run_assignment(platform, strategy, tasks, max_answers=100)
+        for worker in platform.pool:
+            assert 0.0 < strategy.worker_quality(worker.worker_id) < 1.0
+
+
+class TestCdas:
+    def test_config_validated(self):
+        with pytest.raises(AssignmentError):
+            Cdas(confidence=0.3)
+        with pytest.raises(AssignmentError):
+            Cdas(min_answers=5, max_answers_per_task=3)
+        with pytest.raises(AssignmentError):
+            Cdas(assumed_accuracy=0.4)
+
+    def test_early_termination_saves_answers(self):
+        platform, tasks, _ = _setup(n_tasks=30, accuracy=0.95)
+        fixed = RoundRobinAssignment(redundancy=5)
+        outcome_fixed = run_assignment(platform, fixed, tasks, max_answers=10_000)
+
+        platform2, tasks2, _ = _setup(n_tasks=30, accuracy=0.95, seed=77)
+        cdas = Cdas(confidence=0.9, min_answers=2, max_answers_per_task=5)
+        outcome_cdas = run_assignment(platform2, cdas, tasks2, max_answers=10_000)
+        assert outcome_cdas.answers_used < outcome_fixed.answers_used
+
+    def test_terminated_tasks_recorded(self):
+        platform, tasks, _ = _setup(n_tasks=10, accuracy=0.95)
+        cdas = Cdas(confidence=0.85, min_answers=2)
+        run_assignment(platform, cdas, tasks, max_answers=10_000)
+        assert len(cdas.terminated_tasks) > 0
+
+    def test_accuracy_stays_high_despite_savings(self):
+        platform, tasks, truth = _setup(n_tasks=40, accuracy=0.9, seed=31)
+        cdas = Cdas(confidence=0.9, min_answers=2, max_answers_per_task=7)
+        run_assignment(platform, cdas, tasks, max_answers=10_000)
+        inferred = cdas.inferred_truths()
+        accuracy = sum(1 for t in truth if inferred[t] == truth[t]) / len(truth)
+        assert accuracy > 0.85

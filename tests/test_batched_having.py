@@ -1,0 +1,147 @@
+"""Tests for batched HIT collection (fatigue) and the HAVING clause."""
+
+import numpy as np
+import pytest
+
+from repro.cost.taskdesign import FatigueModel, batch_tasks
+from repro.errors import NoWorkersAvailableError, ParseError, PlatformError
+from repro.lang.interpreter import CrowdSQLSession
+from repro.lang.parser import parse_one
+from repro.platform.platform import SimulatedPlatform
+from repro.quality.truth import MajorityVote
+from repro.workers.pool import WorkerPool
+
+from conftest import make_choice_tasks
+
+
+class TestCollectBatched:
+    def _platform(self, accuracy=0.9, seed=1):
+        return SimulatedPlatform(WorkerPool.uniform(15, accuracy, seed=seed), seed=seed + 1)
+
+    def test_each_task_gets_redundancy_answers(self):
+        platform = self._platform()
+        tasks = make_choice_tasks(12, seed=3)
+        hits = batch_tasks(tasks, 4)
+        answers = platform.collect_batched(hits, redundancy=3)
+        assert all(len(answers[t.task_id]) == 3 for t in tasks)
+
+    def test_same_worker_answers_whole_hit(self):
+        platform = self._platform(seed=5)
+        tasks = make_choice_tasks(6, seed=6)
+        hits = batch_tasks(tasks, 3)
+        answers = platform.collect_batched(hits, redundancy=2)
+        for hit in hits:
+            worker_sets = [
+                tuple(a.worker_id for a in answers[t.task_id]) for t in hit.tasks
+            ]
+            # Same ordered worker tuple across every slot of the HIT.
+            assert len(set(worker_sets)) == 1
+
+    def test_cost_accounting(self):
+        platform = self._platform(seed=7)
+        tasks = make_choice_tasks(10, seed=8)
+        platform.collect_batched(batch_tasks(tasks, 5), redundancy=2)
+        assert platform.stats.cost_spent == pytest.approx(0.2)
+        assert platform.stats.answers_collected == 20
+
+    def test_tasks_completed(self):
+        platform = self._platform(seed=9)
+        tasks = make_choice_tasks(4, seed=10)
+        platform.collect_batched(batch_tasks(tasks, 2), redundancy=1)
+        assert all(not t.is_open for t in tasks)
+
+    def test_fatigue_degrades_late_slots(self):
+        # Perfect workers + harsh fatigue: early slots stay near-perfect,
+        # late slots drop toward the 50% floor mixture.
+        platform = self._platform(accuracy=1.0, seed=11)
+        tasks = make_choice_tasks(200, labels=("a", "b"), seed=12)
+        hits = batch_tasks(tasks, 20)
+        fatigue = FatigueModel(decay=0.05, floor=0.05)
+        answers = platform.collect_batched(hits, redundancy=3, fatigue=fatigue)
+        slot_accuracy: dict[int, list[float]] = {}
+        for hit in hits:
+            for slot, task in enumerate(hit.tasks):
+                values = [a.value for a in answers[task.task_id]]
+                slot_accuracy.setdefault(slot, []).append(
+                    float(np.mean([v == task.truth for v in values]))
+                )
+        early = float(np.mean(slot_accuracy[0] + slot_accuracy[1]))
+        late = float(np.mean(slot_accuracy[18] + slot_accuracy[19]))
+        assert early > late + 0.03
+
+    def test_no_fatigue_equals_full_accuracy(self):
+        platform = self._platform(accuracy=1.0, seed=13)
+        tasks = make_choice_tasks(20, seed=14)
+        answers = platform.collect_batched(batch_tasks(tasks, 10), redundancy=2)
+        result = MajorityVote().infer(answers)
+        truth = {t.task_id: t.truth for t in tasks}
+        assert result.accuracy_against(truth) == 1.0
+
+    def test_redundancy_validated(self):
+        platform = self._platform(seed=15)
+        tasks = make_choice_tasks(2, seed=16)
+        with pytest.raises(PlatformError):
+            platform.collect_batched(batch_tasks(tasks, 2), redundancy=0)
+        with pytest.raises(NoWorkersAvailableError):
+            platform.collect_batched(batch_tasks(tasks, 2), redundancy=99)
+
+    def test_rejects_non_hits(self):
+        platform = self._platform(seed=17)
+        with pytest.raises(PlatformError, match="HIT"):
+            platform.collect_batched(make_choice_tasks(2, seed=18), redundancy=1)
+
+
+class TestHaving:
+    @pytest.fixture
+    def session(self):
+        s = CrowdSQLSession()
+        s.execute(
+            "CREATE TABLE sales (region STRING, amount FLOAT);"
+            "INSERT INTO sales VALUES ('north', 10.0), ('north', 20.0),"
+            " ('south', 5.0), ('west', 40.0)"
+        )
+        return s
+
+    def test_having_count(self, session):
+        result = session.query(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region HAVING COUNT(*) > 1"
+        )
+        assert result.rows == [{"region": "north", "count": 2}]
+
+    def test_having_sum(self, session):
+        result = session.query(
+            "SELECT region, SUM(amount) FROM sales GROUP BY region "
+            "HAVING SUM(amount) >= 20 ORDER BY region"
+        )
+        assert [r["region"] for r in result.rows] == ["north", "west"]
+
+    def test_having_without_group_by(self, session):
+        result = session.query("SELECT COUNT(*) FROM sales HAVING COUNT(*) > 10")
+        assert result.rows == []
+        result = session.query("SELECT COUNT(*) FROM sales HAVING COUNT(*) > 2")
+        assert result.rows == [{"count": 4}]
+
+    def test_having_requires_aggregates(self):
+        with pytest.raises(ParseError, match="HAVING requires aggregates"):
+            parse_one("SELECT region FROM sales HAVING region = 'x'")
+
+    def test_having_parsed_as_filter_on_output(self):
+        stmt = parse_one(
+            "SELECT region, COUNT(*) FROM t GROUP BY region HAVING COUNT(*) > 3"
+        )
+        assert stmt.having is not None
+        assert stmt.having.evaluate({"count": 5}) is True
+        assert stmt.having.evaluate({"count": 2}) is False
+
+    def test_having_combined_conditions(self, session):
+        result = session.query(
+            "SELECT region, COUNT(*), SUM(amount) FROM sales GROUP BY region "
+            "HAVING COUNT(*) > 1 AND SUM(amount) > 25"
+        )
+        assert result.rows == [{"region": "north", "count": 2, "sum_amount": 30.0}]
+
+    def test_explain_shows_having_filter(self, session):
+        text = session.explain(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region HAVING COUNT(*) > 1"
+        )
+        assert "Filter" in text and "Aggregate" in text

@@ -1,0 +1,83 @@
+"""Tests for confidence calibration analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.calibration import (
+    expected_calibration_error,
+    overconfidence,
+    reliability_bins,
+)
+from repro.experiments.datasets import labeling_dataset
+from repro.experiments.harness import PoolSpec, make_platform
+from repro.quality.truth import DawidSkene, MajorityVote
+from repro.quality.truth.base import InferenceResult
+
+
+def _synthetic_result(pairs):
+    """pairs: list of (confidence, is_correct)."""
+    truths = {}
+    confidences = {}
+    truth_map = {}
+    for i, (confidence, correct) in enumerate(pairs):
+        task = f"t{i}"
+        truths[task] = "x"
+        confidences[task] = confidence
+        truth_map[task] = "x" if correct else "y"
+    return InferenceResult(truths=truths, confidences=confidences), truth_map
+
+
+class TestReliability:
+    def test_perfectly_calibrated(self):
+        # 10 tasks at 0.8 confidence, 8 correct.
+        pairs = [(0.8, i < 8) for i in range(10)]
+        result, truth = _synthetic_result(pairs)
+        bins = reliability_bins(result, truth, n_bins=10)
+        assert len(bins) == 1
+        assert bins[0].accuracy == pytest.approx(0.8)
+        assert bins[0].gap == pytest.approx(0.0)
+        assert expected_calibration_error(result, truth) == pytest.approx(0.0)
+
+    def test_overconfident_detected(self):
+        pairs = [(0.95, i < 5) for i in range(10)]  # claims 95%, gets 50%
+        result, truth = _synthetic_result(pairs)
+        assert expected_calibration_error(result, truth) == pytest.approx(0.45)
+        assert overconfidence(result, truth) == pytest.approx(0.45)
+
+    def test_underconfidence_is_negative(self):
+        pairs = [(0.5, True) for _ in range(10)]
+        result, truth = _synthetic_result(pairs)
+        assert overconfidence(result, truth) == pytest.approx(-0.5)
+
+    def test_validation(self):
+        result, truth = _synthetic_result([(0.5, True)])
+        with pytest.raises(ConfigurationError):
+            reliability_bins(result, truth, n_bins=0)
+        with pytest.raises(ConfigurationError):
+            reliability_bins(result, {}, n_bins=5)
+
+    def test_bin_boundaries_cover_unit_interval(self):
+        pairs = [(c / 10, True) for c in range(11)]
+        result, truth = _synthetic_result(pairs)
+        bins = reliability_bins(result, truth, n_bins=5)
+        assert sum(b.count for b in bins) == 11  # 1.0 lands in the top bin
+
+
+class TestEndToEndCalibration:
+    def test_ds_reasonably_calibrated(self):
+        platform = make_platform(PoolSpec(kind="heterogeneous", size=25), seed=3)
+        dataset = labeling_dataset(300, seed=4)
+        answers = platform.collect(dataset.tasks, redundancy=5)
+        result = DawidSkene().infer(answers)
+        ece = expected_calibration_error(result, dataset.truth)
+        assert ece < 0.15
+
+    def test_mv_confidence_correlates_with_accuracy(self):
+        platform = make_platform(PoolSpec(kind="heterogeneous", size=25), seed=5)
+        dataset = labeling_dataset(300, seed=6)
+        answers = platform.collect(dataset.tasks, redundancy=5)
+        result = MajorityVote().infer(answers)
+        bins = reliability_bins(result, dataset.truth, n_bins=4)
+        populated = [b for b in bins if b.count >= 10]
+        if len(populated) >= 2:
+            assert populated[-1].accuracy >= populated[0].accuracy - 0.05

@@ -1,0 +1,123 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import DEMO_SCRIPT, build_session, main, render, repl, run_script
+from repro.lang.interpreter import StatementResult
+
+
+@pytest.fixture
+def session():
+    return build_session(seed=1, redundancy=5, pool_size=15)
+
+
+class TestRender:
+    def test_statement_result(self):
+        text = render(StatementResult(kind="created", table="t"))
+        assert text == "-- created table t"
+
+    def test_insert_counts_rows(self):
+        text = render(StatementResult(kind="inserted", table="t", row_count=3))
+        assert "3 row(s)" in text
+
+    def test_query_result_table(self, session):
+        session.execute("CREATE TABLE t (a STRING); INSERT INTO t VALUES ('x')")
+        result = session.query("SELECT a FROM t")
+        text = render(result)
+        assert "a" in text and "x" in text and "1 row(s)" in text
+
+    def test_crowd_accounting_line(self, session):
+        session.execute(
+            "CREATE TABLE t (a STRING); INSERT INTO t VALUES ('x'), ('x y')"
+        )
+        result = session.query(
+            "SELECT a FROM t CROWDORDER BY a LIMIT 1"
+        ) if False else None
+        # CROWDORDER over strings needs an oracle; use CROWDEQUAL instead.
+        session.execute(
+            "CREATE TABLE u (b STRING); INSERT INTO u VALUES ('x')"
+        )
+        result = session.query(
+            "SELECT a, b FROM t CROWDJOIN u ON CROWDEQUAL(a, b)"
+        )
+        text = render(result)
+        assert "-- crowd:" in text
+
+
+class TestRunScript:
+    def test_happy_path(self, session):
+        out = io.StringIO()
+        code = run_script(
+            session,
+            "CREATE TABLE t (a STRING); INSERT INTO t VALUES ('v'); SELECT * FROM t",
+            out=out,
+        )
+        assert code == 0
+        assert "created table t" in out.getvalue()
+        assert "v" in out.getvalue()
+
+    def test_parse_error_reported(self, session):
+        out = io.StringIO()
+        code = run_script(session, "SELEKT * FROM t", out=out)
+        assert code == 1
+        assert "error:" in out.getvalue()
+
+    def test_unknown_table_reported(self, session):
+        out = io.StringIO()
+        code = run_script(session, "SELECT * FROM ghosts", out=out)
+        assert code == 1
+        assert "ghosts" in out.getvalue()
+
+
+class TestRepl:
+    def test_executes_statements_and_quits(self, session):
+        stdin = io.StringIO(
+            "CREATE TABLE t (a STRING);\nINSERT INTO t VALUES ('q');\n"
+            "SELECT COUNT(*) FROM t;\n\\q\n"
+        )
+        out = io.StringIO()
+        code = repl(session, stdin=stdin, out=out)
+        assert code == 0
+        assert "count" in out.getvalue()
+
+    def test_multiline_statement(self, session):
+        stdin = io.StringIO("CREATE TABLE t\n(a STRING);\nexit\n")
+        out = io.StringIO()
+        repl(session, stdin=stdin, out=out)
+        assert "t" in session.database
+
+    def test_trailing_statement_without_semicolon(self, session):
+        stdin = io.StringIO("CREATE TABLE t (a STRING)")
+        out = io.StringIO()
+        repl(session, stdin=stdin, out=out)
+        assert "t" in session.database
+
+
+class TestMain:
+    def test_demo_exits_zero(self, capsys):
+        assert main(["--seed", "3", "demo"]) == 0
+        captured = capsys.readouterr()
+        assert "The Iron Giant" in captured.out
+
+    def test_run_script_file(self, tmp_path, capsys):
+        script = tmp_path / "s.sql"
+        script.write_text("CREATE TABLE t (a STRING); SELECT COUNT(*) FROM t;")
+        assert main(["run", str(script)]) == 0
+        assert "count" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/path.sql"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_demo_is_deterministic(self, capsys):
+        main(["--seed", "9", "demo"])
+        first = capsys.readouterr().out
+        main(["--seed", "9", "demo"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_demo_script_has_crowd_features(self):
+        assert "CROWDJOIN" in DEMO_SCRIPT
+        assert "CROWDORDER" in DEMO_SCRIPT

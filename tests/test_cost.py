@@ -1,0 +1,398 @@
+"""Unit tests for repro.cost (similarity, pruning, deduction, selection,
+sampling, task design)."""
+
+import numpy as np
+import pytest
+
+from repro.cost.deduction import ComparisonDeducer, TransitiveResolver, resolve_pairs
+from repro.cost.pruning import SimilarityPruner, pruning_recall
+from repro.cost.sampling import (
+    estimate_count,
+    estimate_mean,
+    estimate_proportion,
+    required_sample_size,
+    sample_indices,
+    stratified_estimate,
+)
+from repro.cost.selection import (
+    ExpectedErrorReductionSelector,
+    MarginSelector,
+    UncertaintySelector,
+    entropy,
+    margin,
+)
+from repro.cost.similarity import (
+    cosine_tokens,
+    edit_distance,
+    edit_similarity,
+    jaccard_ngrams,
+    jaccard_tokens,
+    ngrams,
+    tokenize,
+)
+from repro.cost.taskdesign import (
+    FatigueModel,
+    batch_tasks,
+    best_batch_size,
+    plan_batching,
+)
+from repro.errors import ConfigurationError, DeductionError
+from repro.platform.task import fill
+
+
+class TestSimilarity:
+    def test_tokenize_lowercases(self):
+        assert tokenize("Hello, World-2") == ["hello", "world", "2"]
+
+    def test_jaccard_identical(self):
+        assert jaccard_tokens("a b c", "c b a") == pytest.approx(1.0)
+
+    def test_jaccard_disjoint(self):
+        assert jaccard_tokens("a b", "c d") == 0.0
+
+    def test_jaccard_both_empty(self):
+        assert jaccard_tokens("", "") == 1.0
+
+    def test_jaccard_one_empty(self):
+        assert jaccard_tokens("a", "") == 0.0
+
+    def test_ngrams_short_string(self):
+        assert ngrams("ab", 3) == {"ab"}
+
+    def test_ngram_similarity_order_insensitive(self):
+        assert jaccard_ngrams("apple phone", "phone apple") > 0.4
+
+    def test_edit_distance_classic(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_edit_distance_identity(self):
+        assert edit_distance("same", "same") == 0
+
+    def test_edit_distance_empty(self):
+        assert edit_distance("", "abc") == 3
+
+    def test_edit_distance_symmetric(self):
+        assert edit_distance("abcdef", "azced") == edit_distance("azced", "abcdef")
+
+    def test_edit_similarity_bounds(self):
+        assert 0.0 <= edit_similarity("abc", "xyz") <= 1.0
+        assert edit_similarity("", "") == 1.0
+
+    def test_cosine_identical(self):
+        assert cosine_tokens("a b a", "a a b") == pytest.approx(1.0)
+
+    def test_cosine_disjoint(self):
+        assert cosine_tokens("a", "b") == 0.0
+
+    @pytest.mark.parametrize(
+        "fn", [jaccard_tokens, jaccard_ngrams, edit_similarity, cosine_tokens]
+    )
+    def test_all_similarities_symmetric_and_bounded(self, fn):
+        pairs = [("apple iphone", "iphone apple 12"), ("x", "y"), ("", "abc")]
+        for a, b in pairs:
+            assert fn(a, b) == pytest.approx(fn(b, a))
+            assert 0.0 <= fn(a, b) <= 1.0
+
+
+class TestPruning:
+    RECORDS = [
+        "swift falcon 120",
+        "falcon swift 120",
+        "amber orchid 55",
+        "orchid amber 55 pro",
+        "cobalt summit 9",
+    ]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimilarityPruner(threshold=2.0)
+
+    def test_unknown_similarity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimilarityPruner(similarity="nope")
+
+    def test_prunes_cross_entity_pairs(self):
+        pairs, report = SimilarityPruner(0.5).candidate_pairs(self.RECORDS)
+        kept = {(p.left_index, p.right_index) for p in pairs}
+        assert (0, 1) in kept and (2, 3) in kept
+        assert (0, 4) not in kept
+        assert report.total_pairs == 10
+        assert report.pruned_fraction > 0.5
+
+    def test_zero_threshold_keeps_everything(self):
+        pairs, report = SimilarityPruner(0.0).candidate_pairs(self.RECORDS)
+        assert len(pairs) == report.total_pairs == 10
+
+    def test_pairs_sorted_by_similarity(self):
+        pairs, _ = SimilarityPruner(0.0).candidate_pairs(self.RECORDS)
+        sims = [p.similarity for p in pairs]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_cross_pairs(self):
+        left = ["swift falcon"]
+        right = ["falcon swift x", "other thing"]
+        pairs, report = SimilarityPruner(0.5).cross_pairs(left, right)
+        assert [(p.left_index, p.right_index) for p in pairs] == [(0, 0)]
+        assert report.total_pairs == 2
+
+    def test_recall_computation(self):
+        pairs, _ = SimilarityPruner(0.5).candidate_pairs(self.RECORDS)
+        assert pruning_recall(pairs, {(0, 1), (2, 3)}) == 1.0
+        assert pruning_recall(pairs, {(0, 4)}) == 0.0
+        assert pruning_recall([], set()) == 1.0
+
+    def test_custom_similarity_callable(self):
+        pruner = SimilarityPruner(0.5, similarity=lambda a, b: 1.0)
+        pairs, _ = pruner.candidate_pairs(["x", "y", "z"])
+        assert len(pairs) == 3
+
+
+class TestTransitiveResolver:
+    def test_positive_transitivity(self):
+        resolver = TransitiveResolver()
+        resolver.record_match("a", "b")
+        resolver.record_match("b", "c")
+        assert resolver.infer("a", "c") is True
+
+    def test_negative_propagation(self):
+        resolver = TransitiveResolver()
+        resolver.record_match("a", "b")
+        resolver.record_nonmatch("b", "x")
+        assert resolver.infer("a", "x") is False
+
+    def test_unknown_is_none(self):
+        resolver = TransitiveResolver()
+        resolver.record_match("a", "b")
+        assert resolver.infer("a", "z") is None
+
+    def test_strict_contradiction_match(self):
+        resolver = TransitiveResolver(strict=True)
+        resolver.record_nonmatch("a", "b")
+        with pytest.raises(DeductionError):
+            resolver.record_match("a", "b")
+
+    def test_strict_contradiction_nonmatch(self):
+        resolver = TransitiveResolver(strict=True)
+        resolver.record_match("a", "b")
+        with pytest.raises(DeductionError):
+            resolver.record_nonmatch("a", "b")
+
+    def test_lenient_records_conflicts(self):
+        resolver = TransitiveResolver(strict=False)
+        resolver.record_match("a", "b")
+        resolver.record_nonmatch("a", "b")
+        assert resolver.conflicts
+        assert resolver.infer("a", "b") is True  # first evidence wins
+
+    def test_nonmatch_edges_survive_merges(self):
+        resolver = TransitiveResolver()
+        resolver.record_nonmatch("a", "x")
+        resolver.record_match("a", "b")   # merge a,b; edge must follow root
+        assert resolver.infer("b", "x") is False
+
+    def test_clusters(self):
+        resolver = TransitiveResolver()
+        resolver.record_match("a", "b")
+        resolver.record_match("c", "d")
+        clusters = resolver.clusters(["a", "b", "c", "d", "e"])
+        as_sets = sorted(tuple(sorted(c)) for c in clusters)
+        assert as_sets == [("a", "b"), ("c", "d"), ("e",)]
+
+    def test_resolve_pairs_saves_questions(self):
+        cluster = {i: i // 4 for i in range(12)}  # 3 clusters of 4
+        pairs = [(i, j) for i in range(12) for j in range(i + 1, 12)]
+        labels, asked = resolve_pairs(pairs, lambda a, b: cluster[a] == cluster[b])
+        assert asked < len(pairs)
+        assert all(
+            labels[(i, j)] == (cluster[i] == cluster[j]) for i, j in pairs
+        )
+
+
+class TestComparisonDeducer:
+    def test_transitive_order(self):
+        deducer = ComparisonDeducer()
+        deducer.record("a", "b")
+        deducer.record("b", "c")
+        deducer.record("c", "d")
+        assert deducer.infer("a", "d") is True
+        assert deducer.infer("d", "a") is False
+        assert deducer.infer("a", "zz") is None
+
+    def test_self_comparison_rejected(self):
+        with pytest.raises(DeductionError):
+            ComparisonDeducer().record("a", "a")
+
+    def test_cycle_rejected_strict(self):
+        deducer = ComparisonDeducer(strict=True)
+        deducer.record("a", "b")
+        deducer.record("b", "c")
+        with pytest.raises(DeductionError):
+            deducer.record("c", "a")
+
+    def test_cycle_ignored_lenient(self):
+        deducer = ComparisonDeducer(strict=False)
+        deducer.record("a", "b")
+        deducer.record("b", "a")
+        assert deducer.conflicts == [("b", "a")]
+
+    def test_duplicate_edge_not_recounted(self):
+        deducer = ComparisonDeducer()
+        deducer.record("a", "b")
+        deducer.record("a", "b")
+        assert deducer.recorded == 1
+
+    def test_known_sets(self):
+        deducer = ComparisonDeducer()
+        deducer.record("a", "b")
+        deducer.record("b", "c")
+        assert deducer.known_below("a") == {"b", "c"}
+        assert deducer.known_above("c") == {"a", "b"}
+
+
+class TestSelection:
+    def test_entropy_uniform_is_max(self):
+        assert entropy({"a": 0.5, "b": 0.5}) > entropy({"a": 0.9, "b": 0.1})
+
+    def test_entropy_certain_is_zero(self):
+        assert entropy({"a": 1.0, "b": 0.0}) == pytest.approx(0.0)
+
+    def test_entropy_handles_unnormalized(self):
+        assert entropy({"a": 2, "b": 2}) == pytest.approx(entropy({"a": 0.5, "b": 0.5}))
+
+    def test_margin(self):
+        assert margin({"a": 0.8, "b": 0.2}) == pytest.approx(0.6)
+        assert margin({"a": 1.0}) == 1.0
+
+    def test_uncertainty_selects_most_uncertain(self):
+        posteriors = {
+            "easy": {"a": 0.95, "b": 0.05},
+            "hard": {"a": 0.5, "b": 0.5},
+            "mid": {"a": 0.7, "b": 0.3},
+        }
+        assert UncertaintySelector().select(posteriors, budget=2) == ["hard", "mid"]
+
+    def test_margin_selector_agrees_on_binary(self):
+        posteriors = {
+            "easy": {"a": 0.95, "b": 0.05},
+            "hard": {"a": 0.51, "b": 0.49},
+        }
+        assert MarginSelector().select(posteriors, budget=1) == ["hard"]
+
+    def test_eer_prefers_decidable_uncertainty(self):
+        selector = ExpectedErrorReductionSelector(assumed_accuracy=0.8)
+        # A coin-flip task gains more from one answer than a settled one.
+        assert selector.score({"a": 0.5, "b": 0.5}) > selector.score(
+            {"a": 0.95, "b": 0.05}
+        )
+
+    def test_eer_accuracy_validated(self):
+        with pytest.raises(ConfigurationError):
+            ExpectedErrorReductionSelector(assumed_accuracy=0.3)
+
+    def test_budget_validated(self):
+        with pytest.raises(ConfigurationError):
+            UncertaintySelector().select({}, budget=-1)
+
+    def test_budget_zero_empty(self):
+        assert UncertaintySelector().select({"t": {"a": 1.0}}, budget=0) == []
+
+
+class TestSampling:
+    def test_proportion_point_estimate(self):
+        est = estimate_proportion([True, True, False, False], 1000)
+        assert est.value == pytest.approx(0.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_proportion([], 10)
+
+    def test_fpc_shrinks_stderr(self):
+        small_pop = estimate_proportion([True, False] * 20, 50)
+        big_pop = estimate_proportion([True, False] * 20, 100_000)
+        assert small_pop.stderr < big_pop.stderr
+
+    def test_count_scales_proportion(self):
+        est = estimate_count([True, False], 100)
+        assert est.value == pytest.approx(50.0)
+
+    def test_interval_contains_truth_usually(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.random(100) < 0.3
+            est = estimate_count(list(sample), 10_000, confidence=0.95)
+            if est.contains(3000):
+                hits += 1
+        assert hits / trials > 0.88  # ~95% nominal
+
+    def test_estimate_mean(self):
+        est = estimate_mean([10.0, 12.0, 8.0, 10.0])
+        assert est.value == pytest.approx(10.0)
+        assert est.stderr > 0
+
+    def test_required_sample_size_monotone(self):
+        assert required_sample_size(0.01) > required_sample_size(0.05)
+
+    def test_required_sample_size_classic_value(self):
+        # 95% CI, +-5% -> ~385 samples.
+        assert 380 <= required_sample_size(0.05, 0.95) <= 390
+
+    def test_sample_indices_unique_sorted(self, rng):
+        idx = sample_indices(100, 30, rng)
+        assert len(set(idx)) == 30
+        assert idx == sorted(idx)
+
+    def test_sample_too_large_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_indices(5, 10, rng)
+
+    def test_stratified_combines(self):
+        est = stratified_estimate(
+            [([True] * 8 + [False] * 2, 800), ([True] * 2 + [False] * 8, 200)]
+        )
+        assert est.value == pytest.approx(0.8 * 0.8 + 0.2 * 0.2)
+
+    def test_stratified_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stratified_estimate([])
+
+
+class TestTaskDesign:
+    def test_batching_shapes(self):
+        tasks = [fill(f"q{i}") for i in range(10)]
+        hits = batch_tasks(tasks, 3)
+        assert [len(h) for h in hits] == [3, 3, 3, 1]
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            batch_tasks([fill("q")], 0)
+
+    def test_fatigue_monotone(self):
+        fatigue = FatigueModel(decay=0.05, floor=0.5)
+        multipliers = [fatigue.multiplier(k) for k in range(20)]
+        assert multipliers == sorted(multipliers, reverse=True)
+        assert min(multipliers) >= 0.5
+
+    def test_fatigue_validated(self):
+        with pytest.raises(ConfigurationError):
+            FatigueModel(decay=1.5)
+        with pytest.raises(ConfigurationError):
+            FatigueModel(floor=0.0)
+
+    def test_plan_batching_amortizes_overhead(self):
+        plans = plan_batching(100, [1, 5, 20], engagement_overhead=1.0)
+        by_size = {p.batch_size: p for p in plans}
+        assert by_size[20].engagement_cost < by_size[1].engagement_cost
+        assert by_size[20].mean_accuracy_multiplier < by_size[1].mean_accuracy_multiplier
+
+    def test_best_batch_size_prefers_middle_ground(self):
+        plans = plan_batching(
+            100, [1, 5, 10, 50], fatigue=FatigueModel(decay=0.02, floor=0.5)
+        )
+        best = best_batch_size(plans)
+        assert best.batch_size > 1  # batching always beats singletons on ratio
+
+    def test_best_batch_size_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_batch_size([])

@@ -1,0 +1,296 @@
+"""Unit tests for the Deco layer: model, fetch rules, query semantics."""
+
+import pytest
+
+from repro.deco import (
+    AnchorFetchRule,
+    ConceptualRelation,
+    DecoQueryEngine,
+    DependentFetchRule,
+    DependentGroup,
+    FetchRuleSet,
+    dedup_exact,
+    first_resolution,
+    majority_resolution,
+    mean_resolution,
+    single_column_group,
+)
+from repro.errors import ConfigurationError, SchemaError
+from repro.operators.collect import bind_zipf_knowledge
+from repro.platform.platform import SimulatedPlatform
+from repro.workers.models import CollectorModel, OneCoinModel
+from repro.workers.pool import WorkerPool
+from repro.workers.worker import Worker
+
+
+class TestResolutionFunctions:
+    def test_majority(self):
+        assert majority_resolution(["a", "b", "a"]) == "a"
+
+    def test_majority_tie_deterministic(self):
+        assert majority_resolution(["b", "a"]) == "a"
+
+    def test_majority_empty(self):
+        assert majority_resolution([]) is None
+
+    def test_mean(self):
+        assert mean_resolution([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_first(self):
+        assert first_resolution(["x", "y"]) == "x"
+        assert first_resolution([]) is None
+
+    def test_dedup_exact_preserves_order(self):
+        assert dedup_exact(["b", "a", "b", "c"]) == ["b", "a", "c"]
+
+
+class TestDependentGroup:
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            DependentGroup(name="g", columns=())
+        with pytest.raises(SchemaError):
+            DependentGroup(name="g", columns=("a",), min_raw=0)
+
+    def test_resolve_insufficient_raw(self):
+        group = single_column_group("cuisine", min_raw=2)
+        assert group.resolve([{"cuisine": "thai"}]) is None
+
+    def test_resolve_majority(self):
+        group = single_column_group("cuisine", min_raw=2)
+        resolved = group.resolve(
+            [{"cuisine": "thai"}, {"cuisine": "thai"}, {"cuisine": "pizza"}]
+        )
+        assert resolved == {"cuisine": "thai"}
+
+    def test_multi_column_default_resolution(self):
+        group = DependentGroup(name="geo", columns=("lat", "lon"))
+        resolved = group.resolve([{"lat": 1.0, "lon": 2.0}, {"lat": 1.0, "lon": 3.0}])
+        assert resolved["lat"] == 1.0
+        assert resolved["lon"] in (2.0, 3.0)
+
+    def test_custom_resolution(self):
+        group = single_column_group("rating", mean_resolution, min_raw=2)
+        assert group.resolve([{"rating": 2}, {"rating": 4}]) == {"rating": 3.0}
+
+
+class TestConceptualRelation:
+    @pytest.fixture
+    def relation(self):
+        return ConceptualRelation(
+            "restaurants",
+            anchors=("name",),
+            groups=[
+                single_column_group("cuisine", min_raw=2),
+                single_column_group("rating", mean_resolution, min_raw=1),
+            ],
+        )
+
+    def test_schema_validation(self):
+        with pytest.raises(SchemaError):
+            ConceptualRelation("r", anchors=(), groups=[])
+        with pytest.raises(SchemaError):
+            ConceptualRelation(
+                "r", anchors=("a",),
+                groups=[single_column_group("x"), single_column_group("x")],
+            )
+        with pytest.raises(SchemaError):
+            ConceptualRelation(
+                "r", anchors=("a",), groups=[single_column_group("a")]
+            )
+
+    def test_disjoint_group_columns_enforced(self):
+        with pytest.raises(SchemaError):
+            ConceptualRelation(
+                "r", anchors=("k",),
+                groups=[
+                    DependentGroup("g1", ("x", "y")),
+                    DependentGroup("g2", ("y",)),
+                ],
+            )
+
+    def test_anchor_dedup(self, relation):
+        assert relation.add_anchor(name="joes") is True
+        assert relation.add_anchor(name="joes") is False
+        assert len(relation) == 1
+
+    def test_raw_values_accumulate(self, relation):
+        relation.add_anchor(name="joes")
+        relation.add_raw_value({"name": "joes"}, "cuisine", cuisine="thai")
+        relation.add_raw_value({"name": "joes"}, "cuisine", cuisine="thai")
+        assert relation.raw_count({"name": "joes"}, "cuisine") == 2
+
+    def test_raw_value_requires_known_anchor(self, relation):
+        with pytest.raises(ConfigurationError):
+            relation.add_raw_value({"name": "ghost"}, "cuisine", cuisine="x")
+
+    def test_raw_value_rejects_unknown_group_or_column(self, relation):
+        relation.add_anchor(name="joes")
+        with pytest.raises(ConfigurationError):
+            relation.add_raw_value({"name": "joes"}, "nope", cuisine="x")
+        with pytest.raises(ConfigurationError):
+            relation.add_raw_value({"name": "joes"}, "cuisine", wrong_col="x")
+
+    def test_unresolved_groups(self, relation):
+        relation.add_anchor(name="joes")
+        assert set(relation.unresolved_groups({"name": "joes"})) == {"cuisine", "rating"}
+        relation.add_raw_value({"name": "joes"}, "rating", rating=4)
+        assert relation.unresolved_groups({"name": "joes"}) == ["cuisine"]
+
+    def test_resolved_rows_require_all_groups(self, relation):
+        relation.add_anchor(name="joes")
+        relation.add_raw_value({"name": "joes"}, "rating", rating=4)
+        assert relation.resolved_rows() == []
+        relation.add_raw_value({"name": "joes"}, "cuisine", cuisine="thai")
+        relation.add_raw_value({"name": "joes"}, "cuisine", cuisine="thai")
+        rows = relation.resolved_rows()
+        assert rows == [{"name": "joes", "cuisine": "thai", "rating": 4.0}]
+
+    def test_include_partial(self, relation):
+        relation.add_anchor(name="joes")
+        relation.add_raw_value({"name": "joes"}, "rating", rating=5)
+        partial = relation.resolved_rows(include_partial=True)
+        assert partial == [{"name": "joes", "rating": 5.0}]
+
+
+def _mixed_platform(universe, cuisine_of, seed=1):
+    workers = [Worker(model=CollectorModel()) for _ in range(8)]
+    workers += [Worker(model=OneCoinModel(0.95)) for _ in range(12)]
+    pool = WorkerPool(workers, seed=seed)
+    bind_zipf_knowledge(pool, universe, knowledge_size=12, seed=seed + 1)
+    return SimulatedPlatform(pool, seed=seed + 2)
+
+
+def _rules(cuisine_of):
+    return FetchRuleSet(
+        anchor_rule=AnchorFetchRule("Name a restaurant."),
+        dependent_rules={
+            "cuisine": DependentFetchRule(
+                "cuisine",
+                truth_fn=lambda anchor, col: cuisine_of.get(anchor["name"], "unknown"),
+            )
+        },
+    )
+
+
+class TestFetchRules:
+    UNIVERSE = [f"r{i}" for i in range(20)]
+    CUISINE = {r: ("thai", "sushi")[i % 2] for i, r in enumerate(UNIVERSE)}
+
+    def test_anchor_fetch_adds_new(self):
+        platform = _mixed_platform(self.UNIVERSE, self.CUISINE)
+        relation = ConceptualRelation(
+            "r", ("name",), [single_column_group("cuisine", min_raw=1)]
+        )
+        rule = AnchorFetchRule("Name one.")
+        added = rule.fetch(relation, platform, attempts=30)
+        assert 1 <= added <= 30
+        assert len(relation) == added
+
+    def test_anchor_fetch_multi_anchor_needs_parse(self):
+        platform = _mixed_platform(self.UNIVERSE, self.CUISINE)
+        relation = ConceptualRelation(
+            "r", ("city", "name"), [single_column_group("cuisine", min_raw=1)]
+        )
+        with pytest.raises(ConfigurationError, match="parse"):
+            AnchorFetchRule("q").fetch(relation, platform, attempts=1)
+
+    def test_anchor_fetch_with_parse(self):
+        platform = _mixed_platform(self.UNIVERSE, self.CUISINE)
+        relation = ConceptualRelation(
+            "r", ("city", "name"), [single_column_group("cuisine", min_raw=1)]
+        )
+        rule = AnchorFetchRule(
+            "q", parse=lambda value: {"city": "here", "name": value}
+        )
+        added = rule.fetch(relation, platform, attempts=20)
+        assert added >= 1
+
+    def test_dependent_fetch_records_raw(self):
+        platform = _mixed_platform(self.UNIVERSE, self.CUISINE)
+        relation = ConceptualRelation(
+            "r", ("name",), [single_column_group("cuisine", min_raw=2)]
+        )
+        relation.add_anchor(name="r0")
+        rule = DependentFetchRule(
+            "cuisine", truth_fn=lambda anchor, col: self.CUISINE[anchor["name"]]
+        )
+        made = rule.fetch(relation, platform, {"name": "r0"}, times=3)
+        assert made == 3
+        assert relation.raw_count({"name": "r0"}, "cuisine") == 3
+
+    def test_fetch_charges_budget(self):
+        platform = _mixed_platform(self.UNIVERSE, self.CUISINE)
+        relation = ConceptualRelation(
+            "r", ("name",), [single_column_group("cuisine", min_raw=1)]
+        )
+        relation.add_anchor(name="r0")
+        rule = DependentFetchRule("cuisine", truth_fn=lambda a, c: "thai")
+        rule.fetch(relation, platform, {"name": "r0"}, times=2)
+        assert platform.stats.cost_spent == pytest.approx(0.02)
+
+
+class TestDecoQuery:
+    UNIVERSE = [f"r{i}" for i in range(25)]
+    CUISINE = {
+        f"r{i}": ("thai", "sushi", "pizza")[i % 3] for i in range(25)
+    }
+
+    def _engine(self, seed=5, budget=float("inf")):
+        platform = _mixed_platform(self.UNIVERSE, self.CUISINE, seed=seed)
+        platform.budget = budget
+        relation = ConceptualRelation(
+            "restaurants", ("name",), [single_column_group("cuisine", min_raw=2)]
+        )
+        return DecoQueryEngine(relation, _rules(self.CUISINE), platform)
+
+    def test_min_tuples_satisfied(self):
+        engine = self._engine()
+        result = engine.min_tuples(4, predicate=lambda row: row["cuisine"] == "thai")
+        assert result.satisfied
+        assert len(result.rows) >= 4
+        assert all(row["cuisine"] == "thai" for row in result.rows)
+        assert result.anchors_fetched > 0
+        assert result.dependent_fetches >= 2 * result.anchors_fetched * 0  # sanity
+
+    def test_min_tuples_validates_n(self):
+        engine = self._engine()
+        with pytest.raises(ConfigurationError):
+            engine.min_tuples(0)
+
+    def test_missing_fetch_rule_rejected(self):
+        engine = self._engine()
+        engine.rules.dependent_rules = {}
+        with pytest.raises(ConfigurationError, match="fetch rule"):
+            engine.min_tuples(1)
+
+    def test_budget_exhaustion_is_graceful(self):
+        engine = self._engine(budget=0.05)
+        result = engine.min_tuples(20)
+        assert not result.satisfied
+        assert result.stop_reason == "budget_exhausted"
+        assert result.cost <= 0.05 + 1e-9
+
+    def test_no_anchor_rule_stops(self):
+        engine = self._engine()
+        engine.rules.anchor_rule = None
+        result = engine.min_tuples(3)
+        assert not result.satisfied
+        assert result.stop_reason == "no_anchor_fetch_rule"
+
+    def test_existing_anchors_resolved_first(self):
+        engine = self._engine()
+        for name in ("r0", "r3", "r6"):  # all thai
+            engine.relation.add_anchor(name=name)
+        result = engine.min_tuples(3, predicate=lambda row: row["cuisine"] == "thai")
+        assert result.satisfied
+        # No enumeration needed: the pre-seeded anchors suffice.
+        assert result.anchors_fetched == 0
+
+    def test_resolve_all(self):
+        engine = self._engine()
+        for name in ("r0", "r1"):
+            engine.relation.add_anchor(name=name)
+        result = engine.resolve_all()
+        assert result.satisfied
+        assert len(result.rows) == 2
+        assert result.dependent_fetches == 4  # 2 anchors x min_raw 2

@@ -1,0 +1,93 @@
+"""Property-based tests for Deco model invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deco.model import (
+    ConceptualRelation,
+    majority_resolution,
+    mean_resolution,
+    single_column_group,
+)
+
+ANCHORS = st.lists(st.text(alphabet="abc", min_size=1, max_size=4), max_size=10)
+RAW_EVENTS = st.lists(
+    st.tuples(
+        st.integers(0, 9),                              # anchor index
+        st.sampled_from(["g1", "g2"]),                  # group
+        st.sampled_from(["x", "y", "z"]),               # value
+    ),
+    max_size=40,
+)
+
+
+def _relation() -> ConceptualRelation:
+    return ConceptualRelation(
+        "r",
+        anchors=("name",),
+        groups=[
+            single_column_group("g1", min_raw=2),
+            single_column_group("g2", min_raw=1),
+        ],
+    )
+
+
+@given(anchors=ANCHORS)
+@settings(max_examples=50)
+def test_anchor_dedup_is_exact(anchors):
+    relation = _relation()
+    added = sum(1 for a in anchors if relation.add_anchor(name=a))
+    assert added == len(set(anchors))
+    assert len(relation) == len(set(anchors))
+
+
+@given(anchors=ANCHORS, events=RAW_EVENTS)
+@settings(max_examples=50)
+def test_resolved_rows_subset_of_anchors_and_monotone(anchors, events):
+    relation = _relation()
+    names = list(dict.fromkeys(anchors)) or ["only"]
+    for name in names:
+        relation.add_anchor(name=name)
+
+    resolved_counts = []
+    for idx, group, value in events:
+        name = names[idx % len(names)]
+        relation.add_raw_value({"name": name}, group, **{group: value})
+        rows = relation.resolved_rows()
+        resolved_counts.append(len(rows))
+        # Every resolved row's anchor is a known anchor.
+        assert {row["name"] for row in rows} <= set(names)
+        # Resolved rows carry values for every group column.
+        for row in rows:
+            assert set(row) == {"name", "g1", "g2"}
+    # Adding raw data never unresolves a tuple (monotone growth).
+    assert resolved_counts == sorted(resolved_counts)
+
+
+@given(values=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=15))
+@settings(max_examples=50)
+def test_majority_resolution_is_a_mode(values):
+    winner = majority_resolution(values)
+    counts = {v: values.count(v) for v in set(values)}
+    assert counts[winner] == max(counts.values())
+
+
+@given(values=st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=15))
+@settings(max_examples=50)
+def test_mean_resolution_bounded_by_extremes(values):
+    resolved = mean_resolution(values)
+    assert min(values) - 1e-9 <= resolved <= max(values) + 1e-9
+
+
+@given(events=RAW_EVENTS)
+@settings(max_examples=50)
+def test_unresolved_groups_consistent_with_raw_counts(events):
+    relation = _relation()
+    relation.add_anchor(name="a")
+    for _idx, group, value in events:
+        relation.add_raw_value({"name": "a"}, group, **{group: value})
+    unresolved = set(relation.unresolved_groups({"name": "a"}))
+    g1_count = relation.raw_count({"name": "a"}, "g1")
+    g2_count = relation.raw_count({"name": "a"}, "g2")
+    assert ("g1" in unresolved) == (g1_count < 2)
+    assert ("g2" in unresolved) == (g2_count < 1)

@@ -1,0 +1,215 @@
+"""Unit tests for the CrowdEngine facade, EngineConfig, and Requester."""
+
+import math
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import CrowdEngine
+from repro.core.requester import Requester
+from repro.errors import BudgetExceededError, ConfigurationError
+from repro.lang.executor import CrowdOracle
+from repro.platform.platform import SimulatedPlatform
+from repro.quality.truth import DawidSkene
+from repro.workers.pool import WorkerPool
+
+from conftest import make_choice_tasks
+
+
+class TestEngineConfig:
+    def test_defaults_valid(self):
+        config = EngineConfig()
+        assert config.redundancy == 3
+        assert math.isinf(config.budget)
+
+    def test_invalid_redundancy(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(redundancy=0)
+
+    def test_invalid_inference(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(inference="nope")
+
+    def test_invalid_accuracy_range(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(pool_accuracy_range=(0.9, 0.5))
+
+    def test_make_inference(self):
+        assert isinstance(EngineConfig(inference="ds").make_inference(), DawidSkene)
+
+
+class TestEngineFacade:
+    @pytest.fixture
+    def engine(self):
+        return CrowdEngine(EngineConfig(seed=5, pool_size=20, pool_accuracy_range=(0.85, 0.95)))
+
+    def test_sql_and_query(self, engine):
+        engine.sql("CREATE TABLE t (a STRING, n INTEGER); INSERT INTO t VALUES ('x', 1), ('y', 2)")
+        result = engine.query("SELECT a FROM t WHERE n > 1")
+        assert [r["a"] for r in result.rows] == ["y"]
+
+    def test_table_access(self, engine):
+        engine.sql("CREATE TABLE t (a STRING)")
+        assert engine.table("t").name == "t"
+
+    def test_filter(self, engine):
+        result = engine.filter(list(range(12)), "even?", lambda i: i % 2 == 0)
+        assert set(result.kept) <= set(range(0, 12, 2)) | {1, 3, 5, 7, 9, 11}
+        assert engine.spent > 0
+
+    def test_filter_fixed(self, engine):
+        result = engine.filter(
+            list(range(6)), "even?", lambda i: i % 2 == 0, adaptive=False
+        )
+        assert result.questions_asked == 18  # 6 items x redundancy 3
+
+    def test_join(self, engine):
+        records = ["swift falcon 1", "falcon swift 1", "amber orchid 9"]
+        result = engine.join(records, lambda a, b: set(a.split()) == set(b.split()))
+        assert (0, 1) in result.matched_pairs
+
+    def test_sort_strategies(self, engine):
+        items = [f"i{k}" for k in range(6)]
+        score = lambda it: float(it[1:])
+        for strategy in ("all_pairs", "merge", "rating", "hybrid"):
+            result = engine.sort(items, score, strategy=strategy)
+            assert sorted(result.order) == list(range(6))
+
+    def test_sort_unknown_strategy(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.sort(["a", "b"], lambda x: 0.0, strategy="bogosort")
+
+    def test_max_and_topk(self, engine):
+        items = [f"i{k}" for k in range(8)]
+        score = lambda it: float(it[1:])
+        assert engine.max(items, score).winners[0] == 7
+        top = engine.topk(items, score, k=2)
+        assert len(top.winners) == 2
+
+    def test_count(self, engine):
+        items = list(range(500))
+        result = engine.count(items, "under 100?", lambda i: i < 100, sample_size=100)
+        assert 0 <= result.value <= 500
+
+    def test_fill_via_engine(self, engine):
+        engine.sql(
+            "CREATE TABLE c (k STRING, v STRING CROWD);"
+            "INSERT INTO c (k) VALUES ('x'), ('y')"
+        )
+        result = engine.fill("c", truth_fn=lambda row, col: row["k"] + "!")
+        assert result.filled_cells == 2
+        assert engine.table("c").row(1)["v"] == "x!"
+
+    def test_categorize(self, engine):
+        result = engine.categorize(
+            ["dog", "cat", "tuna"],
+            ("mammal", "fish"),
+            truth_fn=lambda item: "fish" if item == "tuna" else "mammal",
+        )
+        assert len(result.labels) == 3
+
+    def test_budget_enforced(self):
+        engine = CrowdEngine(EngineConfig(seed=9, budget=0.05))
+        with pytest.raises(BudgetExceededError):
+            engine.filter(list(range(50)), "q", lambda i: True, adaptive=False)
+
+    def test_remaining_budget(self):
+        engine = CrowdEngine(EngineConfig(seed=9, budget=1.0))
+        engine.filter([1, 2], "q", lambda i: True, adaptive=False)
+        assert engine.remaining_budget == pytest.approx(1.0 - engine.spent)
+
+    def test_oracle_passthrough(self):
+        oracle = CrowdOracle(filter_fn=lambda v, q: True)
+        engine = CrowdEngine(EngineConfig(seed=3), oracle=oracle)
+        engine.sql("CREATE TABLE t (a STRING); INSERT INTO t VALUES ('x')")
+        result = engine.query("SELECT a FROM t WHERE CROWDFILTER(a, 'always yes?')")
+        assert len(result) == 1
+
+
+class TestRequester:
+    @pytest.fixture
+    def requester(self):
+        platform = SimulatedPlatform(WorkerPool.uniform(15, 0.9, seed=7), seed=8)
+        return Requester(platform)
+
+    def test_submit_job(self, requester):
+        tasks = make_choice_tasks(20, seed=1)
+        report = requester.submit("labels", tasks, redundancy=3)
+        assert report.tasks == 20
+        assert len(report.truths) == 20
+        assert report.cost == pytest.approx(0.6)
+        assert report.makespan is None
+        assert 0.0 <= report.mean_confidence <= 1.0
+
+    def test_duplicate_job_rejected(self, requester):
+        requester.submit("j", make_choice_tasks(2, seed=2))
+        with pytest.raises(ConfigurationError):
+            requester.submit("j", make_choice_tasks(2, seed=3))
+
+    def test_empty_job_rejected(self, requester):
+        with pytest.raises(ConfigurationError):
+            requester.submit("empty", [])
+
+    def test_with_timeline_records_makespan(self, requester):
+        report = requester.submit(
+            "timed", make_choice_tasks(10, seed=4), redundancy=2, with_timeline=True
+        )
+        assert report.makespan is not None and report.makespan > 0
+        assert all(len(v) == 2 for v in report.answers.values())
+
+    def test_total_spent_accumulates(self, requester):
+        requester.submit("a", make_choice_tasks(5, seed=5), redundancy=2)
+        requester.submit("b", make_choice_tasks(5, seed=6), redundancy=2)
+        assert requester.total_spent == pytest.approx(0.2)
+
+    def test_job_lookup(self, requester):
+        requester.submit("x", make_choice_tasks(2, seed=7))
+        assert requester.job("x").name == "x"
+        with pytest.raises(ConfigurationError):
+            requester.job("ghost")
+
+    def test_custom_inference_per_job(self, requester):
+        report = requester.submit(
+            "ds", make_choice_tasks(10, seed=8), redundancy=5, inference=DawidSkene()
+        )
+        assert report.inference.iterations >= 1
+
+
+class TestEngineExtendedOperators:
+    @pytest.fixture
+    def engine(self):
+        return CrowdEngine(
+            EngineConfig(seed=55, pool_size=20, pool_accuracy_range=(0.92, 0.99))
+        )
+
+    def test_skyline_facade(self, engine):
+        scores = {"a": (0.1, 0.1), "b": (0.9, 0.9), "c": (0.05, 0.95)}
+        result = engine.skyline(
+            list(scores),
+            [lambda it: scores[it][0], lambda it: scores[it][1]],
+        )
+        assert 1 in result.skyline  # 'b' dominates 'a'
+
+    def test_match_schemas_facade(self, engine):
+        result = engine.match_schemas(
+            ("cust_name",), ("customer", "region"), truth={"cust_name": "customer"},
+            prune_below=0.0,
+        )
+        assert result.correspondences.get("cust_name") == "customer"
+
+    def test_plan_facade(self, engine):
+        graph = {"s": ["a", "b"], "a": ["t"], "b": ["t"], "t": []}
+        score = {("s", "a"): 0.2, ("s", "b"): 0.9, ("a", "t"): 0.5, ("b", "t"): 0.5}
+        result = engine.plan(graph, lambda u, v: score[(u, v)], "s", steps=2)
+        assert result.path[0] == "s" and len(result.path) == 3
+
+    def test_plan_strategy_validated(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.plan({}, lambda u, v: 0.0, "s", steps=1, strategy="magic")
+
+    def test_find_fix_verify_facade(self, engine):
+        from repro.operators.findfixverify import proofreading_dataset
+
+        documents = proofreading_dataset(3, seed=9)
+        result = engine.find_fix_verify(documents, find_redundancy=3)
+        assert len(result.corrected) == 3

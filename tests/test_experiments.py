@@ -1,0 +1,209 @@
+"""Unit tests for repro.experiments (datasets, metrics, harness, report)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.datasets import (
+    collection_universe,
+    counting_dataset,
+    er_dataset,
+    fill_dataset,
+    labeling_dataset,
+    ranking_dataset,
+)
+from repro.experiments.harness import PoolSpec, make_platform, run_trials
+from repro.experiments.metrics import (
+    accuracy,
+    kendall_tau,
+    precision_at_k,
+    precision_recall_f1,
+    relative_error,
+)
+from repro.experiments.report import format_series, format_table
+
+
+class TestLabelingDataset:
+    def test_shapes(self):
+        ds = labeling_dataset(50, seed=1)
+        assert len(ds.tasks) == 50
+        assert len(ds.truth) == 50
+        assert all(t.truth in ds.labels for t in ds.tasks)
+
+    def test_difficulties_in_range(self):
+        ds = labeling_dataset(30, difficulty_range=(0.2, 0.5), seed=2)
+        assert all(0.2 <= t.difficulty <= 0.5 for t in ds.tasks)
+
+    def test_reproducible(self):
+        a = labeling_dataset(20, seed=3)
+        b = labeling_dataset(20, seed=3)
+        assert [t.truth for t in a.tasks] == [t.truth for t in b.tasks]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            labeling_dataset(0)
+        with pytest.raises(ConfigurationError):
+            labeling_dataset(5, labels=("only",))
+
+
+class TestErDataset:
+    def test_cluster_structure(self):
+        ds = er_dataset(n_entities=15, records_per_entity=(2, 3), seed=4)
+        sizes = {}
+        for _idx, cluster in ds.cluster_of.items():
+            sizes[cluster] = sizes.get(cluster, 0) + 1
+        assert len(sizes) == 15
+        assert all(2 <= s <= 3 for s in sizes.values())
+
+    def test_true_pairs_match_clusters(self):
+        ds = er_dataset(n_entities=8, seed=5)
+        for i, j in ds.true_pairs:
+            assert ds.cluster_of[i] == ds.cluster_of[j]
+        assert all(
+            ds.truth_by_index(i, j) == ((i, j) in ds.true_pairs or i == j)
+            for i in range(len(ds.records))
+            for j in range(i + 1, len(ds.records))
+        )
+
+    def test_cross_entity_separation(self):
+        from repro.cost.similarity import jaccard_tokens
+
+        ds = er_dataset(n_entities=20, seed=6)
+        cross = [
+            jaccard_tokens(ds.records[i], ds.records[j])
+            for i in range(0, len(ds.records), 5)
+            for j in range(i + 1, len(ds.records))
+            if ds.cluster_of[i] != ds.cluster_of[j]
+        ]
+        assert max(cross) < 0.6  # entities share few tokens
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            er_dataset(n_entities=1)
+
+
+class TestOtherDatasets:
+    def test_ranking_scores_unique_order(self):
+        ds = ranking_dataset(10, seed=7)
+        assert len(ds.true_order) == 10
+        scores = [ds.scores[ds.items[i]] for i in ds.true_order]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ranking_spread(self):
+        ds = ranking_dataset(10, score_spread=0.1, seed=8)
+        values = list(ds.scores.values())
+        assert max(values) - min(values) <= 0.1 + 1e-9
+
+    def test_counting_selectivity_exact(self):
+        ds = counting_dataset(1000, selectivity=0.25, seed=9)
+        assert ds.true_count == 250
+        assert ds.truth_fn(ds.items[0]) in (True, False)
+
+    def test_counting_validation(self):
+        with pytest.raises(ConfigurationError):
+            counting_dataset(10, selectivity=1.5)
+
+    def test_collection_universe_distinct(self):
+        universe = collection_universe(100, seed=10)
+        assert len(set(universe)) == 100
+
+    def test_fill_dataset(self):
+        ds = fill_dataset(5, seed=11)
+        assert len(ds.rows) == 5
+        row = ds.rows[0]
+        assert ds.truth_fn(row, "hometown").startswith("city-")
+        assert ds.truth_fn(row, "employer").startswith("org-")
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy({"a": 1, "b": 2}, {"a": 1, "b": 3}) == 0.5
+
+    def test_accuracy_no_overlap_raises(self):
+        with pytest.raises(ConfigurationError):
+            accuracy({"a": 1}, {"b": 1})
+
+    def test_prf_perfect(self):
+        assert precision_recall_f1({1, 2}, {1, 2}) == (1.0, 1.0, 1.0)
+
+    def test_prf_partial(self):
+        p, r, f1 = precision_recall_f1({1, 2, 3}, {1, 4})
+        assert p == pytest.approx(1 / 3)
+        assert r == pytest.approx(1 / 2)
+        assert f1 == pytest.approx(2 * (1 / 3) * (1 / 2) / (1 / 3 + 1 / 2))
+
+    def test_prf_empty_prediction(self):
+        p, r, f1 = precision_recall_f1(set(), {1})
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_kendall_perfect_and_reversed(self):
+        assert kendall_tau([1, 2, 3], [1, 2, 3]) == 1.0
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == -1.0
+
+    def test_kendall_requires_same_items(self):
+        with pytest.raises(ConfigurationError):
+            kendall_tau([1, 2], [1, 3])
+
+    def test_precision_at_k(self):
+        assert precision_at_k([1, 2, 3], [1, 3, 9], k=2) == 0.5
+
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(5, 0) == 5
+
+
+class TestHarness:
+    def test_pool_specs_build(self):
+        for kind in ("uniform", "heterogeneous", "spammers", "glad", "comparison"):
+            pool = PoolSpec(kind=kind, size=5).build(seed=1)
+            assert len(pool) == 5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoolSpec(kind="aliens").build()
+
+    def test_make_platform_deterministic(self):
+        spec = PoolSpec(kind="uniform", size=4, accuracy=0.9)
+        a = make_platform(spec, seed=3)
+        b = make_platform(spec, seed=3)
+        assert [w.model.accuracy for w in a.pool] == [
+            w.model.accuracy for w in b.pool
+        ]
+
+    def test_run_trials_aggregates(self):
+        result = run_trials("demo", lambda seed: {"value": float(seed)}, n_trials=3)
+        assert result.mean("value") == pytest.approx(1.0)
+        assert result.std("value") == pytest.approx(1.0)
+        assert result.summary() == {"value": 1.0}
+
+    def test_run_trials_missing_metric(self):
+        result = run_trials("demo", lambda seed: {"x": 1.0}, n_trials=2)
+        with pytest.raises(ConfigurationError):
+            result.mean("y")
+
+    def test_run_trials_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_trials("demo", lambda seed: {}, n_trials=0)
+
+
+class TestReport:
+    def test_table_alignment(self):
+        text = format_table(
+            [{"name": "mv", "acc": 0.8321}, {"name": "ds", "acc": 0.9}],
+            title="T1",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T1"
+        assert "mv" in text and "0.832" in text
+        assert len(set(len(line) for line in lines[1:])) <= 2  # aligned
+
+    def test_table_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_series_bars(self):
+        text = format_series([1, 2], [0.5, 1.0], title="F1")
+        assert "F1" in text
+        assert text.count("#") > 0
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1], [1.0, 2.0])

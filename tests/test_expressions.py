@@ -1,0 +1,211 @@
+"""Unit tests for repro.data.expressions (3-valued + crowd-unknown logic)."""
+
+import pytest
+
+from repro.data.expressions import (
+    CROWD_UNKNOWN,
+    And,
+    Arithmetic,
+    Comparison,
+    CrowdPredicate,
+    InList,
+    IsCNull,
+    IsNull,
+    Not,
+    Or,
+    col,
+    conjoin,
+    contains_crowd_predicate,
+    is_crowd_unknown,
+    lit,
+    split_conjuncts,
+)
+from repro.data.schema import CNULL
+from repro.errors import ExpressionError
+
+
+ROW = {"a": 3, "b": 7, "s": "hi", "n": None, "c": CNULL}
+
+
+class TestLiteralsAndColumns:
+    def test_literal(self):
+        assert lit(5).evaluate(ROW) == 5
+
+    def test_column(self):
+        assert col("a").evaluate(ROW) == 3
+
+    def test_column_missing(self):
+        with pytest.raises(ExpressionError):
+            col("zzz").evaluate(ROW)
+
+    def test_columns_tracking(self):
+        expr = (col("a") > lit(1)) & (col("b") < col("a"))
+        assert expr.columns() == {"a", "b"}
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", True), ("<=", True), (">", False), (">=", False)],
+    )
+    def test_operators(self, op, expected):
+        assert Comparison(op, col("a"), col("b")).evaluate(ROW) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~", col("a"), col("b"))
+
+    def test_null_propagates(self):
+        assert Comparison("=", col("n"), lit(1)).evaluate(ROW) is None
+
+    def test_cnull_yields_crowd_unknown(self):
+        result = Comparison("=", col("c"), lit("x")).evaluate(ROW)
+        assert is_crowd_unknown(result)
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(ExpressionError):
+            Comparison("<", col("a"), col("s")).evaluate(ROW)
+
+    def test_builder_sugar(self):
+        assert (col("a") == lit(3)).evaluate(ROW) is True
+
+
+class TestKleeneLogic:
+    def test_and_true_true(self):
+        assert And(lit(True), lit(True)).evaluate(ROW) is True
+
+    def test_and_short_circuits_false(self):
+        # Right side would raise; False on the left must short-circuit.
+        assert And(lit(False), col("zzz") == lit(1)).evaluate(ROW) is False
+
+    def test_and_false_beats_crowd_unknown(self):
+        expr = And(Comparison("=", col("c"), lit("x")), lit(False))
+        assert expr.evaluate(ROW) is False
+
+    def test_and_true_and_crowd_unknown(self):
+        expr = And(lit(True), Comparison("=", col("c"), lit("x")))
+        assert is_crowd_unknown(expr.evaluate(ROW))
+
+    def test_and_null(self):
+        assert And(lit(True), Comparison("=", col("n"), lit(1))).evaluate(ROW) is None
+
+    def test_or_true_short_circuits(self):
+        assert Or(lit(True), col("zzz") == lit(1)).evaluate(ROW) is True
+
+    def test_or_crowd_unknown(self):
+        expr = Or(lit(False), Comparison("=", col("c"), lit("x")))
+        assert is_crowd_unknown(expr.evaluate(ROW))
+
+    def test_not_true(self):
+        assert Not(lit(True)).evaluate(ROW) is False
+
+    def test_not_null(self):
+        assert Not(Comparison("=", col("n"), lit(1))).evaluate(ROW) is None
+
+    def test_not_crowd_unknown(self):
+        expr = Not(Comparison("=", col("c"), lit("x")))
+        assert is_crowd_unknown(expr.evaluate(ROW))
+
+
+class TestNullPredicates:
+    def test_is_null_true(self):
+        assert IsNull(col("n")).evaluate(ROW) is True
+
+    def test_is_null_false_for_value(self):
+        assert IsNull(col("a")).evaluate(ROW) is False
+
+    def test_cnull_is_not_null(self):
+        assert IsNull(col("c")).evaluate(ROW) is False
+
+    def test_is_not_null(self):
+        assert IsNull(col("a"), negated=True).evaluate(ROW) is True
+
+    def test_is_cnull_true(self):
+        assert IsCNull(col("c")).evaluate(ROW) is True
+
+    def test_is_cnull_false_for_null(self):
+        assert IsCNull(col("n")).evaluate(ROW) is False
+
+    def test_is_not_cnull(self):
+        assert IsCNull(col("a"), negated=True).evaluate(ROW) is True
+
+
+class TestInList:
+    def test_hit(self):
+        assert InList(col("a"), (1, 3, 5)).evaluate(ROW) is True
+
+    def test_miss(self):
+        assert InList(col("a"), (2, 4)).evaluate(ROW) is False
+
+    def test_negated(self):
+        assert InList(col("a"), (2, 4), negated=True).evaluate(ROW) is True
+
+    def test_null_propagates(self):
+        assert InList(col("n"), (1,)).evaluate(ROW) is None
+
+    def test_cnull_crowd_unknown(self):
+        assert is_crowd_unknown(InList(col("c"), ("x",)).evaluate(ROW))
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Arithmetic("+", col("a"), col("b")).evaluate(ROW) == 10
+
+    def test_division_by_zero_is_null(self):
+        assert Arithmetic("/", col("a"), lit(0)).evaluate(ROW) is None
+
+    def test_null_propagates(self):
+        assert Arithmetic("*", col("n"), lit(2)).evaluate(ROW) is None
+
+    def test_cnull_propagates(self):
+        assert is_crowd_unknown(Arithmetic("+", col("c"), lit(1)).evaluate(ROW))
+
+    def test_type_error_raises(self):
+        with pytest.raises(ExpressionError):
+            Arithmetic("-", col("s"), lit(1)).evaluate(ROW)
+
+
+class TestCrowdPredicate:
+    def test_always_crowd_unknown(self):
+        pred = CrowdPredicate("equal", (col("a"), col("b")))
+        assert is_crowd_unknown(pred.evaluate(ROW))
+
+    def test_operand_values(self):
+        pred = CrowdPredicate("equal", (col("a"), lit(9)))
+        assert pred.operand_values(ROW) == (3, 9)
+
+    def test_contains_crowd_predicate_positive(self):
+        expr = And(col("a") > lit(0), CrowdPredicate("filter", (col("s"),), "q"))
+        assert contains_crowd_predicate(expr)
+
+    def test_contains_crowd_predicate_negative(self):
+        assert not contains_crowd_predicate(col("a") > lit(0))
+
+    def test_columns(self):
+        pred = CrowdPredicate("equal", (col("a"), col("s")))
+        assert pred.columns() == {"a", "s"}
+
+
+class TestConjunctHelpers:
+    def test_split(self):
+        expr = And(And(lit(1) == lit(1), lit(2) == lit(2)), lit(3) == lit(3))
+        assert len(split_conjuncts(expr)) == 3
+
+    def test_split_non_and(self):
+        expr = Or(lit(True), lit(False))
+        assert split_conjuncts(expr) == [expr]
+
+    def test_conjoin_roundtrip(self):
+        parts = [col("a") > lit(0), col("b") > lit(0)]
+        rebuilt = conjoin(parts)
+        assert rebuilt.evaluate(ROW) is True
+        assert split_conjuncts(rebuilt) == parts
+
+    def test_conjoin_empty_raises(self):
+        with pytest.raises(ExpressionError):
+            conjoin([])
+
+
+def test_crowd_unknown_is_falsy():
+    assert not CROWD_UNKNOWN
+    assert repr(CROWD_UNKNOWN) == "CROWD_UNKNOWN"

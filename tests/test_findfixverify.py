@@ -1,0 +1,99 @@
+"""Unit tests for the Find-Fix-Verify workflow."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.operators.findfixverify import (
+    FfvDocument,
+    FindFixVerify,
+    proofreading_dataset,
+)
+from repro.platform.platform import SimulatedPlatform
+from repro.workers.pool import WorkerPool
+
+
+def _platform(accuracy=0.93, seed=1, n=15):
+    return SimulatedPlatform(WorkerPool.uniform(n, accuracy, seed=seed), seed=seed + 1)
+
+
+class TestDataset:
+    def test_shapes(self):
+        docs = proofreading_dataset(5, words_per_document=10, errors_per_document=2, seed=1)
+        assert len(docs) == 5
+        for doc in docs:
+            assert len(doc.words) == 10
+            assert len(doc.corrections) == 2
+            # Corrupted slots differ from their corrections.
+            for position, correct in doc.corrections.items():
+                assert doc.words[position] != correct
+                assert doc.words[position].startswith(correct)
+
+    def test_too_many_errors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            proofreading_dataset(1, words_per_document=3, errors_per_document=3)
+
+    def test_text_property(self):
+        doc = FfvDocument(words=["a", "b"])
+        assert doc.text == "a b"
+
+
+class TestFindFixVerify:
+    def test_config_validated(self):
+        with pytest.raises(ConfigurationError):
+            FindFixVerify(_platform(), find_redundancy=0)
+        with pytest.raises(ConfigurationError):
+            FindFixVerify(_platform(), max_rounds_per_document=0)
+        with pytest.raises(ConfigurationError):
+            FindFixVerify(_platform()).run([])
+
+    def test_corrects_planted_errors(self):
+        docs = proofreading_dataset(6, seed=4)
+        ffv = FindFixVerify(_platform(seed=5))
+        result = ffv.run(docs)
+        total = sum(len(d.corrections) for d in docs)
+        assert result.residual_errors(docs) <= max(1, total // 8)
+
+    def test_clean_document_untouched(self):
+        doc = FfvDocument(words=["alpha", "beta", "gamma"])
+        ffv = FindFixVerify(_platform(accuracy=0.98, seed=7))
+        result = ffv.run([doc])
+        assert result.corrected[0] == ["alpha", "beta", "gamma"]
+        assert result.fix_questions == 0
+        assert result.verify_questions == 0
+
+    def test_round_cap_bounds_work(self):
+        docs = proofreading_dataset(2, errors_per_document=4, seed=8)
+        ffv = FindFixVerify(_platform(seed=9), max_rounds_per_document=2)
+        result = ffv.run(docs)
+        assert result.rounds <= 2 * len(docs)
+
+    def test_question_accounting(self):
+        docs = proofreading_dataset(3, seed=10)
+        platform = _platform(seed=11)
+        ffv = FindFixVerify(
+            platform, find_redundancy=3, fix_candidates=2, verify_redundancy=3
+        )
+        result = ffv.run(docs)
+        assert result.total_questions == (
+            result.find_questions + result.fix_questions + result.verify_questions
+        )
+        assert result.cost == pytest.approx(result.total_questions * 0.01)
+
+    def test_independent_agreement_gate(self):
+        # With 1-vote Find (no agreement possible to fail), every round
+        # advances; with 5-vote Find against a clean document, the workers
+        # disagree and nothing advances.
+        doc = FfvDocument(words=["w1", "w2", "w3", "w4"])
+        ffv = FindFixVerify(_platform(accuracy=0.95, seed=12), find_redundancy=5)
+        result = ffv.run([doc])
+        assert result.fix_questions == 0
+
+    def test_low_accuracy_pool_leaves_residuals(self):
+        docs = proofreading_dataset(6, seed=13)
+        sloppy = FindFixVerify(_platform(accuracy=0.55, seed=14))
+        careful = FindFixVerify(_platform(accuracy=0.95, seed=14))
+        sloppy_result = sloppy.run(docs)
+        careful_result = careful.run(
+            proofreading_dataset(6, seed=13)  # fresh copies (run mutates nothing,
+        )                                      # but keep evidence independent)
+        assert careful_result.residual_errors(docs) <= sloppy_result.residual_errors(docs)

@@ -1,0 +1,168 @@
+"""Integration tests: cross-module end-to-end scenarios.
+
+Each test exercises a realistic pipeline the way a downstream user would —
+multiple subsystems composed through public APIs only.
+"""
+
+import pytest
+
+from repro import CrowdEngine, CrowdOracle, EngineConfig
+from repro.cost.pruning import SimilarityPruner
+from repro.experiments.datasets import er_dataset, fill_dataset, ranking_dataset
+from repro.operators.collect import CrowdCollect, bind_zipf_knowledge
+from repro.operators.join import CrowdJoin
+from repro.platform.platform import SimulatedPlatform
+from repro.quality.assignment import Cdas, Qasca, run_assignment
+from repro.quality.truth import DawidSkene, MajorityVote
+from repro.quality.workerqc import GoldInjector, eliminate_spammers
+from repro.workers.models import CollectorModel
+from repro.workers.pool import WorkerPool
+from repro.workers.worker import Worker
+
+from conftest import make_choice_tasks
+
+
+class TestQualityPipeline:
+    def test_gold_screen_then_label_then_infer(self):
+        """Qualification via gold -> eliminate -> label with DS inference."""
+        pool = WorkerPool.with_spammers(24, spammer_fraction=0.25, good_accuracy=0.88, seed=1)
+        platform = SimulatedPlatform(pool, seed=2)
+
+        gold = make_choice_tasks(25, labels=("yes", "no"), seed=3)
+        for g in gold:
+            g.is_gold = True
+        injector = GoldInjector(gold_tasks=gold, seed=4)
+        gold_answers = platform.collect(gold, redundancy=8)
+        tasks_by_id = {g.task_id: g for g in gold}
+        for answers in gold_answers.values():
+            injector.score(answers, tasks_by_id)
+        eliminate_spammers(
+            pool, injector.worker_accuracy(), injector.gold_counts(), min_observations=5
+        )
+
+        real = make_choice_tasks(80, labels=("yes", "no"), seed=5)
+        answers = platform.collect(real, redundancy=5)
+        result = DawidSkene().infer(answers)
+        truth = {t.task_id: t.truth for t in real}
+        assert result.accuracy_against(truth) > 0.9
+
+    def test_online_assignment_feeds_inference(self):
+        pool = WorkerPool.heterogeneous(25, seed=6)
+        platform = SimulatedPlatform(pool, seed=7)
+        tasks = make_choice_tasks(60, labels=("yes", "no"), seed=8)
+        strategy = Qasca(redundancy_cap=7, confidence_target=0.9)
+        outcome = run_assignment(platform, strategy, tasks, max_answers=240)
+        result = MajorityVote().infer(outcome.answers_by_task)
+        truth = {t.task_id: t.truth for t in tasks}
+        assert result.accuracy_against(truth) > 0.8
+        assert outcome.cost <= 2.4 + 1e-9
+
+    def test_cdas_saves_versus_fixed_at_same_quality(self):
+        def run(strategy_factory, seed):
+            pool = WorkerPool.uniform(20, 0.9, seed=seed)
+            platform = SimulatedPlatform(pool, seed=seed + 1)
+            tasks = make_choice_tasks(50, labels=("yes", "no"), seed=seed)
+            strategy = strategy_factory()
+            outcome = run_assignment(platform, strategy, tasks, max_answers=10_000)
+            truth = {t.task_id: t.truth for t in tasks}
+            inferred = (
+                strategy.inferred_truths()
+                if hasattr(strategy, "inferred_truths")
+                else MajorityVote().infer(outcome.answers_by_task).truths
+            )
+            accuracy = sum(1 for t in truth if inferred[t] == truth[t]) / len(truth)
+            return outcome.answers_used, accuracy
+
+        from repro.quality.assignment import RoundRobinAssignment
+
+        fixed_answers, fixed_acc = run(lambda: RoundRobinAssignment(redundancy=5), 10)
+        cdas_answers, cdas_acc = run(lambda: Cdas(confidence=0.92, min_answers=2), 10)
+        assert cdas_answers < fixed_answers
+        assert cdas_acc >= fixed_acc - 0.06
+
+
+class TestEntityResolutionPipeline:
+    def test_prune_dedupe_full_stack(self):
+        ds = er_dataset(n_entities=20, records_per_entity=(2, 3), seed=11)
+        platform = SimulatedPlatform(WorkerPool.uniform(20, 0.93, seed=12), seed=13)
+        join = CrowdJoin(
+            platform,
+            ds.truth_fn,
+            pruner=SimilarityPruner(0.35),
+            use_transitivity=True,
+            redundancy=3,
+        )
+        result = join.run(ds.records)
+        _p, recall, f1 = result.precision_recall_f1(ds.true_pairs)
+        n = len(ds.records)
+        assert result.questions_asked < n * (n - 1) // 2 / 3
+        assert f1 > 0.7
+        assert recall > 0.6
+
+
+class TestDeclarativePipeline:
+    def test_crowdsql_over_generated_fill_dataset(self):
+        ds = fill_dataset(10, seed=14)
+        oracle = CrowdOracle(fill_fn=ds.truth_fn)
+        engine = CrowdEngine(
+            EngineConfig(seed=15, pool_size=15, pool_accuracy_range=(0.9, 0.99)),
+            oracle=oracle,
+        )
+        engine.sql(
+            "CREATE TABLE directory (name STRING NOT NULL, hometown STRING CROWD, "
+            "employer STRING CROWD, PRIMARY KEY (name))"
+        )
+        table = engine.table("directory")
+        for row in ds.rows:
+            table.insert(row)
+        result = engine.query("SELECT name, hometown FROM directory")
+        assert len(result) == 10
+        assert result.stats.cells_filled == 10  # hometown only, employer pruned
+        assert engine.table("directory").cnull_cells() == [
+            (i, "employer") for i in range(1, 11)
+        ]
+        # Majority of filled values should match ground truth.
+        correct = sum(
+            1 for row in result.rows
+            if row["hometown"] == ds.answers[row["name"]]["hometown"]
+        )
+        assert correct >= 8
+
+    def test_mixed_machine_crowd_query_cost_order(self):
+        """Optimizer must make the mixed query cheaper than crowd-first."""
+        oracle = CrowdOracle(filter_fn=lambda v, q: int(str(v)[-1]) % 2 == 0)
+        engine = CrowdEngine(EngineConfig(seed=16, pool_size=15), oracle=oracle)
+        engine.sql("CREATE TABLE items (label STRING, price INTEGER)")
+        table = engine.table("items")
+        for i in range(30):
+            table.insert({"label": f"item{i}", "price": i})
+        result = engine.query(
+            "SELECT label FROM items WHERE CROWDFILTER(label, 'even tail?') AND price < 10"
+        )
+        # Machine predicate first: crowd questions bounded by 10 surviving rows.
+        assert result.stats.crowd_questions <= 10
+
+
+class TestCollectionPipeline:
+    def test_collect_until_coverage_then_estimate(self):
+        universe = [f"plant-{i}" for i in range(40)]
+        pool = WorkerPool([Worker(model=CollectorModel()) for _ in range(15)], seed=17)
+        bind_zipf_knowledge(pool, universe, knowledge_size=18, zipf_s=1.0, seed=18)
+        platform = SimulatedPlatform(pool, seed=19)
+        result = CrowdCollect(platform, "name a plant").run(
+            max_queries=400, stop_at_coverage=0.95
+        )
+        assert result.distinct_count >= 15
+        # Chao92 should be between observed and a sane multiple of truth.
+        assert result.distinct_count <= result.estimated_richness <= 120
+
+
+class TestRankingPipeline:
+    def test_engine_topk_agrees_with_sort(self):
+        ds = ranking_dataset(12, seed=20)
+        engine = CrowdEngine(
+            EngineConfig(seed=21, pool_size=20, pool_accuracy_range=(0.95, 0.99))
+        )
+        sort_result = engine.sort(ds.items, ds.score_fn, strategy="merge", redundancy=3)
+        top_result = engine.topk(ds.items, ds.score_fn, k=3, redundancy=3)
+        assert set(top_result.winners) & set(sort_result.order[:4])

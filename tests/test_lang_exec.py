@@ -1,0 +1,338 @@
+"""Unit tests for CrowdSQL planning, optimization, and execution."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.schema import CNULL, SchemaBuilder
+from repro.errors import ExecutionError, PlanError
+from repro.lang.executor import CrowdOracle, Executor
+from repro.lang.interpreter import CrowdSQLSession, StatementResult
+from repro.lang.optimizer import CostModel, Optimizer, estimate_plan_cost
+from repro.lang.parser import parse_one
+from repro.lang.planner import (
+    CrowdFilterNode,
+    FillNode,
+    FilterNode,
+    LimitNode,
+    ProjectNode,
+    ScanNode,
+    build_plan,
+    count_crowd_operators,
+)
+from repro.platform.platform import SimulatedPlatform
+from repro.workers.pool import WorkerPool
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    schema = (
+        SchemaBuilder()
+        .string("name", nullable=False)
+        .integer("age")
+        .crowd_string("hometown")
+        .key("name")
+        .build()
+    )
+    database.create_table(
+        "people",
+        schema,
+        rows=[
+            {"name": "ann", "age": 30, "hometown": "paris"},
+            {"name": "bob", "age": 25, "hometown": "rome"},
+            {"name": "cal", "age": 41, "hometown": "oslo"},
+        ],
+    )
+    return database
+
+
+@pytest.fixture
+def session(db):
+    platform = SimulatedPlatform(WorkerPool.uniform(12, 0.95, seed=1), seed=2)
+    hometowns = {"ann": "paris", "bob": "rome", "cal": "oslo", "dee": "oslo"}
+    oracle = CrowdOracle(
+        fill_fn=lambda row, col: hometowns[row["name"]],
+        filter_fn=lambda value, q: "o" in str(value),
+    )
+    return CrowdSQLSession(database=db, platform=platform, oracle=oracle, redundancy=3)
+
+
+class TestPlanner:
+    def test_plan_shape(self, db):
+        stmt = parse_one("SELECT name FROM people WHERE age > 26 LIMIT 2")
+        plan = build_plan(stmt, db)
+        assert isinstance(plan.root, LimitNode)
+        assert isinstance(plan.root.child, ProjectNode)
+        assert isinstance(plan.root.child.child, FilterNode)
+        assert isinstance(plan.root.child.child.child, ScanNode)
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(PlanError):
+            build_plan(parse_one("SELECT * FROM ghosts"), db)
+
+    def test_fill_inserted_only_when_crowd_column_referenced(self, db):
+        db.table("people").insert({"name": "dee", "age": 5})  # hometown CNULL
+        with_crowd = build_plan(parse_one("SELECT hometown FROM people"), db)
+        without = build_plan(parse_one("SELECT name FROM people"), db)
+        assert any(isinstance(n, FillNode) for n in with_crowd.root.walk())
+        assert not any(isinstance(n, FillNode) for n in without.root.walk())
+
+    def test_crowd_predicate_becomes_crowd_filter(self, db):
+        stmt = parse_one("SELECT * FROM people WHERE CROWDFILTER(name, 'q?')")
+        plan = build_plan(stmt, db)
+        assert any(isinstance(n, CrowdFilterNode) for n in plan.root.walk())
+        assert count_crowd_operators(plan) == 1
+
+    def test_explain_renders_tree(self, db):
+        plan = build_plan(parse_one("SELECT name FROM people WHERE age > 1"), db)
+        text = plan.explain()
+        assert "Scan(people)" in text and "Filter" in text
+
+
+class TestOptimizer:
+    def test_machine_filters_run_before_crowd(self, db):
+        stmt = parse_one(
+            "SELECT * FROM people WHERE CROWDFILTER(name, 'q?') AND age > 26"
+        )
+        plan = Optimizer(db).optimize(build_plan(stmt, db))
+        # From the top: CrowdFilter above Filter above Scan.
+        nodes = list(plan.root.walk())
+        crowd_idx = next(i for i, n in enumerate(nodes) if isinstance(n, CrowdFilterNode))
+        machine_idx = next(i for i, n in enumerate(nodes) if isinstance(n, FilterNode))
+        assert crowd_idx < machine_idx  # walk is top-down: crowd on top
+
+    def test_machine_filter_sinks_below_fill(self, db):
+        db.table("people").insert({"name": "dee", "age": 5})
+        stmt = parse_one("SELECT hometown FROM people WHERE age > 26")
+        plan = Optimizer(db).optimize(build_plan(stmt, db))
+        nodes = list(plan.root.walk())
+        fill_idx = next(i for i, n in enumerate(nodes) if isinstance(n, FillNode))
+        filter_idx = next(i for i, n in enumerate(nodes) if isinstance(n, FilterNode))
+        assert fill_idx < filter_idx  # filter below fill = filter runs first
+
+    def test_filter_on_crowd_column_stays_above_fill(self, db):
+        db.table("people").insert({"name": "dee", "age": 5})
+        stmt = parse_one("SELECT hometown FROM people WHERE hometown = 'paris'")
+        plan = Optimizer(db).optimize(build_plan(stmt, db))
+        nodes = list(plan.root.walk())
+        fill_idx = next(i for i, n in enumerate(nodes) if isinstance(n, FillNode))
+        filter_idx = next(i for i, n in enumerate(nodes) if isinstance(n, FilterNode))
+        assert filter_idx < fill_idx
+
+    def test_crowd_filters_ordered_by_cost(self, db):
+        stmt = parse_one(
+            "SELECT * FROM people WHERE CROWDFILTER(name, 'q?') AND CROWDEQUAL(name, hometown)"
+        )
+        plan = Optimizer(db).optimize(build_plan(stmt, db))
+        crowd_nodes = [n for n in plan.root.walk() if isinstance(n, CrowdFilterNode)]
+        assert len(crowd_nodes) == 2
+        # CROWDEQUAL (selectivity 0.15) should run before CROWDFILTER (0.5):
+        # walk order is top-down, so the later-executed node comes first.
+        from repro.lang.planner import crowd_predicates_of
+
+        top, bottom = crowd_nodes
+        assert crowd_predicates_of(bottom.predicate)[0].kind == "equal"
+        assert crowd_predicates_of(top.predicate)[0].kind == "filter"
+
+    def test_optimized_cost_not_worse(self, db):
+        stmt = parse_one(
+            "SELECT * FROM people WHERE CROWDFILTER(name, 'q?') AND age > 26"
+        )
+        raw = build_plan(stmt, db)
+        optimized = Optimizer(db).optimize(raw)
+        model = CostModel()
+        assert estimate_plan_cost(optimized, db, model) <= estimate_plan_cost(
+            raw, db, model
+        )
+
+    def test_idempotent(self, db):
+        stmt = parse_one(
+            "SELECT * FROM people WHERE CROWDFILTER(name, 'q?') AND age > 26"
+        )
+        once = Optimizer(db).optimize(build_plan(stmt, db))
+        twice = Optimizer(db).optimize(once)
+        assert once.root.describe() == twice.root.describe()
+        assert len(list(once.root.walk())) == len(list(twice.root.walk()))
+
+
+class TestExecution:
+    def test_machine_query(self, session):
+        result = session.query("SELECT name, age FROM people WHERE age > 26 ORDER BY age")
+        assert [r["name"] for r in result.rows] == ["ann", "cal"]
+        assert result.stats.crowd_questions == 0
+
+    def test_order_desc(self, session):
+        result = session.query("SELECT name FROM people ORDER BY age DESC")
+        assert [r["name"] for r in result.rows] == ["cal", "ann", "bob"]
+
+    def test_limit(self, session):
+        assert len(session.query("SELECT * FROM people LIMIT 2")) == 2
+
+    def test_distinct(self, session):
+        session.execute(
+            "CREATE TABLE tags (tag STRING);"
+            "INSERT INTO tags VALUES ('a'), ('a'), ('b')"
+        )
+        result = session.query("SELECT DISTINCT tag FROM tags")
+        assert sorted(r["tag"] for r in result.rows) == ["a", "b"]
+
+    def test_machine_join(self, session):
+        session.execute(
+            "CREATE TABLE cities (cname STRING, country STRING);"
+            "INSERT INTO cities VALUES ('paris', 'france'), ('rome', 'italy')"
+        )
+        result = session.query(
+            "SELECT name, country FROM people JOIN cities ON hometown = cname"
+        )
+        by_name = {r["name"]: r["country"] for r in result.rows}
+        assert by_name == {"ann": "france", "bob": "italy"}
+
+    def test_join_name_clash_rejected(self, session):
+        session.execute(
+            "CREATE TABLE other (name STRING, x INTEGER);"
+            "INSERT INTO other VALUES ('ann', 1)"
+        )
+        with pytest.raises(ExecutionError, match="share column"):
+            session.query("SELECT * FROM people JOIN other ON x = age")
+
+    def test_crowd_fill_resolves_cnull(self, session):
+        session.execute("INSERT INTO people (name, age) VALUES ('dee', 19)")
+        result = session.query("SELECT name, hometown FROM people WHERE name = 'dee'")
+        assert result.rows[0]["hometown"] == "oslo" or result.rows[0]["hometown"] in (
+            "paris", "rome", "oslo"
+        )
+        assert result.stats.cells_filled == 1
+
+    def test_fill_without_oracle_raises(self, db):
+        platform = SimulatedPlatform(WorkerPool.uniform(5, seed=1), seed=2)
+        session = CrowdSQLSession(database=db, platform=platform)
+        db.table("people").insert({"name": "dee", "age": 5})
+        with pytest.raises(ExecutionError, match="fill oracle"):
+            session.query("SELECT hometown FROM people")
+
+    def test_crowdfilter_query(self, session):
+        result = session.query(
+            "SELECT name FROM people WHERE CROWDFILTER(hometown, 'contains o?')"
+        )
+        names = {r["name"] for r in result.rows}
+        assert names == {"bob", "cal"}  # rome, oslo contain 'o'
+        assert result.stats.crowd_questions >= 3
+
+    def test_crowdfilter_without_oracle_raises(self, db):
+        platform = SimulatedPlatform(WorkerPool.uniform(5, seed=1), seed=2)
+        session = CrowdSQLSession(database=db, platform=platform)
+        with pytest.raises(ExecutionError, match="filter oracle"):
+            session.query("SELECT * FROM people WHERE CROWDFILTER(name, 'q')")
+
+    def test_machine_first_saves_crowd_questions(self, session):
+        result = session.query(
+            "SELECT name FROM people WHERE CROWDFILTER(hometown, 'q?') AND age > 26"
+        )
+        # Machine filter leaves 2 rows, so at most 2 crowd questions.
+        assert result.stats.crowd_questions <= 2
+
+    def test_crowdequal_join(self, session):
+        session.execute(
+            "CREATE TABLE aliases (alias STRING);"
+            "INSERT INTO aliases VALUES ('rome'), ('nowhere')"
+        )
+        result = session.query(
+            "SELECT name FROM people CROWDJOIN aliases ON CROWDEQUAL(hometown, alias)"
+        )
+        assert {r["name"] for r in result.rows} == {"bob"}
+
+    def test_crowdorder_numeric(self, session):
+        session.execute(
+            "CREATE TABLE scores (label STRING, points FLOAT);"
+            "INSERT INTO scores VALUES ('low', 1.0), ('high', 9.0), ('mid', 5.0)"
+        )
+        result = session.query("SELECT label FROM scores CROWDORDER BY points")
+        assert [r["label"] for r in result.rows] == ["high", "mid", "low"]
+        assert result.stats.crowd_questions > 0
+
+    def test_crowdorder_non_numeric_needs_oracle(self, session):
+        with pytest.raises(ExecutionError, match="order_score_fn"):
+            session.query("SELECT name FROM people CROWDORDER BY name")
+
+    def test_predicate_cache_dedupes(self, session):
+        first = session.query(
+            "SELECT name FROM people WHERE CROWDFILTER(hometown, 'cached?')"
+        )
+        assert first.stats.crowd_questions == 3
+
+    def test_budget_accounting(self, session):
+        result = session.query(
+            "SELECT name FROM people WHERE CROWDFILTER(hometown, 'pay?')"
+        )
+        assert result.stats.crowd_cost == pytest.approx(
+            result.stats.crowd_answers * 0.01
+        )
+
+
+class TestSessionStatements:
+    def test_create_insert_drop(self, session):
+        results = session.execute(
+            "CREATE TABLE x (a STRING); INSERT INTO x VALUES ('v'); DROP TABLE x"
+        )
+        kinds = [r.kind for r in results if isinstance(r, StatementResult)]
+        assert kinds == ["created", "inserted", "dropped"]
+        assert "x" not in session.database
+
+    def test_insert_arity_checked(self, session):
+        with pytest.raises(ExecutionError, match="values for"):
+            session.execute("CREATE TABLE y (a STRING, b STRING); INSERT INTO y (a) VALUES ('v', 'w')")
+
+    def test_query_requires_select_last(self, session):
+        with pytest.raises(ExecutionError):
+            session.query("CREATE TABLE z (a STRING)")
+
+    def test_machine_only_session_needs_no_platform(self, db):
+        session = CrowdSQLSession(database=db)
+        result = session.query("SELECT name FROM people WHERE age > 26")
+        assert len(result) == 2
+
+    def test_platformless_crowd_query_rejected(self, db):
+        session = CrowdSQLSession(database=db)
+        with pytest.raises(ExecutionError, match="no platform"):
+            session.query("SELECT * FROM people WHERE CROWDFILTER(name, 'q')")
+
+    def test_explain_reports_cost(self, session):
+        text = session.explain(
+            "SELECT name FROM people WHERE CROWDFILTER(name, 'q?') AND age > 26"
+        )
+        assert "estimated crowd cost" in text
+        assert "CrowdFilter" in text
+
+    def test_insert_cnull_literal(self, session):
+        session.execute(
+            "CREATE TABLE c (k STRING, v STRING CROWD);"
+            "INSERT INTO c VALUES ('a', CNULL)"
+        )
+        table = session.database.table("c")
+        assert table.row(1)["v"] is CNULL
+
+
+class TestMultiKeyOrder:
+    def test_order_by_two_keys(self, session):
+        session.execute(
+            "CREATE TABLE g (grp STRING, v INTEGER);"
+            "INSERT INTO g VALUES ('b', 1), ('a', 2), ('a', 1), ('b', 2)"
+        )
+        result = session.query("SELECT grp, v FROM g ORDER BY grp ASC, v DESC")
+        assert [(r["grp"], r["v"]) for r in result.rows] == [
+            ("a", 2), ("a", 1), ("b", 2), ("b", 1),
+        ]
+
+    def test_nulls_sort_last_within_group(self, session):
+        session.execute(
+            "CREATE TABLE h (grp STRING, v INTEGER);"
+            "INSERT INTO h VALUES ('a', NULL), ('a', 1), ('b', 5)"
+        )
+        result = session.query("SELECT grp, v FROM h ORDER BY grp, v")
+        assert [(r["grp"], r["v"]) for r in result.rows] == [
+            ("a", 1), ("a", None), ("b", 5),
+        ]
+
+    def test_unknown_second_key_rejected(self, session):
+        with pytest.raises(ExecutionError, match="unknown column"):
+            session.query("SELECT name FROM people ORDER BY name, ghost")

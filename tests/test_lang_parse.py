@@ -1,0 +1,245 @@
+"""Unit tests for the CrowdSQL lexer and parser."""
+
+import pytest
+
+from repro.data.expressions import (
+    And,
+    Comparison,
+    CrowdPredicate,
+    InList,
+    IsCNull,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+)
+from repro.data.schema import CNULL
+from repro.errors import ParseError
+from repro.lang.ast_nodes import CreateTable, DropTable, Insert, Select
+from repro.lang.lexer import TokenType, tokenize
+from repro.lang.parser import parse, parse_one
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM WhErE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("MyTable")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "MyTable"
+
+    def test_string_with_escape(self):
+        tokens = tokenize("'it''s here'")
+        assert tokens[0].value == "it's here"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].value == 42 and isinstance(tokens[0].value, int)
+        assert tokens[1].value == pytest.approx(3.14)
+
+    def test_qualified_name_dot_not_float(self):
+        tokens = tokenize("t.col")
+        values = [(t.type, t.value) for t in tokens[:-1]]
+        assert values == [
+            (TokenType.IDENTIFIER, "t"),
+            (TokenType.PUNCT, "."),
+            (TokenType.IDENTIFIER, "col"),
+        ]
+
+    def test_operators_normalized(self):
+        tokens = tokenize("a <> b != c")
+        ops = [t.value for t in tokens if t.type is TokenType.OPERATOR]
+        assert ops == ["!=", "!="]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", 1]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestCreateParse:
+    def test_basic(self):
+        stmt = parse_one(
+            "CREATE TABLE t (a STRING NOT NULL, b INTEGER, PRIMARY KEY (a))"
+        )
+        assert isinstance(stmt, CreateTable)
+        assert stmt.name == "t"
+        assert stmt.columns[0].not_null
+        assert stmt.primary_key == ("a",)
+        assert not stmt.crowd_table
+
+    def test_crowd_table_and_columns(self):
+        stmt = parse_one(
+            "CREATE CROWD TABLE t (a TEXT, b FLOAT CROWD, c INT CROWD NOT NULL)"
+        )
+        assert stmt.crowd_table
+        assert stmt.columns[0].type_name == "STRING"
+        assert stmt.columns[1].crowd
+        assert stmt.columns[2].type_name == "INTEGER" and stmt.columns[2].not_null
+
+    def test_if_not_exists(self):
+        stmt = parse_one("CREATE TABLE IF NOT EXISTS t (a STRING)")
+        assert stmt.if_not_exists
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_one("CREATE TABLE t (a BLOB)")
+
+
+class TestInsertParse:
+    def test_multi_row(self):
+        stmt = parse_one("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, Insert)
+        assert stmt.rows == ((1, "x"), (2, "y"))
+
+    def test_literals(self):
+        stmt = parse_one("INSERT INTO t VALUES (NULL, CNULL, TRUE, FALSE, -5, 2.5)")
+        assert stmt.rows[0] == (None, CNULL, True, False, -5, 2.5)
+
+    def test_without_columns(self):
+        stmt = parse_one("INSERT INTO t VALUES (1)")
+        assert stmt.columns == ()
+
+
+class TestSelectParse:
+    def test_star(self):
+        stmt = parse_one("SELECT * FROM t")
+        assert isinstance(stmt, Select)
+        assert stmt.columns == ()
+
+    def test_columns_and_alias(self):
+        stmt = parse_one("SELECT a, b FROM t AS x")
+        assert stmt.columns == ("a", "b")
+        assert stmt.alias == "x"
+
+    def test_qualified_columns_unqualified(self):
+        stmt = parse_one("SELECT t.a FROM t")
+        assert stmt.columns == ("a",)
+
+    def test_where_tree(self):
+        stmt = parse_one("SELECT * FROM t WHERE a > 1 AND (b = 'x' OR NOT c < 2)")
+        assert isinstance(stmt.where, And)
+        assert isinstance(stmt.where.right, Or)
+        assert isinstance(stmt.where.right.right, Not)
+
+    def test_is_null_and_cnull(self):
+        stmt = parse_one("SELECT * FROM t WHERE a IS NULL AND b IS NOT CNULL")
+        assert isinstance(stmt.where.left, IsNull)
+        right = stmt.where.right
+        assert isinstance(right, IsCNull) and right.negated
+
+    def test_in_list(self):
+        stmt = parse_one("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, InList)
+        assert stmt.where.values == (1, 2, 3)
+
+    def test_not_in(self):
+        stmt = parse_one("SELECT * FROM t WHERE a NOT IN ('x')")
+        assert stmt.where.negated
+
+    def test_crowdequal(self):
+        stmt = parse_one("SELECT * FROM t WHERE CROWDEQUAL(a, b)")
+        assert isinstance(stmt.where, CrowdPredicate)
+        assert stmt.where.kind == "equal"
+
+    def test_crowdfilter_question(self):
+        stmt = parse_one("SELECT * FROM t WHERE CROWDFILTER(a, 'is it red?')")
+        assert stmt.where.kind == "filter"
+        assert stmt.where.question == "is it red?"
+
+    def test_crowdfilter_requires_string(self):
+        with pytest.raises(ParseError):
+            parse_one("SELECT * FROM t WHERE CROWDFILTER(a, b)")
+
+    def test_order_by(self):
+        stmt = parse_one("SELECT * FROM t ORDER BY a DESC LIMIT 5")
+        assert stmt.order[0].column == "a" and not stmt.order[0].ascending
+        assert stmt.limit == 5
+
+    def test_order_by_multiple_keys(self):
+        stmt = parse_one("SELECT * FROM t ORDER BY a DESC, b, c ASC")
+        assert [(o.column, o.ascending) for o in stmt.order] == [
+            ("a", False), ("b", True), ("c", True),
+        ]
+
+    def test_crowdorder_by_defaults_best_first(self):
+        stmt = parse_one("SELECT * FROM t CROWDORDER BY a")
+        assert stmt.crowd_order.column == "a"
+        assert not stmt.crowd_order.ascending
+
+    def test_join(self):
+        stmt = parse_one("SELECT * FROM a JOIN b ON x = y")
+        assert len(stmt.joins) == 1
+        assert not stmt.joins[0].crowd
+        assert isinstance(stmt.joins[0].condition, Comparison)
+
+    def test_crowdjoin(self):
+        stmt = parse_one("SELECT * FROM a CROWDJOIN b ON CROWDEQUAL(x, y)")
+        assert stmt.joins[0].crowd
+
+    def test_distinct(self):
+        assert parse_one("SELECT DISTINCT a FROM t").distinct
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_one("SELECT * FROM t LIMIT 2.5")
+
+    def test_bare_identifier_is_alias(self):
+        # SQL-style implicit alias: FROM t x.
+        assert parse_one("SELECT * FROM t wat").alias == "wat"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_one("SELECT * FROM t LIMIT 5 nonsense")
+
+    def test_arithmetic_in_where(self):
+        stmt = parse_one("SELECT * FROM t WHERE a + 1 > b * 2")
+        row = {"a": 3, "b": 1}
+        assert stmt.where.evaluate(row) is True
+
+    def test_parenthesized_expression(self):
+        stmt = parse_one("SELECT * FROM t WHERE (a + 1) * 2 = 8")
+        assert stmt.where.evaluate({"a": 3}) is True
+
+    def test_unary_minus_expression(self):
+        stmt = parse_one("SELECT * FROM t WHERE a = -b")
+        assert stmt.where.evaluate({"a": -2, "b": 2}) is True
+
+
+class TestScript:
+    def test_multi_statement(self):
+        script = parse("CREATE TABLE t (a STRING); INSERT INTO t VALUES ('x');")
+        assert len(script.statements) == 2
+        assert isinstance(script.statements[0], CreateTable)
+        assert isinstance(script.statements[1], Insert)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse("   ")
+
+    def test_parse_one_rejects_multi(self):
+        with pytest.raises(ParseError):
+            parse_one("SELECT * FROM a; SELECT * FROM b")
+
+    def test_drop_variants(self):
+        assert isinstance(parse_one("DROP TABLE t"), DropTable)
+        assert parse_one("DROP TABLE IF EXISTS t").if_exists
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_one("SELECT *\nFROM")
+        assert excinfo.value.line == 2

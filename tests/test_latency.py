@@ -1,0 +1,201 @@
+"""Unit tests for repro.latency (rounds, statistical model, mitigation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.latency.mitigation import (
+    RetainerPool,
+    run_baseline,
+    run_with_replication,
+    run_with_straggler_rescue,
+)
+from repro.latency.rounds import RoundScheduler, rounds_lower_bound
+from repro.latency.statistical import (
+    fit_completion_model,
+    predict_speedup_from_reward,
+    straggler_threshold,
+)
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import single_choice
+from repro.workers.models import OneCoinModel
+from repro.workers.pool import WorkerPool
+from repro.workers.worker import LatencyModel, Worker
+
+
+def _tasks(n, prefix="q"):
+    return [single_choice(f"{prefix}{i}", ("a", "b"), truth="a") for i in range(n)]
+
+
+def _heavy_tail_pool(n=20, sigma=1.3, seed=5):
+    workers = [
+        Worker(
+            model=OneCoinModel(0.9),
+            latency=LatencyModel(mean_seconds=20.0, sigma=sigma, arrival_rate=1 / 30),
+        )
+        for _ in range(n)
+    ]
+    return WorkerPool(workers, seed=seed)
+
+
+class TestRounds:
+    def test_lower_bound_binary(self):
+        assert rounds_lower_bound(64, 2) == 6
+        assert rounds_lower_bound(64, 4) == 3
+        assert rounds_lower_bound(1, 2) == 0
+
+    def test_lower_bound_validated(self):
+        with pytest.raises(ConfigurationError):
+            rounds_lower_bound(0, 2)
+        with pytest.raises(ConfigurationError):
+            rounds_lower_bound(5, 1)
+
+    def test_scheduler_runs_dependent_rounds(self, platform):
+        scheduler = RoundScheduler(platform, redundancy=1)
+        rounds_seen = []
+
+        def next_round(answers, index):
+            rounds_seen.append(len(answers))
+            if index >= 3:
+                return []
+            return _tasks(2, prefix=f"r{index}_")
+
+        outcome = scheduler.run(_tasks(4, prefix="r0_"), next_round)
+        assert outcome.round_count == 3
+        assert rounds_seen[0] == 4
+        assert outcome.total_latency == pytest.approx(
+            sum(r.duration for r in outcome.rounds)
+        )
+        assert outcome.total_answers == 4 + 2 + 2
+
+    def test_scheduler_round_cap(self, platform):
+        scheduler = RoundScheduler(platform, redundancy=1)
+        with pytest.raises(ConfigurationError, match="max_rounds"):
+            scheduler.run(
+                _tasks(1), lambda answers, i: _tasks(1, prefix=f"x{i}_"), max_rounds=3
+            )
+
+    def test_redundancy_validated(self, platform):
+        with pytest.raises(ConfigurationError):
+            RoundScheduler(platform, redundancy=0)
+
+
+class TestStatisticalModel:
+    def test_fit_recovers_lognormal_params(self):
+        rng = np.random.default_rng(3)
+        durations = rng.lognormal(mean=3.0, sigma=0.5, size=5000)
+        model = fit_completion_model(list(durations))
+        assert model.mu == pytest.approx(3.0, abs=0.05)
+        assert model.sigma == pytest.approx(0.5, abs=0.05)
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_completion_model([5.0])
+
+    def test_fit_ignores_nonpositive(self):
+        model = fit_completion_model([10.0, 10.0, -1.0, 0.0])
+        assert model.n_observations == 2
+
+    def test_quantiles_monotone(self):
+        model = fit_completion_model([10.0, 20.0, 30.0, 15.0, 25.0])
+        assert model.quantile(0.25) < model.median < model.quantile(0.9)
+
+    def test_quantile_bounds_validated(self):
+        model = fit_completion_model([10.0, 20.0])
+        with pytest.raises(ConfigurationError):
+            model.quantile(0.0)
+
+    def test_probability_done_by(self):
+        model = fit_completion_model([10.0] * 10 + [12.0] * 10)
+        assert model.probability_done_by(1.0) < 0.05
+        assert model.probability_done_by(100.0) > 0.95
+        assert model.probability_done_by(-5) == 0.0
+
+    def test_expected_makespan_scales_with_waves(self):
+        model = fit_completion_model([30.0, 40.0, 25.0, 35.0])
+        assert model.expected_makespan(100, 10) > model.expected_makespan(10, 10)
+
+    def test_straggler_threshold_above_median(self):
+        model = fit_completion_model([10.0, 20.0, 30.0, 40.0])
+        assert straggler_threshold(model, 0.9) > model.median
+
+    def test_speedup_prediction_monotone(self):
+        model = fit_completion_model([10.0, 20.0])
+        assert predict_speedup_from_reward(model, 0.01, 0.05) > 1.0
+        assert predict_speedup_from_reward(model, 0.01, 0.005) < 1.0
+        with pytest.raises(ConfigurationError):
+            predict_speedup_from_reward(model, 0.0, 0.01)
+
+
+class TestMitigation:
+    def test_baseline_accounts_cost(self):
+        platform = SimulatedPlatform(_heavy_tail_pool(), seed=1)
+        result = run_baseline(platform, _tasks(20))
+        assert result.answers_used == 20
+        assert result.cost == pytest.approx(0.2)
+        assert result.makespan > 0
+
+    def test_replication_validated(self):
+        platform = SimulatedPlatform(_heavy_tail_pool(), seed=2)
+        with pytest.raises(ConfigurationError):
+            run_with_replication(platform, _tasks(2), replication=0)
+
+    def test_replication_cuts_tail_with_heavy_tails(self):
+        # Average over seeds: hedging must reduce p95 when service times
+        # are heavy-tailed and workers outnumber tasks.
+        base_p95, repl_p95 = [], []
+        for seed in range(4):
+            platform = SimulatedPlatform(_heavy_tail_pool(30, sigma=1.5, seed=seed), seed=seed)
+            base_p95.append(run_baseline(platform, _tasks(12)).p95)
+            platform2 = SimulatedPlatform(_heavy_tail_pool(30, sigma=1.5, seed=seed), seed=seed)
+            repl_p95.append(
+                run_with_replication(platform2, _tasks(12), replication=3).p95
+            )
+        assert np.mean(repl_p95) < np.mean(base_p95)
+
+    def test_replication_costs_more(self):
+        platform = SimulatedPlatform(_heavy_tail_pool(), seed=4)
+        base = run_baseline(platform, _tasks(10))
+        platform2 = SimulatedPlatform(_heavy_tail_pool(), seed=4)
+        repl = run_with_replication(platform2, _tasks(10), replication=2)
+        assert repl.cost > base.cost
+        assert repl.answers_used == 2 * base.answers_used
+
+    def test_straggler_rescue_improves_makespan(self):
+        improved = 0
+        for seed in range(4):
+            platform = SimulatedPlatform(_heavy_tail_pool(seed=seed), seed=seed + 10)
+            base = run_baseline(platform, _tasks(25))
+            platform2 = SimulatedPlatform(_heavy_tail_pool(seed=seed), seed=seed + 10)
+            rescue = run_with_straggler_rescue(platform2, _tasks(25), percentile=0.7)
+            if rescue.makespan <= base.makespan:
+                improved += 1
+        assert improved >= 3
+
+    def test_straggler_rescue_cost_bounded(self):
+        platform = SimulatedPlatform(_heavy_tail_pool(), seed=20)
+        rescue = run_with_straggler_rescue(platform, _tasks(20), percentile=0.75)
+        # Rescue re-buys at most the straggler fraction (~25%) plus noise.
+        assert rescue.cost <= 0.2 * 1.5
+
+
+class TestRetainerPool:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetainerPool(standby_workers=0)
+
+    def test_latency_is_service_bound(self):
+        pool = RetainerPool(standby_workers=10, mean_service_seconds=30)
+        assert pool.expected_latency(10) == pytest.approx(30.0)
+        assert pool.expected_latency(25) == pytest.approx(90.0)
+
+    def test_cost_includes_standby_wages(self):
+        pool = RetainerPool(
+            standby_workers=5, standby_wage_per_second=0.001, mean_service_seconds=10
+        )
+        cost = pool.expected_cost(5, task_reward=0.02)
+        assert cost == pytest.approx(5 * 0.02 + 10 * 0.001 * 5)
+
+    def test_n_tasks_validated(self):
+        with pytest.raises(ConfigurationError):
+            RetainerPool(standby_workers=1).expected_latency(0)

@@ -1,0 +1,179 @@
+"""Tests for MULTI_CHOICE tasks, multi-label aggregation, and persistence."""
+
+import pytest
+
+from repro.data import Database, SchemaBuilder, load_database, save_database
+from repro.data.schema import CNULL, is_cnull
+from repro.errors import InferenceError, TaskStateError
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import Answer, multi_choice
+from repro.quality.truth import MultiLabelVote, set_f1
+from repro.workers.pool import WorkerPool
+
+
+class TestMultiChoiceTasks:
+    def test_builder_normalizes_truth(self):
+        task = multi_choice("tags?", ("a", "b", "c"), truth={"a", "b"})
+        assert task.truth == frozenset({"a", "b"})
+
+    def test_truth_must_be_subset(self):
+        with pytest.raises(TaskStateError):
+            multi_choice("q", ("a", "b"), truth={"z"})
+
+    def test_one_coin_answers_are_frozensets(self, rng):
+        from repro.workers.models import OneCoinModel
+
+        task = multi_choice("q", ("a", "b", "c"), truth={"a"})
+        answer = OneCoinModel(0.9).answer(task, rng)
+        assert isinstance(answer, frozenset)
+        assert answer <= {"a", "b", "c"}
+
+    def test_perfect_worker_exact(self, rng):
+        from repro.workers.models import OneCoinModel
+
+        task = multi_choice("q", ("a", "b", "c"), truth={"a", "c"})
+        assert OneCoinModel(1.0).answer(task, rng) == frozenset({"a", "c"})
+
+    def test_empty_truth_supported(self, rng):
+        from repro.workers.models import OneCoinModel
+
+        task = multi_choice("q", ("a", "b"), truth=set())
+        assert OneCoinModel(1.0).answer(task, rng) == frozenset()
+
+
+class TestSetF1:
+    def test_exact(self):
+        assert set_f1(frozenset({"a"}), frozenset({"a"})) == 1.0
+
+    def test_both_empty(self):
+        assert set_f1(frozenset(), frozenset()) == 1.0
+
+    def test_disjoint(self):
+        assert set_f1(frozenset({"a"}), frozenset({"b"})) == 0.0
+
+    def test_partial(self):
+        value = set_f1(frozenset({"a", "b"}), frozenset({"a", "c"}))
+        assert value == pytest.approx(0.5)
+
+
+class TestMultiLabelVote:
+    def _evidence(self, sets_by_task):
+        return {
+            task_id: [
+                Answer(task_id=task_id, worker_id=f"w{i}", value=frozenset(s))
+                for i, s in enumerate(sets)
+            ]
+            for task_id, sets in sets_by_task.items()
+        }
+
+    def test_threshold_validated(self):
+        with pytest.raises(InferenceError):
+            MultiLabelVote(threshold=1.0)
+
+    def test_per_option_majority(self):
+        evidence = self._evidence(
+            {"t1": [{"a", "b"}, {"a"}, {"a", "c"}]}
+        )
+        result = MultiLabelVote().infer(evidence)
+        assert result.truths["t1"] == frozenset({"a"})
+
+    def test_rejects_non_set_answers(self):
+        evidence = {"t1": [Answer(task_id="t1", worker_id="w", value="a")]}
+        with pytest.raises(InferenceError):
+            MultiLabelVote().infer(evidence)
+
+    def test_posterior_shares(self):
+        evidence = self._evidence({"t1": [{"a"}, {"a", "b"}]})
+        result = MultiLabelVote().infer(evidence)
+        assert result.posteriors["t1"] == {"a": 1.0, "b": 0.5}
+
+    def test_end_to_end_recovers_label_sets(self):
+        platform = SimulatedPlatform(WorkerPool.uniform(15, 0.9, seed=1), seed=2)
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        options = ("cat", "dog", "car", "tree")
+        tasks = []
+        for i in range(60):
+            truth = frozenset(
+                o for o in options if rng.random() < 0.4
+            )
+            tasks.append(multi_choice(f"tags #{i}", options, truth=truth))
+        answers = platform.collect(tasks, redundancy=5)
+        result = MultiLabelVote().infer(answers)
+        mean_f1 = sum(
+            set_f1(result.truths[t.task_id], t.truth) for t in tasks
+        ) / len(tasks)
+        assert mean_f1 > 0.9
+
+    def test_worker_quality_reflects_agreement(self):
+        evidence = self._evidence(
+            {
+                f"t{i}": [{"a"}, {"a"}, {"b", "c"}] for i in range(10)
+            }
+        )
+        result = MultiLabelVote().infer(evidence)
+        assert result.worker_quality["w0"] > result.worker_quality["w2"]
+
+
+class TestPersistence:
+    def _db(self):
+        database = Database("demo")
+        schema = (
+            SchemaBuilder()
+            .string("name", nullable=False)
+            .integer("age")
+            .crowd_string("hometown")
+            .key("name")
+            .build()
+        )
+        database.create_table(
+            "people",
+            schema,
+            rows=[
+                {"name": "ann", "age": 30, "hometown": "paris"},
+                {"name": "bob", "age": None},
+            ],
+        )
+        other = SchemaBuilder().string("tag").crowd_table().build()
+        database.create_table("tags", other, rows=[{"tag": "x"}])
+        return database
+
+    def test_roundtrip(self, tmp_path):
+        database = self._db()
+        save_database(database, tmp_path)
+        loaded = load_database(tmp_path)
+        assert loaded.name == "demo"
+        assert set(loaded.table_names) == {"people", "tags"}
+        people = loaded.table("people")
+        assert people.schema.primary_key == ("name",)
+        assert people.lookup(name="ann")["hometown"] == "paris"
+        assert people.lookup(name="bob")["age"] is None
+        assert is_cnull(people.lookup(name="bob")["hometown"])
+        assert loaded.table("tags").schema.crowd_table
+
+    def test_missing_catalog_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="catalog"):
+            load_database(tmp_path)
+
+    def test_missing_table_csv_raises(self, tmp_path):
+        save_database(self._db(), tmp_path)
+        (tmp_path / "people.csv").unlink()
+        with pytest.raises(FileNotFoundError, match="people"):
+            load_database(tmp_path)
+
+    def test_loaded_database_queryable(self, tmp_path):
+        from repro.lang.interpreter import CrowdSQLSession
+
+        save_database(self._db(), tmp_path)
+        session = CrowdSQLSession(database=load_database(tmp_path))
+        result = session.query("SELECT name FROM people WHERE age > 20")
+        assert [r["name"] for r in result.rows] == ["ann"]
+
+    def test_save_is_overwrite_safe(self, tmp_path):
+        database = self._db()
+        save_database(database, tmp_path)
+        database.table("people").insert({"name": "cal", "age": 7})
+        save_database(database, tmp_path)
+        loaded = load_database(tmp_path)
+        assert len(loaded.table("people")) == 3

@@ -1,0 +1,473 @@
+"""Unit tests for repro.operators (filter, join, sort, topk, count,
+collect, fill, categorize)."""
+
+import numpy as np
+import pytest
+
+from repro.cost.pruning import SimilarityPruner
+from repro.data.schema import SchemaBuilder
+from repro.data.table import Table
+from repro.errors import ConfigurationError
+from repro.experiments.datasets import er_dataset, ranking_dataset
+from repro.operators.categorize import CrowdCategorize
+from repro.operators.collect import (
+    CrowdCollect,
+    bind_zipf_knowledge,
+    chao84_estimate,
+    chao92_estimate,
+    good_turing_coverage,
+)
+from repro.operators.count import CrowdCount
+from repro.operators.fill import CrowdFill
+from repro.operators.filter import AdaptiveFilter, FixedKFilter
+from repro.operators.join import CrowdJoin, crossing_join
+from repro.operators.sort import (
+    CrowdComparator,
+    all_pairs_sort,
+    hybrid_sort,
+    merge_sort_crowd,
+    rating_sort,
+)
+from repro.operators.topk import (
+    expected_tournament_cost,
+    topk_tournament,
+    tournament_max,
+)
+from repro.platform.platform import SimulatedPlatform
+from repro.workers.models import CollectorModel
+from repro.workers.pool import WorkerPool
+from repro.workers.worker import Worker
+
+from collections import Counter
+
+
+def _platform(accuracy=0.92, n=15, seed=3, kind="uniform", **kwargs):
+    if kind == "uniform":
+        pool = WorkerPool.uniform(n, accuracy, seed=seed)
+    elif kind == "comparison":
+        pool = WorkerPool.comparison_pool(n, kwargs.get("sharpness", 10.0), seed=seed)
+    else:
+        raise ValueError(kind)
+    return SimulatedPlatform(pool, seed=seed + 1)
+
+
+class TestFilter:
+    ITEMS = list(range(30))
+    TRUTH = [i % 3 == 0 for i in range(30)]
+
+    def test_fixed_k_accuracy(self):
+        platform = _platform()
+        result = FixedKFilter(
+            platform, "multiple of 3?", truth_fn=lambda i: self.TRUTH[i], redundancy=5
+        ).run(self.ITEMS)
+        assert result.accuracy_against(self.TRUTH) > 0.9
+        assert result.questions_asked == 150
+
+    def test_fixed_k_redundancy_validated(self):
+        with pytest.raises(ConfigurationError):
+            FixedKFilter(_platform(), "q", redundancy=0)
+
+    def test_adaptive_cheaper_than_fixed(self):
+        fixed = FixedKFilter(
+            _platform(seed=7), "q", truth_fn=lambda i: self.TRUTH[i], redundancy=5
+        ).run(self.ITEMS)
+        adaptive = AdaptiveFilter(
+            _platform(seed=7), "q", truth_fn=lambda i: self.TRUTH[i], margin=2, max_answers=5
+        ).run(self.ITEMS)
+        assert adaptive.questions_asked < fixed.questions_asked
+        assert adaptive.accuracy_against(self.TRUTH) >= fixed.accuracy_against(self.TRUTH) - 0.05
+
+    def test_adaptive_margin_validated(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveFilter(_platform(), "q", margin=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveFilter(_platform(), "q", margin=3, max_answers=2)
+
+    def test_kept_matches_decisions(self):
+        platform = _platform(accuracy=1.0)
+        result = FixedKFilter(
+            platform, "q", truth_fn=lambda i: self.TRUTH[i], redundancy=1
+        ).run(self.ITEMS)
+        assert result.kept == [i for i in self.ITEMS if self.TRUTH[i]]
+
+    def test_cost_tracked(self):
+        platform = _platform()
+        result = FixedKFilter(
+            platform, "q", truth_fn=lambda i: True, redundancy=3
+        ).run(self.ITEMS[:5])
+        assert result.cost == pytest.approx(0.15)
+
+
+class TestJoin:
+    @pytest.fixture
+    def er(self):
+        return er_dataset(n_entities=12, records_per_entity=(2, 3), seed=5)
+
+    def test_pruning_slashes_questions(self, er):
+        full = CrowdJoin(_platform(seed=11), er.truth_fn, redundancy=3).run(er.records)
+        pruned = CrowdJoin(
+            _platform(seed=11), er.truth_fn, pruner=SimilarityPruner(0.4), redundancy=3
+        ).run(er.records)
+        assert pruned.questions_asked < full.questions_asked / 2
+
+    def test_transitivity_deduces(self, er):
+        result = CrowdJoin(
+            _platform(seed=13),
+            er.truth_fn,
+            pruner=SimilarityPruner(0.3),
+            use_transitivity=True,
+            redundancy=3,
+        ).run(er.records)
+        assert result.deduced_pairs > 0
+
+    def test_f1_reasonable_with_pruning(self, er):
+        result = CrowdJoin(
+            _platform(accuracy=0.95, seed=17),
+            er.truth_fn,
+            pruner=SimilarityPruner(0.4),
+            use_transitivity=True,
+            redundancy=3,
+        ).run(er.records)
+        _p, _r, f1 = result.precision_recall_f1(er.true_pairs)
+        assert f1 > 0.75
+
+    def test_clusters_partition_records(self, er):
+        result = CrowdJoin(
+            _platform(seed=19), er.truth_fn, pruner=SimilarityPruner(0.4)
+        ).run(er.records)
+        covered = sorted(i for cluster in result.clusters for i in cluster)
+        assert covered == list(range(len(er.records)))
+
+    def test_matched_pairs_closed_under_clusters(self, er):
+        result = CrowdJoin(
+            _platform(seed=23), er.truth_fn, pruner=SimilarityPruner(0.4),
+            use_transitivity=True,
+        ).run(er.records)
+        for cluster in result.clusters:
+            ordered = sorted(cluster)
+            for x in range(len(ordered)):
+                for y in range(x + 1, len(ordered)):
+                    assert (ordered[x], ordered[y]) in result.matched_pairs
+
+    def test_redundancy_validated(self):
+        with pytest.raises(ConfigurationError):
+            CrowdJoin(_platform(), lambda a, b: True, redundancy=0)
+
+    def test_crossing_join(self):
+        left = ["swift falcon 1", "amber orchid 2"]
+        right = ["falcon swift 1", "cobalt summit 3"]
+        result = crossing_join(
+            _platform(accuracy=0.95, seed=29),
+            left,
+            right,
+            truth_fn=lambda a, b: set(a.split()) == set(b.split()),
+            redundancy=3,
+        )
+        assert result.matched_pairs == {(0, 2)}
+
+    def test_perfect_f1_metrics(self):
+        from repro.operators.join import JoinResult
+
+        result = JoinResult(
+            matched_pairs=set(), clusters=[], pairs_considered=0,
+            questions_asked=0, answers_bought=0, cost=0.0,
+        )
+        assert result.precision_recall_f1(set()) == (1.0, 1.0, 1.0)
+
+
+class TestSort:
+    @pytest.fixture
+    def ranking(self):
+        return ranking_dataset(n_items=12, seed=9)
+
+    def _comparator(self, ranking, seed=31, redundancy=3, **kwargs):
+        platform = _platform(kind="comparison", seed=seed, n=20)
+        return CrowdComparator(
+            platform, ranking.items, ranking.score_fn, redundancy=redundancy, **kwargs
+        )
+
+    def test_all_pairs_cost(self, ranking):
+        comparator = self._comparator(ranking)
+        result = all_pairs_sort(comparator)
+        assert result.comparisons_asked == 12 * 11 // 2
+
+    def test_merge_sort_cheaper(self, ranking):
+        ap = all_pairs_sort(self._comparator(ranking, seed=37))
+        ms = merge_sort_crowd(self._comparator(ranking, seed=37))
+        assert ms.comparisons_asked < ap.comparisons_asked
+
+    def test_high_sharpness_recovers_order(self, ranking):
+        result = merge_sort_crowd(self._comparator(ranking, seed=41))
+        assert result.kendall_tau(ranking.true_order) > 0.8
+
+    def test_comparator_caches(self, ranking):
+        comparator = self._comparator(ranking, seed=43)
+        first = comparator.above(0, 1)
+        asked = comparator.comparisons_asked
+        assert comparator.above(1, 0) == (not first)
+        assert comparator.comparisons_asked == asked  # cache hit
+
+    def test_comparator_deduction_skips_purchases(self, ranking):
+        comparator = self._comparator(ranking, seed=47, use_deduction=True)
+        # Establish 0>1, 1>2 (whatever verdicts come back, record them).
+        comparator.above(0, 1)
+        comparator.above(1, 2)
+        asked = comparator.comparisons_asked
+        comparator.above(0, 2)
+        # Either deduced (no new ask) or genuinely needed (contradictory
+        # verdicts); with perfect workers it must be deduced.
+        assert comparator.comparisons_asked <= asked + 1
+
+    def test_self_comparison_rejected(self, ranking):
+        with pytest.raises(ConfigurationError):
+            self._comparator(ranking).above(3, 3)
+
+    def test_rating_sort_shape(self, ranking):
+        platform = _platform(kind="comparison", seed=53, n=20)
+        result = rating_sort(platform, ranking.items, ranking.score_fn, redundancy=3)
+        assert sorted(result.order) == list(range(12))
+        assert result.comparisons_asked == 0
+        assert len(result.ratings) == 12
+
+    def test_hybrid_improves_rating(self, ranking):
+        taus_rating, taus_hybrid = [], []
+        for seed in (59, 61, 67):
+            platform = _platform(kind="comparison", seed=seed, n=20)
+            taus_rating.append(
+                rating_sort(platform, ranking.items, ranking.score_fn, 3)
+                .kendall_tau(ranking.true_order)
+            )
+            platform2 = _platform(kind="comparison", seed=seed, n=20)
+            taus_hybrid.append(
+                hybrid_sort(platform2, ranking.items, ranking.score_fn, 3,
+                            close_threshold=2.0)
+                .kendall_tau(ranking.true_order)
+            )
+        assert np.mean(taus_hybrid) >= np.mean(taus_rating) - 0.02
+
+
+class TestTopK:
+    @pytest.fixture
+    def ranking(self):
+        return ranking_dataset(n_items=16, seed=71)
+
+    def _comparator(self, ranking, seed=73):
+        platform = _platform(kind="comparison", seed=seed, n=25, sharpness=40.0)
+        return CrowdComparator(platform, ranking.items, ranking.score_fn, redundancy=5)
+
+    def test_max_finds_best(self, ranking):
+        result = tournament_max(self._comparator(ranking))
+        assert result.winners[0] == ranking.true_order[0]
+        assert result.rounds == 4  # log2(16)
+
+    def test_fan_in_trades_rounds_for_comparisons(self, ranking):
+        narrow = tournament_max(self._comparator(ranking, seed=79), fan_in=2)
+        wide = tournament_max(self._comparator(ranking, seed=79), fan_in=4)
+        assert wide.rounds < narrow.rounds
+        assert wide.comparisons_asked >= narrow.comparisons_asked
+
+    def test_fan_in_validated(self, ranking):
+        with pytest.raises(ConfigurationError):
+            tournament_max(self._comparator(ranking), fan_in=1)
+
+    def test_topk_returns_k_best(self, ranking):
+        result = topk_tournament(self._comparator(ranking, seed=83), k=3)
+        assert set(result.winners) == set(ranking.true_order[:3])
+
+    def test_topk_reuses_cache(self, ranking):
+        comparator = self._comparator(ranking, seed=89)
+        result = topk_tournament(comparator, k=3)
+        # Repeated tournaments without reuse would cost ~3*(n-1) at fan-in 2;
+        # cache reuse must bring it well under that.
+        assert result.comparisons_asked < 3 * 15
+
+    def test_topk_k_validated(self, ranking):
+        with pytest.raises(ConfigurationError):
+            topk_tournament(self._comparator(ranking), k=0)
+        with pytest.raises(ConfigurationError):
+            topk_tournament(self._comparator(ranking), k=99)
+
+    def test_expected_cost_formula(self):
+        comparisons, rounds = expected_tournament_cost(16, 2)
+        assert comparisons == 15
+        assert rounds == 4
+        comparisons4, rounds4 = expected_tournament_cost(16, 4)
+        assert rounds4 == 2
+        assert comparisons4 == 4 * 6 + 6  # 4 groups of C(4,2), final C(4,2)
+
+
+class TestCount:
+    def test_estimate_near_truth(self):
+        items = list(range(2000))
+        truth_fn = lambda i: i % 5 == 0  # 20%
+        platform = _platform(accuracy=0.95, n=25, seed=97)
+        counter = CrowdCount(platform, "q", truth_fn, redundancy=5, seed=1)
+        result = counter.run(items, sample_size=200)
+        assert abs(result.value - 400) / 400 < 0.3
+        assert result.questions_asked == 1000
+
+    def test_interval_widens_with_smaller_sample(self):
+        items = list(range(1000))
+        platform = _platform(accuracy=1.0, n=25, seed=101)
+        counter = CrowdCount(platform, "q", lambda i: i < 500, redundancy=1, seed=2)
+        small = counter.run(items, sample_size=30)
+        platform2 = _platform(accuracy=1.0, n=25, seed=101)
+        counter2 = CrowdCount(platform2, "q", lambda i: i < 500, redundancy=1, seed=2)
+        large = counter2.run(items, sample_size=300)
+        width = lambda e: e.interval[1] - e.interval[0]
+        assert width(large.estimate) < width(small.estimate)
+
+    def test_sample_size_validated(self):
+        platform = _platform()
+        counter = CrowdCount(platform, "q", lambda i: True)
+        with pytest.raises(ConfigurationError):
+            counter.run([1, 2, 3], sample_size=0)
+
+
+class TestCollect:
+    def _collector_platform(self, universe, n_workers=10, knowledge=25, seed=7):
+        pool = WorkerPool(
+            [Worker(model=CollectorModel()) for _ in range(n_workers)], seed=seed
+        )
+        bind_zipf_knowledge(pool, universe, knowledge_size=knowledge, seed=seed + 1)
+        return SimulatedPlatform(pool, seed=seed + 2)
+
+    def test_estimators_on_known_frequencies(self):
+        freqs = Counter({"a": 5, "b": 2, "c": 1, "d": 1})
+        assert good_turing_coverage(freqs) == pytest.approx(1 - 2 / 9)
+        assert chao84_estimate(freqs) == pytest.approx(4 + 4 / 2)  # f1=2, f2=1
+        assert chao92_estimate(freqs) >= 4.0
+
+    def test_coverage_empty(self):
+        assert good_turing_coverage(Counter()) == 0.0
+        assert chao92_estimate(Counter()) == 0.0
+
+    def test_all_singletons_falls_back_to_chao84(self):
+        freqs = Counter({"a": 1, "b": 1, "c": 1})
+        assert chao92_estimate(freqs) == chao84_estimate(freqs)
+
+    def test_collect_discovers_and_estimates(self):
+        universe = [f"item{i}" for i in range(50)]
+        platform = self._collector_platform(universe, knowledge=20)
+        result = CrowdCollect(platform, "name an item").run(max_queries=200)
+        assert 15 <= result.distinct_count <= 50
+        assert result.estimated_richness >= result.distinct_count
+        assert result.recall_against(universe) == result.distinct_count / 50
+        assert result.queries_issued == 200
+        assert result.richness_trajectory  # checkpoints recorded
+
+    def test_coverage_stop(self):
+        universe = [f"item{i}" for i in range(10)]
+        platform = self._collector_platform(universe, knowledge=10)
+        result = CrowdCollect(platform, "q").run(
+            max_queries=500, stop_at_coverage=0.9
+        )
+        assert result.queries_issued < 500
+
+    def test_bind_knowledge_validated(self):
+        pool = WorkerPool([Worker(model=CollectorModel())], seed=1)
+        with pytest.raises(ConfigurationError):
+            bind_zipf_knowledge(pool, ["a"], knowledge_size=5)
+
+    def test_max_queries_validated(self):
+        platform = self._collector_platform(["a", "b"], knowledge=2)
+        with pytest.raises(ConfigurationError):
+            CrowdCollect(platform, "q").run(max_queries=0)
+
+
+class TestFill:
+    def _table(self):
+        schema = (
+            SchemaBuilder().string("city", nullable=False).crowd_string("country")
+            .crowd_string("continent").key("city").build()
+        )
+        table = Table("cities", schema)
+        table.insert_many([{"city": c} for c in ("paris", "rome", "tokyo")])
+        return table
+
+    TRUTH = {
+        "paris": {"country": "france", "continent": "europe"},
+        "rome": {"country": "italy", "continent": "europe"},
+        "tokyo": {"country": "japan", "continent": "asia"},
+    }
+
+    def test_fills_all_cells(self):
+        table = self._table()
+        filler = CrowdFill(
+            _platform(accuracy=0.95),
+            truth_fn=lambda row, col: self.TRUTH[row["city"]][col],
+            redundancy=3,
+        )
+        result = filler.run(table)
+        assert result.filled_cells == 6
+        assert table.completeness() == 1.0
+
+    def test_column_restriction(self):
+        table = self._table()
+        filler = CrowdFill(
+            _platform(),
+            truth_fn=lambda row, col: self.TRUTH[row["city"]][col],
+        )
+        result = filler.run(table, columns=("country",))
+        assert result.filled_cells == 3
+        assert table.cnull_cells() == [(i, "continent") for i in (1, 2, 3)]
+
+    def test_limit(self):
+        table = self._table()
+        filler = CrowdFill(
+            _platform(),
+            truth_fn=lambda row, col: self.TRUTH[row["city"]][col],
+        )
+        result = filler.run(table, limit=2)
+        assert result.filled_cells == 2
+
+    def test_accuracy_helper(self):
+        table = self._table()
+        filler = CrowdFill(
+            _platform(accuracy=1.0),
+            truth_fn=lambda row, col: self.TRUTH[row["city"]][col],
+            redundancy=1,
+        )
+        result = filler.run(table)
+        expected = {
+            (rowid, col): self.TRUTH[table.row(rowid)["city"]][col]
+            for rowid, col in result.values
+        }
+        assert filler.accuracy_against(result, expected) == 1.0
+
+    def test_empty_table_noop(self):
+        schema = SchemaBuilder().string("k").crowd_string("v").build()
+        result = CrowdFill(_platform(), truth_fn=lambda r, c: "x").run(Table("t", schema))
+        assert result.filled_cells == 0 and result.cost == 0.0
+
+
+class TestCategorize:
+    ITEMS = ["lion", "eagle", "shark", "tiger", "sparrow", "salmon", "bear", "owl"]
+    TRUTH = {
+        "lion": "mammal", "tiger": "mammal", "bear": "mammal",
+        "eagle": "bird", "sparrow": "bird", "owl": "bird",
+        "shark": "fish", "salmon": "fish",
+    }
+
+    def test_accuracy_and_groups(self):
+        op = CrowdCategorize(
+            _platform(accuracy=0.95),
+            ("mammal", "bird", "fish"),
+            truth_fn=self.TRUTH.get,
+            redundancy=5,
+        )
+        result = op.run(self.ITEMS)
+        assert result.accuracy_against([self.TRUTH[i] for i in self.ITEMS]) >= 0.85
+        grouped = sorted(i for members in result.groups.values() for i in members)
+        assert grouped == list(range(len(self.ITEMS)))
+
+    def test_needs_two_categories(self):
+        with pytest.raises(ConfigurationError):
+            CrowdCategorize(_platform(), ("only",))
+
+    def test_truth_outside_categories_rejected(self):
+        op = CrowdCategorize(
+            _platform(), ("a", "b"), truth_fn=lambda item: "z"
+        )
+        with pytest.raises(ConfigurationError):
+            op.run(["x"])

@@ -1,0 +1,127 @@
+"""Unit tests for the crowd planning operator (human-guided search)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.operators.plan import CrowdPlanner, optimal_path, path_score
+from repro.platform.platform import SimulatedPlatform
+from repro.workers.pool import WorkerPool
+
+
+def layered_graph(layers=5, width=4):
+    graph = {}
+    for layer in range(layers):
+        for i in range(width):
+            graph[(layer, i)] = [(layer + 1, j) for j in range(width)]
+    return graph
+
+
+def seeded_edge_score(seed_offset=0):
+    cache = {}
+
+    def edge_score(u, v):
+        key = (u, v)
+        if key not in cache:
+            rng = np.random.default_rng((hash(key) + seed_offset) % (2**32))
+            cache[key] = float(rng.uniform(0, 1))
+        return cache[key]
+
+    return edge_score
+
+
+def _platform(accuracy=0.95, seed=1):
+    return SimulatedPlatform(WorkerPool.uniform(15, accuracy, seed=seed), seed=seed + 1)
+
+
+class TestOptimalPath:
+    def test_simple_dp(self):
+        graph = {"s": ["a", "b"], "a": ["t"], "b": ["t"]}
+        score = {("s", "a"): 1.0, ("s", "b"): 5.0, ("a", "t"): 1.0, ("b", "t"): 1.0}
+        best = optimal_path(graph, "s", 2, lambda u, v: score[(u, v)])
+        assert best == ["s", "b", "t"]
+
+    def test_steps_validated(self):
+        with pytest.raises(ConfigurationError):
+            optimal_path({}, "s", 0, lambda u, v: 0.0)
+
+    def test_dead_end_truncates(self):
+        graph = {"s": ["a"], "a": []}
+        best = optimal_path(graph, "s", 5, lambda u, v: 1.0)
+        assert best == ["s", "a"]
+
+    def test_path_score(self):
+        assert path_score(["a", "b", "c"], lambda u, v: 2.0) == 4.0
+        assert path_score(["a"], lambda u, v: 2.0) == 0.0
+
+
+class TestCrowdPlanner:
+    def test_config_validated(self):
+        planner = CrowdPlanner(_platform(), {}, lambda u, v: 0.0)
+        with pytest.raises(ConfigurationError):
+            planner.greedy("s", 0)
+        with pytest.raises(ConfigurationError):
+            planner.beam("s", 1, width=0)
+        with pytest.raises(ConfigurationError):
+            CrowdPlanner(_platform(), {}, lambda u, v: 0.0, redundancy=0)
+
+    def test_accurate_workers_find_good_plans(self):
+        graph = layered_graph()
+        edge_score = seeded_edge_score()
+        planner = CrowdPlanner(_platform(accuracy=0.97, seed=3), graph, edge_score,
+                               redundancy=5)
+        result = planner.greedy((0, 0), 5)
+        assert len(result.path) == 6
+        # Greedy with near-perfect votes: small regret vs the DP optimum.
+        assert result.regret(graph, edge_score) < 1.0
+
+    def test_single_successor_needs_no_vote(self):
+        graph = {"s": ["a"], "a": ["b"], "b": []}
+        planner = CrowdPlanner(_platform(seed=5), graph, lambda u, v: 1.0)
+        result = planner.greedy("s", 2)
+        assert result.path == ["s", "a", "b"]
+        assert result.questions_asked == 0
+        assert result.cost == 0.0
+
+    def test_dead_end_stops_early(self):
+        graph = {"s": ["a"], "a": []}
+        planner = CrowdPlanner(_platform(seed=7), graph, lambda u, v: 1.0)
+        result = planner.greedy("s", 10)
+        assert result.path == ["s", "a"]
+
+    def test_question_accounting(self):
+        graph = layered_graph(layers=3)
+        planner = CrowdPlanner(_platform(seed=9), graph, seeded_edge_score(),
+                               redundancy=3)
+        result = planner.greedy((0, 0), 3)
+        assert result.answers_bought == result.questions_asked * 3
+        assert result.cost == pytest.approx(result.answers_bought * 0.01)
+
+    def test_beam_no_worse_than_greedy_under_noise(self):
+        # Adversarial layered graph where the myopic choice is a trap:
+        # the edge with the best immediate score leads to a layer with
+        # poor onward edges.
+        graph = {
+            "s": ["trap", "good"],
+            "trap": ["t1"], "good": ["t2"],
+            "t1": [], "t2": [],
+        }
+        score = {
+            ("s", "trap"): 0.9, ("s", "good"): 0.8,
+            ("trap", "t1"): 0.1, ("good", "t2"): 0.9,
+        }
+        edge_score = lambda u, v: score[(u, v)]
+        greedy = CrowdPlanner(_platform(accuracy=1.0, seed=11), graph, edge_score)
+        beam = CrowdPlanner(_platform(accuracy=1.0, seed=11), graph, edge_score)
+        greedy_result = greedy.greedy("s", 2)
+        beam_result = beam.beam("s", 2, width=2)
+        assert beam_result.score(edge_score) >= greedy_result.score(edge_score)
+        # The beam escapes the trap (its round-2 vote sees full 2-step paths).
+        assert beam_result.path == ["s", "good", "t2"]
+
+    def test_beam_width_one_equals_greedy_choice_structure(self):
+        graph = layered_graph(layers=3)
+        edge_score = seeded_edge_score(3)
+        planner = CrowdPlanner(_platform(accuracy=1.0, seed=13), graph, edge_score)
+        result = planner.beam((0, 0), 3, width=1)
+        assert len(result.path) == 4

@@ -1,0 +1,246 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cost.deduction import ComparisonDeducer, TransitiveResolver
+from repro.cost.sampling import estimate_proportion
+from repro.cost.selection import entropy, margin
+from repro.cost.similarity import (
+    cosine_tokens,
+    edit_distance,
+    edit_similarity,
+    jaccard_ngrams,
+    jaccard_tokens,
+)
+from repro.operators.collect import chao92_estimate, good_turing_coverage
+from repro.platform.task import Answer
+from repro.quality.truth import (
+    BayesianVote,
+    DawidSkene,
+    MajorityVote,
+    ZenCrowd,
+)
+
+TEXT = st.text(alphabet="abcdef ", min_size=0, max_size=30)
+LABELS = st.sampled_from(["red", "green", "blue"])
+
+
+# --------------------------------------------------------------------- #
+# Similarity functions
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("fn", [jaccard_tokens, jaccard_ngrams, edit_similarity, cosine_tokens])
+@given(a=TEXT, b=TEXT)
+@settings(max_examples=60, suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_similarity_symmetric_bounded(fn, a, b):
+    value = fn(a, b)
+    assert 0.0 <= value <= 1.0
+    assert value == pytest.approx(fn(b, a))
+
+
+@given(a=TEXT)
+@settings(max_examples=40)
+def test_similarity_identity(a):
+    assert jaccard_tokens(a, a) == 1.0
+    assert edit_similarity(a, a) == 1.0
+
+
+@given(a=TEXT, b=TEXT, c=TEXT)
+@settings(max_examples=40)
+def test_edit_distance_triangle_inequality(a, b, c):
+    assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+@given(a=TEXT, b=TEXT)
+@settings(max_examples=40)
+def test_edit_distance_bounds(a, b):
+    d = edit_distance(a, b)
+    assert abs(len(a) - len(b)) <= d <= max(len(a), len(b), 0)
+
+
+# --------------------------------------------------------------------- #
+# Truth inference
+# --------------------------------------------------------------------- #
+
+EVIDENCE = st.dictionaries(
+    keys=st.sampled_from([f"t{i}" for i in range(6)]),
+    values=st.lists(
+        st.tuples(st.sampled_from([f"w{i}" for i in range(5)]), LABELS),
+        min_size=1,
+        max_size=6,
+        unique_by=lambda pair: pair[0],
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _as_answers(evidence):
+    return {
+        task: [Answer(task_id=task, worker_id=w, value=v) for w, v in pairs]
+        for task, pairs in evidence.items()
+    }
+
+
+@pytest.mark.parametrize("algo_factory", [MajorityVote, ZenCrowd, BayesianVote, DawidSkene])
+@given(evidence=EVIDENCE)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_inference_invariants(algo_factory, evidence):
+    answers = _as_answers(evidence)
+    result = algo_factory().infer(answers)
+    # Every task gets a truth from the global label space.
+    assert set(result.truths) == set(answers)
+    all_labels = {a.value for ans in answers.values() for a in ans}
+    assert all(v in all_labels for v in result.truths.values())
+    # Confidences and qualities are probabilities.
+    assert all(0.0 <= c <= 1.0 + 1e-9 for c in result.confidences.values())
+    assert all(0.0 <= q <= 1.0 + 1e-9 for q in result.worker_quality.values())
+
+
+@given(evidence=EVIDENCE)
+@settings(max_examples=25, deadline=None)
+def test_unanimous_tasks_win(evidence):
+    answers = _as_answers(evidence)
+    result = MajorityVote().infer(answers)
+    for task, task_answers in answers.items():
+        values = {a.value for a in task_answers}
+        if len(values) == 1:
+            assert result.truths[task] == values.pop()
+
+
+# --------------------------------------------------------------------- #
+# Deduction
+# --------------------------------------------------------------------- #
+
+PAIRS = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)).filter(lambda p: p[0] != p[1]),
+    max_size=20,
+)
+
+
+@given(pairs=PAIRS, clusters=st.integers(1, 4))
+@settings(max_examples=50)
+def test_transitive_resolver_consistent_with_ground_truth(pairs, clusters):
+    """Feeding consistent evidence never contradicts and infer() agrees."""
+    cluster_of = {i: i % clusters for i in range(9)}
+    resolver = TransitiveResolver(strict=True)
+    for a, b in pairs:
+        if cluster_of[a] == cluster_of[b]:
+            resolver.record_match(a, b)
+        else:
+            resolver.record_nonmatch(a, b)
+    for a, b in pairs:
+        inferred = resolver.infer(a, b)
+        assert inferred == (cluster_of[a] == cluster_of[b])
+    assert not resolver.conflicts
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(lambda p: p[0] < p[1]),
+        max_size=15,
+    )
+)
+@settings(max_examples=50)
+def test_comparison_deducer_respects_total_order(edges):
+    """Evidence consistent with integer order yields order-consistent closure."""
+    deducer = ComparisonDeducer(strict=True)
+    for hi, lo in [(max(e), min(e)) for e in edges]:
+        deducer.record(hi, lo)
+    for a in range(8):
+        for b in range(8):
+            if a == b:
+                continue
+            inferred = deducer.infer(a, b)
+            if inferred is not None:
+                assert inferred == (a > b)
+
+
+# --------------------------------------------------------------------- #
+# Sampling & species estimation
+# --------------------------------------------------------------------- #
+
+
+@given(
+    labels=st.lists(st.booleans(), min_size=1, max_size=200),
+    extra=st.integers(0, 10_000),
+)
+@settings(max_examples=50)
+def test_proportion_estimate_bounded(labels, extra):
+    population = len(labels) + extra
+    est = estimate_proportion(labels, population)
+    assert 0.0 <= est.value <= 1.0
+    assert est.stderr >= 0.0
+    low, high = est.interval
+    assert low <= est.value <= high
+
+
+@given(
+    counts=st.dictionaries(
+        st.integers(0, 30), st.integers(1, 10), min_size=0, max_size=20
+    )
+)
+@settings(max_examples=50)
+def test_species_estimators_bounded_below_by_observed(counts):
+    freqs = Counter({f"s{k}": v for k, v in counts.items()})
+    observed = len(freqs)
+    assert 0.0 <= good_turing_coverage(freqs) <= 1.0
+    assert chao92_estimate(freqs) >= observed - 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Selection scores
+# --------------------------------------------------------------------- #
+
+POSTERIOR = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(posterior=POSTERIOR)
+@settings(max_examples=50)
+def test_entropy_margin_bounds(posterior):
+    h = entropy(posterior)
+    assert h >= 0.0
+    m = margin(posterior)
+    assert 0.0 <= m <= 1.0
+
+
+# --------------------------------------------------------------------- #
+# CrowdSQL parser totality on generated inputs
+# --------------------------------------------------------------------- #
+
+def _not_keyword(name: str) -> bool:
+    from repro.lang.lexer import KEYWORDS
+
+    return name.upper() not in KEYWORDS
+
+
+IDENT = st.text(alphabet="abcxyz", min_size=1, max_size=6).filter(_not_keyword)
+
+
+@given(
+    table=IDENT,
+    column=IDENT,
+    value=st.integers(-1000, 1000),
+    limit=st.integers(1, 99),
+)
+@settings(max_examples=40)
+def test_parser_roundtrips_generated_selects(table, column, value, limit):
+    from repro.lang.parser import parse_one
+
+    sql = f"SELECT {column} FROM {table} WHERE {column} > {value} LIMIT {limit}"
+    stmt = parse_one(sql)
+    assert stmt.table == table
+    assert stmt.columns == (column,)
+    assert stmt.limit == limit
+    assert stmt.where.evaluate({column: value + 1}) is True
+    assert stmt.where.evaluate({column: value - 1}) is False

@@ -1,0 +1,190 @@
+"""Meta-tests keeping the documentation honest.
+
+These assert the claims DESIGN.md / README.md make about the repository's
+structure — experiment coverage, method registries, example inventory —
+so the docs cannot silently drift from the code.
+"""
+
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+EXPERIMENT_BENCHES = {
+    "T1": "bench_truth_inference.py",
+    "T2": "bench_spammer_robustness.py",
+    "T3": "bench_crowd_join.py",
+    "T4": "bench_crowd_sort.py",
+    "T5": "bench_crowd_count.py",
+    "T6": "bench_latency.py",
+    "T7": "bench_crowdsql.py",
+    "T8": "bench_deco.py",
+    "T9": "bench_task_design.py",
+    "T10": "bench_worker_qc.py",
+    "F1": "bench_task_assignment.py",
+    "F2": "bench_early_termination.py",
+    "F3": "bench_deduction.py",
+    "F4": "bench_crowd_max.py",
+    "F5": "bench_crowd_collect.py",
+    "F6": "bench_crowd_filter.py",
+    "F7": "bench_domain_assignment.py",
+    "F8": "bench_skyline.py",
+    "F9": "bench_hybrid.py",
+    "F10": "bench_planning.py",
+}
+
+
+class TestExperimentInventory:
+    def test_every_indexed_bench_exists(self):
+        for experiment, bench in EXPERIMENT_BENCHES.items():
+            assert (REPO / "benchmarks" / bench).exists(), (experiment, bench)
+
+    def test_no_unindexed_benches(self):
+        on_disk = {
+            p.name for p in (REPO / "benchmarks").glob("bench_*.py")
+        }
+        assert on_disk == set(EXPERIMENT_BENCHES.values())
+
+    def test_design_md_mentions_every_experiment(self):
+        design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+        for experiment in EXPERIMENT_BENCHES:
+            assert f"| {experiment} |" in design, experiment
+
+    def test_experiments_md_has_a_section_per_experiment(self):
+        text = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for experiment in EXPERIMENT_BENCHES:
+            assert f"## {experiment} —" in text, experiment
+
+
+class TestRegistries:
+    def test_seven_categorical_methods(self):
+        from repro.quality.truth import CATEGORICAL_METHODS
+
+        assert set(CATEGORICAL_METHODS) == {
+            "mv", "wmv", "zc", "ds", "glad", "bayes", "mace",
+        }
+
+    def test_three_numeric_methods(self):
+        from repro.quality.truth import NUMERIC_METHODS
+
+        assert set(NUMERIC_METHODS) == {"mean", "median", "catd"}
+
+    def test_four_similarity_functions(self):
+        from repro.cost.similarity import SIMILARITY_FUNCTIONS
+
+        assert set(SIMILARITY_FUNCTIONS) == {"jaccard", "ngram", "edit", "cosine"}
+
+    def test_all_task_types_have_a_capable_worker_model(self, rng):
+        """OneCoinModel must produce a sane answer for every task type."""
+        from repro.platform.task import (
+            Task,
+            TaskType,
+            collect,
+            compare,
+            fill,
+            multi_choice,
+            numeric,
+            rate,
+            single_choice,
+        )
+        from repro.workers.models import OneCoinModel
+
+        model = OneCoinModel(0.9)
+        tasks = [
+            single_choice("q", ("a", "b"), truth="a"),
+            multi_choice("q", ("a", "b"), truth={"a"}),
+            fill("q", truth="x"),
+            compare("l", "r", truth="left"),
+            rate("q", truth=3.0),
+            numeric("q", truth=10.0),
+            collect("q"),
+        ]
+        covered = {t.task_type for t in tasks}
+        assert covered == set(TaskType)
+        for task in tasks:
+            model.answer(task, rng)  # must not raise
+
+
+class TestExamplesInventory:
+    def test_examples_exist_and_have_docstrings(self):
+        examples = sorted((REPO / "examples").glob("*.py"))
+        assert len(examples) >= 8
+        for example in examples:
+            text = example.read_text(encoding="utf-8")
+            assert text.startswith('"""'), example.name
+            assert "__main__" in text, example.name
+
+    def test_readme_points_at_real_paths(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        for path in ("src/repro/data", "src/repro/deco", "src/repro/hybrid",
+                     "docs/TUTORIAL.md", "DESIGN.md", "EXPERIMENTS.md"):
+            assert path.split("/")[-1] in readme
+            assert (REPO / path).exists(), path
+
+
+class TestPublicApiSurface:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core", "repro.data", "repro.platform", "repro.workers",
+            "repro.quality", "repro.quality.truth", "repro.quality.assignment",
+            "repro.cost", "repro.latency", "repro.operators", "repro.lang",
+            "repro.deco", "repro.hybrid", "repro.experiments",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        import importlib
+
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert getattr(mod, name, None) is not None, f"{module}.{name}"
+
+
+class TestDocstringCoverage:
+    """Every public module, class, function, and non-override method has a
+    docstring (overrides inherit their contract from a documented base)."""
+
+    @staticmethod
+    def _inherited_doc(cls, method_name):
+        for base in cls.__mro__[1:]:
+            method = base.__dict__.get(method_name)
+            if method is not None and getattr(method, "__doc__", None):
+                return True
+        return False
+
+    def test_all_public_items_documented(self):
+        import importlib
+        import inspect
+        import pkgutil
+
+        import repro
+
+        missing = []
+        for modinfo in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            if modinfo.name.endswith("__main__"):
+                continue
+            mod = importlib.import_module(modinfo.name)
+            if not mod.__doc__:
+                missing.append(modinfo.name)
+            for name, obj in vars(mod).items():
+                if name.startswith("_"):
+                    continue
+                if inspect.isclass(obj) and obj.__module__ == modinfo.name:
+                    if not obj.__doc__:
+                        missing.append(f"{modinfo.name}.{name}")
+                    for mname, meth in vars(obj).items():
+                        if mname.startswith("_") or not inspect.isfunction(meth):
+                            continue
+                        if not meth.__doc__ and not self._inherited_doc(obj, mname):
+                            missing.append(f"{modinfo.name}.{name}.{mname}")
+                elif inspect.isfunction(obj) and obj.__module__ == modinfo.name:
+                    if not obj.__doc__:
+                        missing.append(f"{modinfo.name}.{name}")
+        assert not missing, f"undocumented public items: {missing}"

@@ -1,0 +1,223 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import (
+    CNULL,
+    Column,
+    ColumnType,
+    Schema,
+    SchemaBuilder,
+    is_cnull,
+)
+from repro.errors import SchemaError, TypeMismatchError, UnknownColumnError
+
+
+class TestCNull:
+    def test_singleton(self):
+        from repro.data.schema import _CNullType
+
+        assert _CNullType() is CNULL
+
+    def test_falsy(self):
+        assert not CNULL
+
+    def test_repr(self):
+        assert repr(CNULL) == "CNULL"
+
+    def test_is_cnull(self):
+        assert is_cnull(CNULL)
+        assert not is_cnull(None)
+        assert not is_cnull("CNULL")
+
+    def test_distinct_from_none(self):
+        assert CNULL is not None
+        assert CNULL != None  # noqa: E711 — deliberate comparison
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(CNULL)) is CNULL
+
+
+class TestColumnType:
+    def test_string_accepts_str(self):
+        assert ColumnType.STRING.validate("x") == "x"
+
+    def test_string_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.STRING.validate(3)
+
+    def test_integer_accepts_int(self):
+        assert ColumnType.INTEGER.validate(42) == 42
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.INTEGER.validate(True)
+
+    def test_float_coerces_int(self):
+        value = ColumnType.FLOAT.validate(3)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.FLOAT.validate(False)
+
+    def test_boolean_accepts_bool(self):
+        assert ColumnType.BOOLEAN.validate(True) is True
+
+    def test_boolean_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.BOOLEAN.validate(1)
+
+    def test_none_passes_through(self):
+        assert ColumnType.INTEGER.validate(None) is None
+
+    def test_cnull_passes_through(self):
+        assert ColumnType.STRING.validate(CNULL) is CNULL
+
+
+class TestColumn:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name!", ColumnType.STRING)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.STRING)
+
+    def test_cnull_requires_crowd(self):
+        plain = Column("a", ColumnType.STRING)
+        with pytest.raises(TypeMismatchError):
+            plain.validate(CNULL)
+
+    def test_crowd_column_accepts_cnull(self):
+        crowd = Column("a", ColumnType.STRING, crowd=True)
+        assert crowd.validate(CNULL) is CNULL
+
+    def test_not_null_rejects_none(self):
+        col = Column("a", ColumnType.STRING, nullable=False)
+        with pytest.raises(TypeMismatchError):
+            col.validate(None)
+
+
+class TestSchema:
+    def test_requires_columns(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Column("a", ColumnType.STRING), Column("a", ColumnType.INTEGER)])
+
+    def test_pk_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", ColumnType.STRING)], primary_key=("b",))
+
+    def test_pk_cannot_be_crowd(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [Column("a", ColumnType.STRING, crowd=True)], primary_key=("a",)
+            )
+
+    def test_column_lookup(self, people_schema):
+        assert people_schema.column("age").ctype is ColumnType.INTEGER
+
+    def test_unknown_column(self, people_schema):
+        with pytest.raises(UnknownColumnError):
+            people_schema.column("salary")
+
+    def test_index_of(self, people_schema):
+        assert people_schema.index_of("age") == 1
+
+    def test_crowd_columns(self, people_schema):
+        assert [c.name for c in people_schema.crowd_columns] == ["hometown"]
+
+    def test_validate_row_defaults_crowd_to_cnull(self, people_schema):
+        row = people_schema.validate_row({"name": "ann", "age": 3})
+        assert is_cnull(row["hometown"])
+
+    def test_validate_row_defaults_nullable_to_none(self, people_schema):
+        row = people_schema.validate_row({"name": "ann"})
+        assert row["age"] is None
+
+    def test_validate_row_missing_not_null_raises(self, people_schema):
+        with pytest.raises(TypeMismatchError):
+            people_schema.validate_row({"age": 3})
+
+    def test_validate_row_unknown_key_raises(self, people_schema):
+        with pytest.raises(UnknownColumnError):
+            people_schema.validate_row({"name": "x", "nope": 1})
+
+    def test_validate_row_preserves_order(self, people_schema):
+        row = people_schema.validate_row({"age": 1, "name": "b"})
+        assert list(row) == ["name", "age", "hometown"]
+
+    def test_project(self, people_schema):
+        projected = people_schema.project(["age", "name"])
+        assert projected.column_names == ("age", "name")
+
+    def test_project_drops_broken_pk(self, people_schema):
+        projected = people_schema.project(["age"])
+        assert projected.primary_key == ()
+
+    def test_project_keeps_pk_when_possible(self, people_schema):
+        projected = people_schema.project(["name", "age"])
+        assert projected.primary_key == ("name",)
+
+    def test_rename(self, people_schema):
+        renamed = people_schema.rename({"name": "full_name"})
+        assert "full_name" in renamed
+        assert renamed.primary_key == ("full_name",)
+
+    def test_join_disjoint(self):
+        a = Schema([Column("x", ColumnType.INTEGER)])
+        b = Schema([Column("y", ColumnType.INTEGER)])
+        joined = a.join(b)
+        assert joined.column_names == ("x", "y")
+
+    def test_join_with_clash_prefixes(self):
+        a = Schema([Column("x", ColumnType.INTEGER)])
+        b = Schema([Column("x", ColumnType.INTEGER)])
+        joined = a.join(b, "l", "r")
+        assert joined.column_names == ("l_x", "r_x")
+
+    def test_equality(self, people_schema):
+        clone = (
+            SchemaBuilder()
+            .string("name", nullable=False)
+            .integer("age")
+            .crowd_string("hometown")
+            .key("name")
+            .build()
+        )
+        assert clone == people_schema
+
+    def test_contains(self, people_schema):
+        assert "name" in people_schema
+        assert "salary" not in people_schema
+
+    def test_repr_mentions_crowd(self, people_schema):
+        assert "CROWD" in repr(people_schema)
+
+
+class TestSchemaBuilder:
+    def test_all_types(self):
+        schema = (
+            SchemaBuilder()
+            .string("s")
+            .integer("i")
+            .float("f")
+            .boolean("b")
+            .crowd_string("cs")
+            .crowd_integer("ci")
+            .crowd_float("cf")
+            .crowd_boolean("cb")
+            .build()
+        )
+        assert len(schema) == 8
+        assert len(schema.crowd_columns) == 4
+
+    def test_crowd_table_flag(self):
+        schema = SchemaBuilder().string("a").crowd_table().build()
+        assert schema.crowd_table

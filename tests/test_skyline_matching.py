@@ -1,0 +1,257 @@
+"""Unit tests for crowd skyline and crowd schema matching, plus the
+diverse-skills worker model and domain-aware assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AssignmentError, ConfigurationError
+from repro.operators.schema_matching import CrowdSchemaMatcher
+from repro.operators.skyline import CrowdSkyline, true_skyline
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import Task, TaskType, single_choice
+from repro.quality.assignment import (
+    DomainAwareAssignment,
+    RoundRobinAssignment,
+    run_assignment,
+)
+from repro.quality.truth import MajorityVote
+from repro.workers.models import DiverseSkillsModel
+from repro.workers.pool import WorkerPool
+from repro.workers.worker import Worker
+
+
+class TestTrueSkyline:
+    def test_simple(self):
+        scores = [(1, 1), (2, 2), (0, 3), (3, 0), (1, 2)]
+        # (2,2) dominates (1,1) and (1,2); (0,3) and (3,0) undominated.
+        assert sorted(true_skyline(scores)) == [1, 2, 3]
+
+    def test_single_item(self):
+        assert true_skyline([(5, 5)]) == [0]
+
+    def test_total_order_gives_singleton(self):
+        scores = [(i, i) for i in range(5)]
+        assert true_skyline(scores) == [4]
+
+
+class TestCrowdSkyline:
+    def _platform(self, seed=3):
+        return SimulatedPlatform(
+            WorkerPool.comparison_pool(20, sharpness=50.0, seed=seed), seed=seed + 1
+        )
+
+    def test_needs_two_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            CrowdSkyline(self._platform(), ["a"], [lambda x: 0.0])
+
+    def test_recovers_true_skyline_with_sharp_workers(self):
+        scores = {
+            "a": (0.1, 0.1), "b": (0.9, 0.9), "c": (0.05, 0.95),
+            "d": (0.95, 0.05), "e": (0.5, 0.5),
+        }
+        items = list(scores)
+        expected = true_skyline([scores[i] for i in items])
+        op = CrowdSkyline(
+            self._platform(),
+            items,
+            [lambda it: scores[it][0], lambda it: scores[it][1]],
+            redundancy=3,
+        )
+        result = op.run()
+        assert result.matches(expected)
+        assert result.comparisons_asked > 0
+        assert result.cost > 0
+
+    def test_elimination_skips_checks(self):
+        # A chain: item i dominated by i+1; skyline = last item. With
+        # elimination, dominated items stop being compared.
+        n = 8
+        items = [f"i{k}" for k in range(n)]
+        op = CrowdSkyline(
+            self._platform(seed=9),
+            items,
+            [lambda it: float(it[1:]), lambda it: float(it[1:]) * 2],
+            redundancy=1,
+        )
+        result = op.run()
+        assert result.skyline == [n - 1]
+        # Full BNL without elimination would need n*(n-1) checks.
+        assert result.dominance_checks < n * (n - 1)
+
+    def test_empty_items_rejected(self):
+        op = CrowdSkyline(
+            self._platform(), [], [lambda x: 0.0, lambda x: 0.0]
+        )
+        with pytest.raises(ConfigurationError):
+            op.run()
+
+
+class TestSchemaMatching:
+    SOURCE = ("cust_name", "cust_email", "order_total", "created_at")
+    TARGET = ("customer", "email_address", "total_amount", "creation_date", "region")
+    TRUTH = {
+        "cust_name": "customer",
+        "cust_email": "email_address",
+        "order_total": "total_amount",
+        "created_at": "creation_date",
+    }
+
+    def _platform(self, seed=11, accuracy=0.95):
+        return SimulatedPlatform(WorkerPool.uniform(15, accuracy, seed=seed), seed=seed + 1)
+
+    def test_finds_correspondences(self):
+        matcher = CrowdSchemaMatcher(
+            self._platform(), self.TRUTH, prune_below=0.05, redundancy=3
+        )
+        result = matcher.run(self.SOURCE, self.TARGET)
+        precision, recall, f1 = result.precision_recall_f1(self.TRUTH)
+        assert f1 >= 0.7
+        assert result.questions_asked + result.pairs_pruned == len(self.SOURCE) * len(self.TARGET)
+
+    def test_pruning_reduces_questions(self):
+        loose = CrowdSchemaMatcher(
+            self._platform(seed=13), self.TRUTH, prune_below=0.0
+        ).run(self.SOURCE, self.TARGET)
+        tight = CrowdSchemaMatcher(
+            self._platform(seed=13), self.TRUTH, prune_below=0.2
+        ).run(self.SOURCE, self.TARGET)
+        assert tight.questions_asked < loose.questions_asked
+
+    def test_one_to_one_constraint(self):
+        matcher = CrowdSchemaMatcher(
+            self._platform(seed=17), self.TRUTH, prune_below=0.0
+        )
+        result = matcher.run(self.SOURCE, self.TARGET)
+        targets = list(result.correspondences.values())
+        assert len(targets) == len(set(targets))
+
+    def test_descriptions_help_similarity(self):
+        descriptions = {
+            "cust_name": "full name of the customer",
+            "customer": "full name of the customer",
+        }
+        matcher = CrowdSchemaMatcher(
+            self._platform(seed=19), self.TRUTH,
+            prune_below=0.3, descriptions=descriptions,
+        )
+        result = matcher.run(("cust_name",), ("customer", "region"))
+        assert result.correspondences.get("cust_name") == "customer"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CrowdSchemaMatcher(self._platform(), {}, prune_below=2.0)
+        with pytest.raises(ConfigurationError):
+            CrowdSchemaMatcher(self._platform(), {}, redundancy=0)
+        matcher = CrowdSchemaMatcher(self._platform(), {})
+        with pytest.raises(ConfigurationError):
+            matcher.run((), ("x",))
+
+    def test_empty_truth_means_no_matches(self):
+        matcher = CrowdSchemaMatcher(
+            self._platform(seed=23, accuracy=0.99), {}, prune_below=0.0, redundancy=3
+        )
+        result = matcher.run(("alpha",), ("beta",))
+        assert result.correspondences == {}
+
+
+class TestDiverseSkills:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiverseSkillsModel(skills={"birds": 1.5})
+        with pytest.raises(ConfigurationError):
+            DiverseSkillsModel(default_accuracy=-0.1)
+
+    def test_accuracy_by_domain(self):
+        model = DiverseSkillsModel(skills={"birds": 0.95, "law": 0.5}, default_accuracy=0.6)
+        birds_task = Task(
+            TaskType.SINGLE_CHOICE, question="q", options=("a", "b"),
+            truth="a", payload={"domain": "birds"},
+        )
+        law_task = Task(
+            TaskType.SINGLE_CHOICE, question="q", options=("a", "b"),
+            truth="a", payload={"domain": "law"},
+        )
+        assert model.accuracy_for(birds_task) == 0.95
+        assert model.accuracy_for(law_task) == 0.5
+
+    def test_empirical_split(self):
+        model = DiverseSkillsModel(skills={"birds": 0.95, "law": 0.55})
+        rng = np.random.default_rng(1)
+
+        def rate(domain):
+            task = Task(
+                TaskType.SINGLE_CHOICE, question="q", options=("a", "b"),
+                truth="a", payload={"domain": domain},
+            )
+            return sum(model.answer(task, rng) == "a" for _ in range(1500)) / 1500
+
+        assert rate("birds") > 0.9
+        assert rate("law") < 0.65
+
+
+class TestDomainAwareAssignment:
+    DOMAINS = ("birds", "law")
+
+    def _pool(self, seed):
+        # Half the workers are bird experts, half law experts.
+        workers = []
+        for i in range(20):
+            if i % 2 == 0:
+                skills = {"birds": 0.95, "law": 0.55}
+            else:
+                skills = {"birds": 0.55, "law": 0.95}
+            workers.append(Worker(model=DiverseSkillsModel(skills=skills)))
+        return WorkerPool(workers, seed=seed)
+
+    def _tasks(self, n, seed):
+        rng = np.random.default_rng(seed)
+        tasks = []
+        for i in range(n):
+            domain = self.DOMAINS[i % 2]
+            truth = ("yes", "no")[int(rng.integers(2))]
+            tasks.append(
+                Task(
+                    TaskType.SINGLE_CHOICE,
+                    question=f"{domain} question {i}",
+                    options=("yes", "no"),
+                    truth=truth,
+                    payload={"domain": domain},
+                )
+            )
+        return tasks
+
+    def test_validation(self):
+        with pytest.raises(AssignmentError):
+            DomainAwareAssignment(prior_quality=0.0)
+
+    def test_beats_round_robin_on_skilled_pool(self):
+        # Enough tasks for the online skill estimates to amortize the
+        # exploration phase (small jobs can't learn who knows what).
+        accuracies = {}
+        for name, factory in (
+            ("rr", lambda: RoundRobinAssignment(redundancy=3)),
+            ("domain", lambda: DomainAwareAssignment(redundancy=3, exploration=1)),
+        ):
+            platform = SimulatedPlatform(self._pool(seed=31), seed=32)
+            tasks = self._tasks(200, seed=33)
+            truth = {t.task_id: t.truth for t in tasks}
+            outcome = run_assignment(platform, factory(), tasks, max_answers=600)
+            inferred = MajorityVote().infer(outcome.answers_by_task).truths
+            accuracies[name] = sum(
+                1 for t in truth if inferred.get(t) == truth[t]
+            ) / len(truth)
+        assert accuracies["domain"] > accuracies["rr"]
+
+    def test_quality_estimates_learn_domains(self):
+        platform = SimulatedPlatform(self._pool(seed=41), seed=42)
+        tasks = self._tasks(60, seed=43)
+        strategy = DomainAwareAssignment(redundancy=3, exploration=1)
+        run_assignment(platform, strategy, tasks, max_answers=180)
+        # For a bird expert, estimated birds-quality should exceed law.
+        expert = platform.pool.workers[0]  # even index = bird expert
+        birds_q = strategy.quality(expert.worker_id, "birds")
+        law_q = strategy.quality(expert.worker_id, "law")
+        if strategy.observations(expert.worker_id, "birds") >= 3 and (
+            strategy.observations(expert.worker_id, "law") >= 3
+        ):
+            assert birds_q > law_q - 0.15

@@ -1,0 +1,153 @@
+"""Unit tests for repro.data.table."""
+
+import pytest
+
+from repro.data.schema import CNULL, SchemaBuilder, is_cnull
+from repro.data.table import Table, make_table
+from repro.errors import KeyViolationError, UnknownColumnError
+
+
+@pytest.fixture
+def people(people_schema):
+    return make_table(
+        "people",
+        people_schema,
+        rows=[
+            {"name": "ann", "age": 30},
+            {"name": "bob", "age": 25, "hometown": "rome"},
+        ],
+    )
+
+
+class TestInsert:
+    def test_len(self, people):
+        assert len(people) == 2
+
+    def test_rowids_start_at_one(self, people):
+        assert [r.rowid for r in people] == [1, 2]
+
+    def test_crowd_default_is_cnull(self, people):
+        assert is_cnull(people.row(1)["hometown"])
+
+    def test_explicit_crowd_value_kept(self, people):
+        assert people.row(2)["hometown"] == "rome"
+
+    def test_duplicate_pk_rejected(self, people):
+        with pytest.raises(KeyViolationError):
+            people.insert({"name": "ann", "age": 99})
+
+    def test_null_pk_rejected(self):
+        schema = SchemaBuilder().string("k").integer("v").key("k").build()
+        table = Table("t", schema)
+        with pytest.raises(KeyViolationError):
+            table.insert({"k": None, "v": 1})
+
+    def test_insert_returns_row(self, people):
+        row = people.insert({"name": "carol"})
+        assert row["name"] == "carol" and row.rowid == 3
+
+    def test_rowids_not_reused_after_delete(self, people):
+        people.delete(2)
+        row = people.insert({"name": "dave"})
+        assert row.rowid == 3
+
+
+class TestRow:
+    def test_getitem_unknown_column(self, people):
+        with pytest.raises(UnknownColumnError):
+            people.row(1)["salary"]
+
+    def test_as_dict_is_copy(self, people):
+        snapshot = people.row(1).as_dict()
+        snapshot["age"] = 999
+        assert people.row(1)["age"] == 30
+
+    def test_eq_dict(self, people):
+        assert people.row(2) == {"name": "bob", "age": 25, "hometown": "rome"}
+
+    def test_has_cnull(self, people):
+        assert people.row(1).has_cnull()
+        assert not people.row(2).has_cnull()
+
+    def test_get_default(self, people):
+        assert people.row(1).get("salary", -1) == -1
+
+    def test_iteration_yields_columns(self, people):
+        assert list(people.row(1)) == ["name", "age", "hometown"]
+
+
+class TestMutation:
+    def test_update_cell(self, people):
+        people.update_cell(1, "hometown", "paris")
+        assert people.row(1)["hometown"] == "paris"
+        assert people.cnull_cells() == []
+
+    def test_update_cell_validates_type(self, people):
+        with pytest.raises(Exception):
+            people.update_cell(1, "age", "not a number")
+
+    def test_update_pk_rejected(self, people):
+        with pytest.raises(KeyViolationError):
+            people.update_cell(1, "name", "zed")
+
+    def test_delete(self, people):
+        people.delete(1)
+        assert len(people) == 1
+        with pytest.raises(KeyError):
+            people.row(1)
+
+    def test_delete_frees_pk(self, people):
+        people.delete(1)
+        people.insert({"name": "ann", "age": 1})  # pk reusable after delete
+
+    def test_delete_missing_raises(self, people):
+        with pytest.raises(KeyError):
+            people.delete(77)
+
+    def test_clear(self, people):
+        people.clear()
+        assert len(people) == 0
+        assert people.lookup(name="ann") is None
+
+
+class TestQueries:
+    def test_lookup_hit(self, people):
+        assert people.lookup(name="bob")["age"] == 25
+
+    def test_lookup_miss(self, people):
+        assert people.lookup(name="zed") is None
+
+    def test_lookup_requires_full_key(self, people):
+        with pytest.raises(KeyViolationError):
+            people.lookup(age=30)
+
+    def test_scan_with_predicate(self, people):
+        old = list(people.scan(lambda r: (r["age"] or 0) > 26))
+        assert [r["name"] for r in old] == ["ann"]
+
+    def test_scan_without_predicate(self, people):
+        assert len(list(people.scan())) == 2
+
+    def test_cnull_cells(self, people):
+        assert people.cnull_cells() == [(1, "hometown")]
+
+    def test_completeness(self, people):
+        assert people.completeness() == pytest.approx(0.5)
+
+    def test_completeness_no_crowd_columns(self):
+        schema = SchemaBuilder().string("a").build()
+        table = make_table("t", schema, rows=[{"a": "x"}])
+        assert table.completeness() == 1.0
+
+    def test_completeness_empty_table(self, people_schema):
+        assert Table("t", people_schema).completeness() == 1.0
+
+    def test_to_dicts_preserves_cnull(self, people):
+        dicts = people.to_dicts()
+        assert dicts[0]["hometown"] is CNULL
+
+    def test_copy_is_independent(self, people):
+        clone = people.copy("clone")
+        clone.update_cell(1, "hometown", "oslo")
+        assert is_cnull(people.row(1)["hometown"])
+        assert clone.name == "clone"

@@ -1,0 +1,233 @@
+"""Unit tests for repro.quality.truth — all categorical algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import Answer
+from repro.quality.truth import (
+    CATEGORICAL_METHODS,
+    BayesianVote,
+    DawidSkene,
+    Glad,
+    MajorityVote,
+    WeightedMajorityVote,
+    ZenCrowd,
+    label_space,
+    votes_by_task,
+    worker_answer_index,
+)
+from repro.workers.pool import WorkerPool
+
+from conftest import make_choice_tasks
+
+
+def _evidence(n_tasks=80, pool=None, redundancy=5, seed=7, labels=("a", "b", "c")):
+    pool = pool or WorkerPool.heterogeneous(20, seed=seed)
+    platform = SimulatedPlatform(pool, seed=seed + 1)
+    tasks = make_choice_tasks(n_tasks, labels=labels, seed=seed)
+    answers = platform.collect(tasks, redundancy=redundancy)
+    truth = {t.task_id: t.truth for t in tasks}
+    return answers, truth
+
+
+def _manual(votes):
+    """Build evidence dict from {task: [(worker, value), ...]}."""
+    return {
+        task_id: [Answer(task_id=task_id, worker_id=w, value=v) for w, v in pairs]
+        for task_id, pairs in votes.items()
+    }
+
+
+class TestValidation:
+    @pytest.mark.parametrize("method", sorted(CATEGORICAL_METHODS))
+    def test_empty_evidence_rejected(self, method):
+        with pytest.raises(InferenceError):
+            CATEGORICAL_METHODS[method]().infer({})
+
+    def test_empty_answer_list_rejected(self):
+        with pytest.raises(InferenceError):
+            MajorityVote().infer({"t1": []})
+
+    def test_misfiled_answer_rejected(self):
+        evidence = {"t1": [Answer(task_id="t2", worker_id="w", value="a")]}
+        with pytest.raises(InferenceError):
+            MajorityVote().infer(evidence)
+
+    def test_accuracy_requires_overlap(self):
+        result = MajorityVote().infer(_manual({"t1": [("w1", "a")]}))
+        with pytest.raises(InferenceError):
+            result.accuracy_against({"other": "a"})
+
+
+class TestHelpers:
+    def test_label_space_sorted_union(self):
+        evidence = _manual({"t1": [("w1", "b"), ("w2", "a")], "t2": [("w1", "c")]})
+        assert label_space(evidence) == ["a", "b", "c"]
+
+    def test_votes_by_task(self):
+        evidence = _manual({"t1": [("w1", "a"), ("w2", "a"), ("w3", "b")]})
+        assert votes_by_task(evidence)["t1"] == {"a": 2, "b": 1}
+
+    def test_worker_answer_index(self):
+        evidence = _manual({"t1": [("w1", "a")], "t2": [("w1", "b")]})
+        assert worker_answer_index(evidence)["w1"] == [("t1", "a"), ("t2", "b")]
+
+
+class TestMajorityVote:
+    def test_clear_majority(self):
+        evidence = _manual({"t1": [("w1", "x"), ("w2", "x"), ("w3", "y")]})
+        result = MajorityVote().infer(evidence)
+        assert result.truths["t1"] == "x"
+        assert result.confidences["t1"] == pytest.approx(2 / 3)
+
+    def test_tie_breaks_deterministically(self):
+        evidence = _manual({"t1": [("w1", "b"), ("w2", "a")]})
+        result = MajorityVote().infer(evidence)
+        assert result.truths["t1"] == "a"  # smallest repr among tied
+
+    def test_worker_quality_is_agreement(self):
+        evidence = _manual(
+            {
+                "t1": [("good", "x"), ("good2", "x"), ("bad", "y")],
+                "t2": [("good", "z"), ("good2", "z"), ("bad", "w")],
+            }
+        )
+        result = MajorityVote().infer(evidence)
+        assert result.worker_quality["good"] == pytest.approx(1.0)
+        assert result.worker_quality["bad"] == pytest.approx(0.0)
+
+    def test_posteriors_normalized(self):
+        evidence = _manual({"t1": [("w1", "a"), ("w2", "b"), ("w3", "b")]})
+        post = MajorityVote().infer(evidence).posteriors["t1"]
+        assert sum(post.values()) == pytest.approx(1.0)
+
+    def test_reasonable_accuracy(self):
+        answers, truth = _evidence()
+        accuracy = MajorityVote().infer(answers).accuracy_against(truth)
+        assert accuracy > 0.8
+
+
+class TestWeightedMajorityVote:
+    def test_explicit_weights_override(self):
+        evidence = _manual({"t1": [("expert", "x"), ("novice", "y"), ("novice2", "y")]})
+        result = WeightedMajorityVote(
+            worker_weights={"expert": 0.99, "novice": 0.2, "novice2": 0.2}
+        ).infer(evidence)
+        assert result.truths["t1"] == "x"
+
+    def test_auto_weights_match_mv_on_unanimity(self):
+        evidence = _manual({"t1": [("w1", "x"), ("w2", "x")]})
+        assert WeightedMajorityVote().infer(evidence).truths["t1"] == "x"
+
+    def test_weight_floor_applies(self):
+        evidence = _manual({"t1": [("zero", "x")]})
+        result = WeightedMajorityVote(worker_weights={"zero": 0.0}).infer(evidence)
+        assert result.truths["t1"] == "x"  # floored weight still counts
+
+    def test_beats_mv_with_spammers(self):
+        pool = WorkerPool.with_spammers(24, spammer_fraction=0.34, seed=3)
+        answers, truth = _evidence(n_tasks=150, pool=pool, redundancy=7, seed=3)
+        mv = MajorityVote().infer(answers).accuracy_against(truth)
+        wmv = WeightedMajorityVote().infer(answers).accuracy_against(truth)
+        assert wmv >= mv
+
+
+class TestEMFamily:
+    @pytest.mark.parametrize("algo_cls", [DawidSkene, ZenCrowd, Glad, BayesianVote])
+    def test_unanimous_evidence(self, algo_cls):
+        evidence = _manual(
+            {
+                "t1": [("w1", "a"), ("w2", "a"), ("w3", "a")],
+                "t2": [("w1", "b"), ("w2", "b"), ("w3", "b")],
+            }
+        )
+        result = algo_cls().infer(evidence)
+        assert result.truths == {"t1": "a", "t2": "b"}
+
+    @pytest.mark.parametrize("algo_cls", [DawidSkene, ZenCrowd, BayesianVote])
+    def test_beats_mv_with_spammers(self, algo_cls):
+        pool = WorkerPool.with_spammers(20, spammer_fraction=0.35, seed=9)
+        answers, truth = _evidence(n_tasks=200, pool=pool, redundancy=7, seed=9)
+        mv = MajorityVote().infer(answers).accuracy_against(truth)
+        em = algo_cls().infer(answers).accuracy_against(truth)
+        assert em >= mv - 0.02  # never meaningfully worse; usually better
+
+    def test_ds_converges(self):
+        answers, _ = _evidence(n_tasks=50, redundancy=5)
+        result = DawidSkene(max_iterations=200).infer(answers)
+        assert result.converged
+        assert 1 <= result.iterations <= 200
+
+    def test_ds_worker_quality_separates_spammers(self):
+        pool = WorkerPool.with_spammers(10, spammer_fraction=0.3, good_accuracy=0.95, seed=4)
+        spammer_ids = {
+            w.worker_id for w in pool if type(w.model).__name__ == "SpammerModel"
+        }
+        answers, _ = _evidence(n_tasks=200, pool=pool, redundancy=6, seed=4)
+        quality = DawidSkene().infer(answers).worker_quality
+        spam_quality = np.mean([quality[w] for w in spammer_ids if w in quality])
+        good_quality = np.mean([q for w, q in quality.items() if w not in spammer_ids])
+        assert good_quality > spam_quality + 0.1
+
+    def test_zencrowd_reliability_in_unit_interval(self):
+        answers, _ = _evidence(n_tasks=40)
+        quality = ZenCrowd().infer(answers).worker_quality
+        assert all(0.0 <= q <= 1.0 for q in quality.values())
+
+    def test_zencrowd_handles_heterogeneous_label_sets(self):
+        evidence = _manual(
+            {
+                "t1": [("w1", "x"), ("w2", "x")],
+                "t2": [("w1", "p"), ("w2", "q"), ("w3", "p")],
+            }
+        )
+        result = ZenCrowd().infer(evidence)
+        assert result.truths["t1"] == "x"
+        assert result.truths["t2"] == "p"
+
+    def test_glad_learns_difficulty(self):
+        pool = WorkerPool.glad_spectrum(15, seed=6)
+        platform = SimulatedPlatform(pool, seed=7)
+        easy = make_choice_tasks(30, seed=1, difficulty=0.05)
+        hard = make_choice_tasks(30, seed=2, difficulty=0.85)
+        answers = platform.collect(easy + hard, redundancy=5)
+        result = Glad(max_iterations=15).infer(answers)
+        difficulty = result.task_difficulty  # type: ignore[attr-defined]
+        easy_mean = np.mean([difficulty[t.task_id] for t in easy])
+        hard_mean = np.mean([difficulty[t.task_id] for t in hard])
+        assert hard_mean > easy_mean
+
+    def test_bayes_prior_regularizes_single_answer(self):
+        evidence = _manual({"t1": [("w1", "a")]})
+        result = BayesianVote().infer(evidence)
+        assert result.truths["t1"] == "a"
+        # One answer cannot produce certainty under a Beta prior.
+        assert result.worker_quality["w1"] < 0.95
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(InferenceError):
+            DawidSkene(max_iterations=0)
+        with pytest.raises(InferenceError):
+            ZenCrowd(prior_reliability=1.5)
+        with pytest.raises(InferenceError):
+            Glad(max_iterations=0)
+        with pytest.raises(InferenceError):
+            BayesianVote(prior_alpha=-1)
+
+    @pytest.mark.parametrize("method", sorted(CATEGORICAL_METHODS))
+    def test_posteriors_are_distributions(self, method):
+        answers, _ = _evidence(n_tasks=20, redundancy=3)
+        result = CATEGORICAL_METHODS[method]().infer(answers)
+        for post in result.posteriors.values():
+            assert sum(post.values()) == pytest.approx(1.0, abs=1e-6)
+            assert all(p >= 0 for p in post.values())
+
+    @pytest.mark.parametrize("method", sorted(CATEGORICAL_METHODS))
+    def test_truth_always_among_answered_labels(self, method):
+        answers, _ = _evidence(n_tasks=25, redundancy=3)
+        result = CATEGORICAL_METHODS[method]().infer(answers)
+        for task_id, inferred in result.truths.items():
+            answered = {a.value for a in answers[task_id]}
+            assert inferred in answered or inferred in label_space(answers)

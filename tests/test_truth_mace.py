@@ -1,0 +1,89 @@
+"""Unit tests for MACE truth inference (spammer-mixture model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import Answer
+from repro.quality.truth import Mace, MajorityVote
+from repro.workers.pool import WorkerPool, true_accuracy
+
+from conftest import make_choice_tasks
+
+
+def _manual(votes):
+    return {
+        task_id: [Answer(task_id=task_id, worker_id=w, value=v) for w, v in pairs]
+        for task_id, pairs in votes.items()
+    }
+
+
+class TestMace:
+    def test_config_validated(self):
+        with pytest.raises(InferenceError):
+            Mace(prior_competence=1.0)
+        with pytest.raises(InferenceError):
+            Mace(max_iterations=0)
+
+    def test_unanimous(self):
+        result = Mace().infer(
+            _manual({"t1": [("w1", "a"), ("w2", "a")], "t2": [("w1", "b"), ("w2", "b")]})
+        )
+        assert result.truths == {"t1": "a", "t2": "b"}
+
+    def test_converges(self):
+        pool = WorkerPool.heterogeneous(15, seed=1)
+        platform = SimulatedPlatform(pool, seed=2)
+        tasks = make_choice_tasks(60, seed=3)
+        answers = platform.collect(tasks, redundancy=5)
+        result = Mace().infer(answers)
+        assert result.converged
+        assert all(0.0 <= q <= 1.0 for q in result.worker_quality.values())
+
+    def test_beats_mv_under_heavy_spam(self):
+        pool = WorkerPool.with_spammers(30, spammer_fraction=0.4, good_accuracy=0.85, seed=5)
+        platform = SimulatedPlatform(pool, seed=7)
+        tasks = make_choice_tasks(250, seed=11)
+        answers = platform.collect(tasks, redundancy=5)
+        truth = {t.task_id: t.truth for t in tasks}
+        mv = MajorityVote().infer(answers).accuracy_against(truth)
+        mace = Mace().infer(answers).accuracy_against(truth)
+        assert mace > mv + 0.04
+
+    def test_competence_separates_spammers(self):
+        pool = WorkerPool.with_spammers(20, spammer_fraction=0.3, good_accuracy=0.9, seed=9)
+        spammers = {w.worker_id for w in pool if true_accuracy(w) is None}
+        platform = SimulatedPlatform(pool, seed=10)
+        tasks = make_choice_tasks(200, seed=12)
+        answers = platform.collect(tasks, redundancy=6)
+        quality = Mace().infer(answers).worker_quality
+        spam_mean = np.mean([quality[w] for w in quality if w in spammers])
+        good_mean = np.mean([quality[w] for w in quality if w not in spammers])
+        assert good_mean > spam_mean + 0.3
+
+    def test_spam_distribution_sums_to_one(self):
+        result = Mace().infer(
+            _manual({"t1": [("w1", "a"), ("w2", "b"), ("w3", "a")]})
+        )
+        for dist in result.spam_distributions.values():  # type: ignore[attr-defined]
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_biased_spammer_detected(self):
+        """A worker who always answers 'a' gets low competence and a spam
+        distribution concentrated on 'a'."""
+        votes = {}
+        labels = ("a", "b", "c")
+        rng = np.random.default_rng(0)
+        for i in range(60):
+            truth = labels[i % 3]
+            votes[f"t{i}"] = [
+                ("good1", truth),
+                ("good2", truth),
+                ("good3", truth if rng.random() < 0.9 else "b"),
+                ("lazy", "a"),
+            ]
+        result = Mace().infer(_manual(votes))
+        assert result.worker_quality["lazy"] < 0.45
+        spam = result.spam_distributions["lazy"]  # type: ignore[attr-defined]
+        assert spam["a"] > 0.8

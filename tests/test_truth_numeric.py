@@ -1,0 +1,98 @@
+"""Unit tests for numeric truth inference (mean/median/CATD)."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import Answer, numeric
+from repro.quality.truth import CatdAggregator, MeanAggregator, MedianAggregator
+from repro.workers.pool import WorkerPool
+from repro.workers.worker import Worker
+from repro.workers.models import OneCoinModel, SpammerModel
+
+
+def _manual(values_by_task):
+    return {
+        task_id: [
+            Answer(task_id=task_id, worker_id=f"w{i}", value=v)
+            for i, v in enumerate(values)
+        ]
+        for task_id, values in values_by_task.items()
+    }
+
+
+class TestMean:
+    def test_simple_mean(self):
+        result = MeanAggregator().infer(_manual({"t1": [1.0, 2.0, 3.0]}))
+        assert result.truths["t1"] == pytest.approx(2.0)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(InferenceError):
+            MeanAggregator().infer(_manual({"t1": ["x"]}))
+
+    def test_rejects_bool(self):
+        with pytest.raises(InferenceError):
+            MeanAggregator().infer(_manual({"t1": [True]}))
+
+    def test_confidence_drops_with_spread(self):
+        tight = MeanAggregator().infer(_manual({"t": [10.0, 10.1, 9.9]}))
+        loose = MeanAggregator().infer(_manual({"t": [1.0, 10.0, 19.0]}))
+        assert tight.confidences["t"] > loose.confidences["t"]
+
+
+class TestMedian:
+    def test_robust_to_outlier(self):
+        evidence = _manual({"t1": [10.0, 10.2, 9.8, 500.0]})
+        mean = MeanAggregator().infer(evidence).truths["t1"]
+        median = MedianAggregator().infer(evidence).truths["t1"]
+        assert abs(median - 10.0) < abs(mean - 10.0)
+
+    def test_exact_median(self):
+        result = MedianAggregator().infer(_manual({"t": [3.0, 1.0, 2.0]}))
+        assert result.truths["t"] == pytest.approx(2.0)
+
+
+class TestCatd:
+    def test_downweights_consistent_outlier(self):
+        # worker w3 is always wildly off; CATD should trust w0-w2.
+        evidence = _manual(
+            {
+                f"t{k}": [100.0 + k, 101.0 + k, 99.0 + k, 500.0 + k]
+                for k in range(10)
+            }
+        )
+        catd = CatdAggregator().infer(evidence)
+        mean = MeanAggregator().infer(evidence)
+        for k in range(10):
+            assert abs(catd.truths[f"t{k}"] - (100 + k)) < abs(
+                mean.truths[f"t{k}"] - (100 + k)
+            )
+
+    def test_worker_quality_ranks_outlier_last(self):
+        evidence = _manual(
+            {f"t{k}": [50.0, 51.0, 49.0, 200.0] for k in range(8)}
+        )
+        quality = CatdAggregator().infer(evidence).worker_quality
+        assert quality["w3"] == min(quality.values())
+
+    def test_converges(self):
+        evidence = _manual({f"t{k}": [float(k), k + 0.5, k - 0.5] for k in range(5)})
+        result = CatdAggregator().infer(evidence)
+        assert result.converged
+
+    def test_end_to_end_beats_mean_with_spammers(self):
+        workers = [Worker(model=OneCoinModel(0.9)) for _ in range(6)]
+        workers += [Worker(model=SpammerModel()) for _ in range(3)]
+        platform = SimulatedPlatform(WorkerPool(workers, seed=1), seed=2)
+        tasks = [numeric(f"estimate {i}", truth=100.0 + i) for i in range(30)]
+        answers = platform.collect(tasks, redundancy=6)
+        truth = {t.task_id: t.truth for t in tasks}
+
+        def error(result):
+            return sum(
+                abs(result.truths[t] - truth[t]) / truth[t] for t in truth
+            ) / len(truth)
+
+        assert error(CatdAggregator().infer(answers)) <= error(
+            MeanAggregator().infer(answers)
+        )

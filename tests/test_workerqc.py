@@ -1,0 +1,139 @@
+"""Unit tests for repro.quality.workerqc."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import single_choice
+from repro.quality.workerqc import (
+    GoldInjector,
+    eliminate_spammers,
+    pool_accuracy_report,
+    qualification_test,
+)
+from repro.workers.pool import WorkerPool, true_accuracy
+
+
+def _gold(n=10, seed=0):
+    return [single_choice(f"g{i}", ("yes", "no"), truth="yes") for i in range(n)]
+
+
+class TestQualificationTest:
+    def test_requires_gold(self, platform):
+        with pytest.raises(ConfigurationError):
+            qualification_test(platform, [])
+
+    def test_gold_needs_truth(self, platform):
+        with pytest.raises(ConfigurationError):
+            qualification_test(platform, [single_choice("g", ("a", "b"))])
+
+    def test_filters_bad_workers(self):
+        pool = WorkerPool.with_spammers(20, spammer_fraction=0.4, good_accuracy=0.95, seed=1)
+        platform = SimulatedPlatform(pool, seed=2)
+        qualification_test(platform, _gold(20), pass_accuracy=0.7)
+        survivors = platform.pool.active_workers
+        # Survivors should be overwhelmingly the good workers.
+        good = [w for w in survivors if true_accuracy(w) is not None]
+        assert len(good) >= len(survivors) - 2
+        assert 10 <= len(survivors) <= 14
+
+    def test_no_deactivation_when_disabled(self):
+        pool = WorkerPool.with_spammers(10, spammer_fraction=0.5, seed=3)
+        platform = SimulatedPlatform(pool, seed=4)
+        scores = qualification_test(
+            platform, _gold(10), pass_accuracy=0.7, deactivate_failures=False
+        )
+        assert len(platform.pool.active_workers) == 10
+        assert len(scores) == 10
+
+    def test_scores_in_unit_interval(self, platform):
+        scores = qualification_test(platform, _gold(5), deactivate_failures=False)
+        assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+
+class TestGoldInjector:
+    def test_requires_gold(self):
+        with pytest.raises(ConfigurationError):
+            GoldInjector(gold_tasks=[])
+
+    def test_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            GoldInjector(gold_tasks=_gold(2), injection_rate=0.0)
+
+    def test_marks_gold(self):
+        gold = _gold(3)
+        GoldInjector(gold_tasks=gold, seed=1)
+        assert all(g.is_gold for g in gold)
+
+    def test_inject_proportion(self):
+        injector = GoldInjector(gold_tasks=_gold(5), injection_rate=0.2, seed=2)
+        real = [single_choice(f"r{i}", ("a", "b"), truth="a") for i in range(50)]
+        mixed = injector.inject(real)
+        gold_count = sum(1 for t in mixed if t.is_gold)
+        assert gold_count == 10
+        assert len(mixed) == 60
+
+    def test_scoring(self, platform):
+        gold = _gold(8)
+        injector = GoldInjector(gold_tasks=gold, seed=3)
+        tasks_by_id = {g.task_id: g for g in gold}
+        answers = platform.collect(gold, redundancy=3)
+        for task_answers in answers.values():
+            injector.score(task_answers, tasks_by_id)
+        measured = injector.worker_accuracy()
+        assert measured
+        assert all(0.0 <= v <= 1.0 for v in measured.values())
+        counts = injector.gold_counts()
+        assert all(counts[w] >= 1 for w in measured)
+
+
+class TestEliminateSpammers:
+    def test_eliminates_chance_level_workers(self):
+        pool = WorkerPool.uniform(5, 0.9, seed=5)
+        ids = [w.worker_id for w in pool]
+        accuracy = {ids[0]: 0.5, ids[1]: 0.95, ids[2]: 0.45}
+        counts = {ids[0]: 20, ids[1]: 20, ids[2]: 20}
+        eliminated = eliminate_spammers(pool, accuracy, counts)
+        assert ids[0] in eliminated and ids[2] in eliminated
+        assert ids[1] not in eliminated
+
+    def test_needs_min_observations(self):
+        pool = WorkerPool.uniform(2, 0.9, seed=6)
+        wid = pool.workers[0].worker_id
+        eliminated = eliminate_spammers(pool, {wid: 0.5}, {wid: 1})
+        assert eliminated == []
+
+    def test_report_joins_state(self):
+        pool = WorkerPool.uniform(3, 0.9, seed=7)
+        wid = pool.workers[0].worker_id
+        pool.deactivate(wid)
+        report = pool_accuracy_report(pool, {wid: 0.4})
+        assert report[wid] == {"active": False, "gold_accuracy": 0.4}
+        others = [v for k, v in report.items() if k != wid]
+        assert all(v == {"active": True} for v in others)
+
+
+class TestEndToEndPipeline:
+    def test_gold_injection_then_elimination_improves_pool(self):
+        pool = WorkerPool.with_spammers(20, spammer_fraction=0.3, good_accuracy=0.9, seed=8)
+        platform = SimulatedPlatform(pool, seed=9)
+        gold = _gold(40)
+        injector = GoldInjector(gold_tasks=gold, seed=10)
+        tasks_by_id = {g.task_id: g for g in gold}
+        answers = platform.collect(gold, redundancy=10)
+        for task_answers in answers.values():
+            injector.score(task_answers, tasks_by_id)
+        eliminated = eliminate_spammers(
+            pool,
+            injector.worker_accuracy(),
+            injector.gold_counts(),
+            min_observations=8,
+        )
+        # With ~20 gold answers per worker, eliminations should be spammers.
+        spammers = {
+            w.worker_id for w in pool if true_accuracy(w) is None
+        }
+        false_positives = [w for w in eliminated if w not in spammers]
+        assert len(false_positives) <= 1
+        # And most actual spammers should be caught.
+        assert len([w for w in eliminated if w in spammers]) >= 4
