@@ -1,0 +1,122 @@
+"""B1 — Batched concurrent runtime: throughput vs the sequential path.
+
+A 500-task filter workload is dispatched through the BatchScheduler at
+increasing lane counts. Expected shape: simulated throughput (assignments
+per simulated second) scales with ``max_parallel`` because independent
+assignments overlap on separate lanes, while ``max_parallel=1`` reproduces
+the pre-batch sequential ``platform.collect`` path answer-for-answer. A
+fault-injected row shows the retry machinery delivering full redundancy
+despite abandonment and timeouts.
+"""
+
+from conftest import run_once
+
+from repro.experiments.harness import quick_mode, run_trials
+from repro.platform.batch import BatchConfig
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import single_choice
+from repro.workers.pool import WorkerPool
+
+N_TASKS = 100 if quick_mode() else 500
+REDUNDANCY = 3
+POOL_SIZE = 40
+LANES = (1, 2, 4, 8)
+
+
+def _tasks(n: int) -> list:
+    return [
+        single_choice(f"item {i}: keep?", ("yes", "no"), truth="yes" if i % 2 else "no")
+        for i in range(n)
+    ]
+
+
+def _platform(seed: int, batch: BatchConfig | None = None) -> SimulatedPlatform:
+    pool = WorkerPool.heterogeneous(
+        POOL_SIZE, accuracy_low=0.7, accuracy_high=0.95, seed=seed
+    )
+    return SimulatedPlatform(pool, seed=seed + 1, batch=batch)
+
+
+def _normalized(platform: SimulatedPlatform, tasks: list, answers: dict) -> list:
+    """Answer stream keyed by workload position and within-pool worker index.
+
+    Worker and task ids both come from process-global counters, so two
+    platforms built in the same process name them differently even when the
+    pools and workloads are identical; positions are the stable identities.
+    """
+    index = {w.worker_id: i for i, w in enumerate(platform.pool)}
+    return [
+        (ti, index[a.worker_id], a.value, round(a.submitted_at, 9))
+        for ti, task in enumerate(tasks)
+        for a in answers[task.task_id]
+    ]
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+
+    # Reference: the pre-batch sequential collect() path.
+    ref = _platform(seed)
+    ref_tasks = _tasks(N_TASKS)
+    ref_answers = ref.collect(ref_tasks, redundancy=REDUNDANCY)
+    ref_stream = _normalized(ref, ref_tasks, ref_answers)
+
+    for lanes in LANES:
+        cfg = BatchConfig(batch_size=50, max_parallel=lanes, seed=seed + 2)
+        platform = _platform(seed, batch=cfg)
+        tasks = _tasks(N_TASKS)
+        run = platform.scheduler.run(tasks, redundancy=REDUNDANCY)
+        values[f"makespan@{lanes}"] = run.makespan
+        values[f"throughput@{lanes}"] = run.throughput
+        if lanes == 1:
+            values["seq_identical"] = float(
+                _normalized(platform, tasks, run.answers) == ref_stream
+            )
+
+    # Fault injection: abandonment + tight deadline, retries must refill.
+    faulty_cfg = BatchConfig(
+        batch_size=50,
+        max_parallel=8,
+        retry_limit=8,
+        abandon_rate=0.15,
+        assignment_timeout=90.0,
+        seed=seed + 2,
+    )
+    faulty = _platform(seed, batch=faulty_cfg)
+    run = faulty.scheduler.run(_tasks(N_TASKS), redundancy=REDUNDANCY)
+    values["faulty_retries"] = faulty.stats.assignments_retried
+    values["faulty_full_redundancy"] = float(
+        all(len(a) == REDUNDANCY for a in run.answers.values())
+    )
+    return values
+
+
+def test_b1_batch_runtime_throughput(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("B1", _trial, n_trials=3))
+
+    rows = [
+        {
+            "max_parallel": lanes,
+            "sim_makespan_s": result.mean(f"makespan@{lanes}"),
+            "sim_throughput": result.mean(f"throughput@{lanes}"),
+            "speedup_vs_seq": result.mean(f"throughput@{lanes}")
+            / result.mean("throughput@1"),
+        }
+        for lanes in LANES
+    ]
+    report.table(
+        rows,
+        title=f"B1: batch runtime scaling ({N_TASKS} filter tasks, redundancy {REDUNDANCY})",
+    )
+    report.note(
+        f"fault row: {result.mean('faulty_retries'):.1f} retries/trial, "
+        f"full redundancy in {result.mean('faulty_full_redundancy'):.0%} of trials"
+    )
+
+    # max_parallel=1 must reproduce the pre-batch sequential path exactly.
+    assert result.mean("seq_identical") == 1.0
+    # Acceptance: >= 2x simulated throughput at 8 lanes vs sequential.
+    assert result.mean("throughput@8") >= 2.0 * result.mean("throughput@1")
+    # Faults happened and were absorbed: every task still got full redundancy.
+    assert result.mean("faulty_retries") > 0
+    assert result.mean("faulty_full_redundancy") == 1.0

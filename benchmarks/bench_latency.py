@@ -9,8 +9,6 @@ log-linear supply response.
 
 from conftest import run_once
 
-import numpy as np
-
 from repro.experiments.harness import run_trials
 from repro.latency.mitigation import (
     run_baseline,

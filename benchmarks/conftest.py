@@ -8,9 +8,25 @@ pytest's output capture so rows land in the benchmark log.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.report import format_series, format_table
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="CI smoke mode: single-trial, reduced workloads (exports CROWDDM_BENCH_QUICK=1)",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--quick", default=False):
+        os.environ["CROWDDM_BENCH_QUICK"] = "1"
 
 
 @pytest.fixture

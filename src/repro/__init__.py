@@ -21,12 +21,14 @@ from repro.core import CrowdEngine, EngineConfig, JobReport, Requester
 from repro.data import CNULL, Database, Schema, SchemaBuilder, Table
 from repro.errors import CrowdDMError
 from repro.lang import CrowdOracle, CrowdSQLSession
-from repro.platform import SimulatedPlatform, Task, TaskType
+from repro.platform import BatchConfig, BatchScheduler, SimulatedPlatform, Task, TaskType
 from repro.workers import Worker, WorkerPool
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchConfig",
+    "BatchScheduler",
     "CNULL",
     "CrowdDMError",
     "CrowdEngine",

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro run script.sql [--seed 7] [--redundancy 3] [--pool 25]
+                                   [--batch-size 32] [--max-parallel 8]
     python -m repro repl
     python -m repro demo
 
@@ -23,6 +24,7 @@ from repro.errors import CrowdDMError
 from repro.experiments.report import format_table
 from repro.lang.executor import QueryResult
 from repro.lang.interpreter import CrowdSQLSession, StatementResult
+from repro.platform.batch import BatchConfig
 from repro.platform.platform import SimulatedPlatform
 from repro.workers.pool import WorkerPool
 
@@ -42,12 +44,22 @@ SELECT title FROM films CROWDORDER BY score LIMIT 3;
 """
 
 
-def build_session(seed: int, redundancy: int, pool_size: int) -> CrowdSQLSession:
+def build_session(
+    seed: int,
+    redundancy: int,
+    pool_size: int,
+    batch_size: int = 32,
+    max_parallel: int = 1,
+) -> CrowdSQLSession:
     """A session over a fresh simulated pool of reasonably diligent workers."""
     pool = WorkerPool.heterogeneous(
         pool_size, accuracy_low=0.75, accuracy_high=0.97, seed=seed
     )
-    platform = SimulatedPlatform(pool, seed=seed + 1)
+    platform = SimulatedPlatform(
+        pool,
+        seed=seed + 1,
+        batch=BatchConfig(batch_size=batch_size, max_parallel=max_parallel, seed=seed + 2),
+    )
     return CrowdSQLSession(platform=platform, redundancy=redundancy)
 
 
@@ -79,6 +91,10 @@ def run_script(session: CrowdSQLSession, sql: str, out=None) -> int:
         return 1
     for result in results:
         print(render(result), file=out)
+    if session.platform is not None:
+        batch_line = session.platform.stats.batch_summary()
+        if batch_line:
+            print(f"-- batch runtime: {batch_line}", file=out)
     return 0
 
 
@@ -109,6 +125,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     parser.add_argument("--redundancy", type=int, default=5, help="votes per crowd question")
     parser.add_argument("--pool", type=int, default=25, help="simulated pool size")
+    parser.add_argument(
+        "--batch-size", type=int, default=32, help="tasks per dispatch batch"
+    )
+    parser.add_argument(
+        "--max-parallel",
+        type=int,
+        default=1,
+        help="concurrent assignment lanes (1 = sequential)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
     run_parser = commands.add_parser("run", help="execute a .sql script")
     run_parser.add_argument("script", help="path to the CrowdSQL file")
@@ -116,7 +141,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     commands.add_parser("demo", help="run the built-in demo script")
 
     args = parser.parse_args(argv)
-    session = build_session(args.seed, args.redundancy, args.pool)
+    try:
+        session = build_session(
+            args.seed,
+            args.redundancy,
+            args.pool,
+            batch_size=args.batch_size,
+            max_parallel=args.max_parallel,
+        )
+    except CrowdDMError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if args.command == "run":
         try:

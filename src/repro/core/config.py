@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.platform.batch import BatchConfig
 from repro.quality.truth import CATEGORICAL_METHODS
 
 
@@ -19,10 +20,21 @@ class EngineConfig:
             :data:`repro.quality.truth.CATEGORICAL_METHODS`).
         budget: Total spend ceiling for the engine's platform.
         task_price: Default per-assignment reward.
-        seed: Master seed — the pool gets ``seed``, the platform ``seed+1``.
+        seed: Master seed — the pool gets ``seed``, the platform ``seed+1``,
+            and the batch runtime's per-assignment streams ``seed+2``.
         pool_size: Workers in the default pool.
         pool_accuracy_range: (low, high) accuracies for the default
             heterogeneous pool.
+        batch_size: Tasks grouped per dispatch wave of the batch runtime.
+        max_parallel: Concurrent assignment lanes; 1 (the default) is the
+            sequential path, bit-identical to pre-batch-runtime behaviour.
+        retry_limit: Retries per assignment after the first attempt.
+        assignment_timeout: Simulated seconds before an in-flight
+            assignment is reclaimed and retried; None disables timeouts.
+        abandon_rate: Probability a simulated worker abandons an
+            assignment (fault injection; 0 = off, the default).
+        retry_backoff: Base simulated backoff before retry r
+            (``retry_backoff * 2**(r-1)``).
     """
 
     redundancy: int = 3
@@ -32,6 +44,12 @@ class EngineConfig:
     seed: int = 0
     pool_size: int = 25
     pool_accuracy_range: tuple[float, float] = (0.6, 0.95)
+    batch_size: int = 32
+    max_parallel: int = 1
+    retry_limit: int = 2
+    assignment_timeout: float | None = None
+    abandon_rate: float = 0.0
+    retry_backoff: float = 1.0
 
     def __post_init__(self) -> None:
         if self.redundancy < 1:
@@ -48,7 +66,21 @@ class EngineConfig:
         low, high = self.pool_accuracy_range
         if not 0.0 <= low <= high <= 1.0:
             raise ConfigurationError("pool_accuracy_range must satisfy 0 <= low <= high <= 1")
+        # Batch-runtime knobs share BatchConfig's validation.
+        self.make_batch_config()
 
     def make_inference(self):
         """Instantiate the configured truth-inference method."""
         return CATEGORICAL_METHODS[self.inference]()
+
+    def make_batch_config(self) -> BatchConfig:
+        """The batch-runtime configuration these knobs describe."""
+        return BatchConfig(
+            batch_size=self.batch_size,
+            max_parallel=self.max_parallel,
+            retry_limit=self.retry_limit,
+            assignment_timeout=self.assignment_timeout,
+            abandon_rate=self.abandon_rate,
+            retry_backoff=self.retry_backoff,
+            seed=self.seed + 2,
+        )

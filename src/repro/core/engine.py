@@ -74,6 +74,7 @@ class CrowdEngine:
             budget=self.config.budget,
             pricing=PricingPolicy(default=self.config.task_price),
             seed=self.config.seed + 1,
+            batch=self.config.make_batch_config(),
         )
         # `is None` check: an empty Database is falsy (it defines __len__).
         self.database = Database() if database is None else database
@@ -362,6 +363,11 @@ class CrowdEngine:
     # ------------------------------------------------------------------ #
     # Accounting
     # ------------------------------------------------------------------ #
+
+    @property
+    def scheduler(self):
+        """The platform's batch execution runtime."""
+        return self.platform.scheduler
 
     @property
     def stats(self) -> PlatformStats:

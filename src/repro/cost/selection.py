@@ -14,7 +14,7 @@ literature:
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 from repro.errors import ConfigurationError
 

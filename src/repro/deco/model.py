@@ -22,7 +22,7 @@ procedures) lives in :mod:`repro.deco.fetch`; query semantics
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError, SchemaError

@@ -18,7 +18,7 @@ anchors and missing dependent values on demand, within a budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.deco.fetch import FetchRuleSet

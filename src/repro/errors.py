@@ -81,6 +81,24 @@ class TaskStateError(PlatformError):
     """A task transition is invalid for its current lifecycle state."""
 
 
+class RetryExhaustedError(PlatformError):
+    """An assignment kept failing (timeout/abandonment) past the retry limit.
+
+    Attributes:
+        task_id: The task whose assignment could not be completed.
+        attempts: Total attempts made (first try plus retries).
+    """
+
+    def __init__(self, task_id: str, attempts: int, reason: str = ""):
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"assignment for task {task_id!r} failed {attempts} attempt(s){detail}; "
+            f"retry limit exhausted"
+        )
+        self.task_id = task_id
+        self.attempts = attempts
+
+
 class InferenceError(CrowdDMError):
     """A truth-inference algorithm received inconsistent input or diverged."""
 

@@ -8,8 +8,9 @@ uniform result record that the report renderers consume.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.platform.platform import SimulatedPlatform
@@ -95,15 +96,30 @@ class ExperimentResult:
         return {k: self.mean(k) for k in keys}
 
 
+def quick_mode() -> bool:
+    """True when benchmarks should run a reduced CI-smoke workload.
+
+    Enabled by ``pytest benchmarks --quick`` (which exports the variable)
+    or by setting ``CROWDDM_BENCH_QUICK=1`` directly.
+    """
+    return os.environ.get("CROWDDM_BENCH_QUICK", "").strip() not in ("", "0")
+
+
 def run_trials(
     name: str,
     trial_fn: Callable[[int], Mapping[str, float]],
     n_trials: int = 3,
     base_seed: int = 0,
 ) -> ExperimentResult:
-    """Run *trial_fn(seed)* for seeds base_seed..base_seed+n-1 and aggregate."""
+    """Run *trial_fn(seed)* for seeds base_seed..base_seed+n-1 and aggregate.
+
+    In quick mode (see :func:`quick_mode`) only the first trial runs, so CI
+    smoke jobs get the full code path at a fraction of the wall-clock.
+    """
     if n_trials < 1:
         raise ConfigurationError("n_trials must be >= 1")
+    if quick_mode():
+        n_trials = 1
     result = ExperimentResult(name=name)
     for trial in range(n_trials):
         values = dict(trial_fn(base_seed + trial))

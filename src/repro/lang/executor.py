@@ -479,7 +479,7 @@ class Executor:
             options=(YES, NO),
             truth=YES if truth else NO,
         )
-        collected = self.platform.collect([task], redundancy=self.redundancy)
+        collected = self.platform.collect_batch([task], redundancy=self.redundancy)
         verdict = self.inference.infer(collected).truths[task.task_id] == YES
         stats.crowd_questions += 1
         stats.crowd_answers += self.redundancy

@@ -58,13 +58,43 @@ class RoundScheduler:
     Args:
         platform: Supplies workers, answers, and the event clock.
         redundancy: Answers per task per round.
+        use_batches: Run each round through the platform's batch runtime
+            (:class:`~repro.platform.batch.BatchScheduler`) instead of the
+            arrival-event timeline; the round's duration is then the batch
+            makespan under ``max_parallel`` concurrent assignment lanes.
+            None (default) auto-enables this when the platform has a
+            parallel scheduler attached.
     """
 
-    def __init__(self, platform: SimulatedPlatform, redundancy: int = 1):
+    def __init__(
+        self,
+        platform: SimulatedPlatform,
+        redundancy: int = 1,
+        use_batches: bool | None = None,
+    ):
         if redundancy < 1:
             raise ConfigurationError("redundancy must be >= 1")
+        if use_batches and platform.scheduler is None:
+            raise ConfigurationError("use_batches requires a platform batch scheduler")
         self.platform = platform
         self.redundancy = redundancy
+        self.use_batches = use_batches
+
+    def _batched(self) -> bool:
+        if self.use_batches is None:
+            return self.platform.parallel_batching
+        return self.use_batches
+
+    def _run_round(self, tasks: Sequence[Task]) -> TimelineResult:
+        if not self._batched():
+            return self.platform.simulate_timeline(tasks, redundancy=self.redundancy)
+        run = self.platform.scheduler.run(tasks, redundancy=self.redundancy)
+        answers = [a for t in tasks for a in run.answers.get(t.task_id, [])]
+        return TimelineResult(
+            makespan=run.makespan,
+            answers=answers,
+            completion_times=run.completion_times,
+        )
 
     def run(
         self,
@@ -87,7 +117,7 @@ class RoundScheduler:
         while tasks:
             if index >= max_rounds:
                 raise ConfigurationError(f"exceeded max_rounds={max_rounds}")
-            timeline = self.platform.simulate_timeline(tasks, redundancy=self.redundancy)
+            timeline = self._run_round(tasks)
             record = RoundRecord(
                 index=index,
                 tasks=len(tasks),

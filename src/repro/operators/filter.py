@@ -108,7 +108,7 @@ class FixedKFilter(CrowdFilter):
         """Filter *items* with k answers each; majority decides."""
         before = self.platform.stats.cost_spent
         tasks = [self._task_for(item, i) for i, item in enumerate(items)]
-        collected = self.platform.collect(tasks, redundancy=self.redundancy)
+        collected = self.platform.collect_batch(tasks, redundancy=self.redundancy)
         decisions: dict[int, bool] = {}
         answers_by_item: dict[int, list[Answer]] = {}
         questions = 0
@@ -150,7 +150,15 @@ class AdaptiveFilter(CrowdFilter):
         self.max_answers = max_answers
 
     def run(self, items: Sequence[Any]) -> FilterResult:
-        """Filter *items* with sequential early-stopping vote collection."""
+        """Filter *items* with sequential early-stopping vote collection.
+
+        With a parallel batch runtime attached to the platform, undecided
+        items are advanced breadth-first: each wave buys one more answer for
+        *every* open item as a single batch, so a wave costs one round of
+        simulated latency instead of one per answer.
+        """
+        if self.platform.parallel_batching:
+            return self._run_waves(items)
         before = self.platform.stats.cost_spent
         decisions: dict[int, bool] = {}
         answers_by_item: dict[int, list[Answer]] = {}
@@ -172,6 +180,38 @@ class AdaptiveFilter(CrowdFilter):
             decisions[i] = yes_votes > no_votes
             answers_by_item[i] = answers
             task.complete()
+        return FilterResult(
+            decisions=decisions,
+            questions_asked=questions,
+            cost=self.platform.stats.cost_spent - before,
+            answers_by_item=answers_by_item,
+        )
+
+    def _run_waves(self, items: Sequence[Any]) -> FilterResult:
+        """Breadth-first adaptive filtering over the batch runtime."""
+        before = self.platform.stats.cost_spent
+        tasks = [self._task_for(item, i) for i, item in enumerate(items)]
+        answers_by_item: dict[int, list[Answer]] = {i: [] for i in range(len(tasks))}
+        votes = {i: [0, 0] for i in range(len(tasks))}  # [yes, no]
+        open_items = list(range(len(tasks)))
+        questions = 0
+        while open_items:
+            wave = [tasks[i] for i in open_items]
+            collected = self.platform.collect_batch(wave, redundancy=1, complete=False)
+            still_open: list[int] = []
+            for i in open_items:
+                answer = collected[tasks[i].task_id][0]
+                answers_by_item[i].append(answer)
+                questions += 1
+                votes[i][0 if answer.value == YES else 1] += 1
+                yes_votes, no_votes = votes[i]
+                undecided = abs(yes_votes - no_votes) < self.margin
+                if undecided and len(answers_by_item[i]) < self.max_answers:
+                    still_open.append(i)
+            open_items = still_open
+        for task in tasks:
+            task.complete()
+        decisions = {i: votes[i][0] > votes[i][1] for i in range(len(tasks))}
         return FilterResult(
             decisions=decisions,
             questions_asked=questions,

@@ -17,7 +17,7 @@ Every crowd question is a yes/no SINGLE_CHOICE task answered with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.cost.deduction import TransitiveResolver
@@ -107,9 +107,8 @@ class CrowdJoin:
         ]
         return pairs, None
 
-    def _verify_with_crowd(self, records: Sequence[Any], i: int, j: int) -> bool:
-        """Buy *redundancy* votes on one pair and aggregate."""
-        task = Task(
+    def _pair_task(self, records: Sequence[Any], i: int, j: int) -> Task:
+        return Task(
             TaskType.SINGLE_CHOICE,
             question=(
                 f"Do these refer to the same entity? "
@@ -119,9 +118,18 @@ class CrowdJoin:
             payload={"left_index": i, "right_index": j},
             truth=YES if self.truth_fn(records[i], records[j]) else NO,
         )
-        collected = self.platform.collect([task], redundancy=self.redundancy)
-        result = self.inference.infer(collected)
-        return result.truths[task.task_id] == YES
+
+    def _verify_batch(
+        self, records: Sequence[Any], pairs: Sequence[tuple[int, int]]
+    ) -> list[bool]:
+        """Buy *redundancy* votes on each pair as one batch and aggregate."""
+        tasks = [self._pair_task(records, i, j) for i, j in pairs]
+        collected = self.platform.collect_batch(tasks, redundancy=self.redundancy)
+        verdicts: list[bool] = []
+        for task in tasks:
+            result = self.inference.infer({task.task_id: collected[task.task_id]})
+            verdicts.append(result.truths[task.task_id] == YES)
+        return verdicts
 
     # ------------------------------------------------------------------ #
 
@@ -135,22 +143,40 @@ class CrowdJoin:
         matched: set[tuple[int, int]] = set()
         questions = 0
         deduced = 0
-        for pair in pairs:  # descending similarity when pruned
-            i, j = pair.left_index, pair.right_index
-            verdict: bool | None = None
-            if self.use_transitivity:
-                verdict = resolver.infer(i, j)
-                if verdict is not None:
+        # Pairs go to the crowd in chunks (descending similarity when
+        # pruned). Sequentially the chunk is a single pair, so every verdict
+        # can deduce the next; under a parallel runtime a whole batch is
+        # posted at once — deduction then only sees verdicts from earlier
+        # chunks, trading a few extra questions for round-parallelism.
+        chunk_size = (
+            self.platform.scheduler.config.batch_size
+            if self.platform.parallel_batching
+            else 1
+        )
+        for start in range(0, len(pairs), chunk_size):
+            chunk = pairs[start : start + chunk_size]
+            unresolved: list[tuple[int, int]] = []
+            for pair in chunk:
+                i, j = pair.left_index, pair.right_index
+                verdict: bool | None = None
+                if self.use_transitivity:
+                    verdict = resolver.infer(i, j)
+                if verdict is None:
+                    unresolved.append((i, j))
+                else:
                     deduced += 1
-            if verdict is None:
-                verdict = self._verify_with_crowd(records, i, j)
-                questions += 1
+                    if verdict:
+                        matched.add((min(i, j), max(i, j)))
+            if not unresolved:
+                continue
+            verdicts = self._verify_batch(records, unresolved)
+            questions += len(unresolved)
+            for (i, j), verdict in zip(unresolved, verdicts):
                 if verdict:
                     resolver.record_match(i, j)
+                    matched.add((min(i, j), max(i, j)))
                 else:
                     resolver.record_nonmatch(i, j)
-            if verdict:
-                matched.add((min(i, j), max(i, j)))
 
         # Matches imply clusters; transitive closure over matched pairs.
         closure = TransitiveResolver(strict=False)
@@ -206,17 +232,22 @@ def crossing_join(
         report = None
     matched: set[tuple[int, int]] = set()
     questions = 0
+    tasks = []
     for pair in pairs:
         a, b = left[pair.left_index], right[pair.right_index]
-        task = Task(
-            TaskType.SINGLE_CHOICE,
-            question=f"Same entity? A: {key(a)} | B: {key(b)}",
-            options=(YES, NO),
-            truth=YES if truth_fn(a, b) else NO,
+        tasks.append(
+            Task(
+                TaskType.SINGLE_CHOICE,
+                question=f"Same entity? A: {key(a)} | B: {key(b)}",
+                options=(YES, NO),
+                truth=YES if truth_fn(a, b) else NO,
+            )
         )
-        collected = platform.collect([task], redundancy=redundancy)
+    collected = platform.collect_batch(tasks, redundancy=redundancy) if tasks else {}
+    for pair, task in zip(pairs, tasks):
         questions += 1
-        if inference.infer(collected).truths[task.task_id] == YES:
+        verdict = inference.infer({task.task_id: collected[task.task_id]})
+        if verdict.truths[task.task_id] == YES:
             matched.add((pair.left_index, len(left) + pair.right_index))
     clusters_resolver = TransitiveResolver(strict=False)
     for i, j in matched:

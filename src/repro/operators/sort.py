@@ -101,6 +101,67 @@ class CrowdComparator:
         self.comparisons_asked = 0
         self.answers_bought = 0
 
+    def _pair_task(self, key: tuple[int, int]) -> Task:
+        left, right = self.items[key[0]], self.items[key[1]]
+        left_score, right_score = self.score_fn(left), self.score_fn(right)
+        return Task(
+            TaskType.COMPARE,
+            question=f"{self.question} A: {left} | B: {right}",
+            options=("left", "right"),
+            payload={
+                "left": left,
+                "right": right,
+                "left_score": left_score,
+                "right_score": right_score,
+            },
+            truth="left" if left_score >= right_score else "right",
+        )
+
+    def _store(self, key: tuple[int, int], verdict_low_high: bool) -> None:
+        self._cache[key] = verdict_low_high
+        if self.deducer is not None:
+            if verdict_low_high:
+                self.deducer.record(key[0], key[1])
+            else:
+                self.deducer.record(key[1], key[0])
+
+    def prefetch(self, pairs: Sequence[tuple[int, int]]) -> int:
+        """Batch-buy verdicts for *pairs* that are not yet known.
+
+        A no-op unless the platform runs a parallel batch runtime — the
+        sequential path keeps its lazy one-comparison-at-a-time behaviour.
+        Returns the number of comparisons purchased. Callers that know a
+        round of comparisons up front (all-pairs sort, tournament rounds)
+        use this so one round costs one batch of simulated latency.
+        """
+        if not self.platform.parallel_batching:
+            return 0
+        todo: list[tuple[int, int]] = []
+        queued: set[tuple[int, int]] = set()
+        for i, j in pairs:
+            key = (min(i, j), max(i, j))
+            if key in self._cache or key in queued:
+                continue
+            queued.add(key)
+            if self.deducer is not None:
+                deduced = self.deducer.infer(key[0], key[1])
+                if deduced is not None:
+                    self._cache[key] = deduced
+                    continue
+            todo.append(key)
+        if not todo:
+            return 0
+        tasks = {key: self._pair_task(key) for key in todo}
+        collected = self.platform.collect_batch(list(tasks.values()), redundancy=self.redundancy)
+        for key, task in tasks.items():
+            winner = self.inference.infer(
+                {task.task_id: collected[task.task_id]}
+            ).truths[task.task_id]
+            self._store(key, winner == "left")
+        self.comparisons_asked += len(todo)
+        self.answers_bought += len(todo) * self.redundancy
+        return len(todo)
+
     def above(self, i: int, j: int) -> bool:
         """True if item i ranks above item j (buying a task if needed)."""
         if i == j:
@@ -114,31 +175,13 @@ class CrowdComparator:
             if deduced is not None:
                 self._cache[key] = deduced if i == key[0] else not deduced
                 return deduced
-        left, right = self.items[key[0]], self.items[key[1]]
-        left_score, right_score = self.score_fn(left), self.score_fn(right)
-        task = Task(
-            TaskType.COMPARE,
-            question=f"{self.question} A: {left} | B: {right}",
-            options=("left", "right"),
-            payload={
-                "left": left,
-                "right": right,
-                "left_score": left_score,
-                "right_score": right_score,
-            },
-            truth="left" if left_score >= right_score else "right",
-        )
-        collected = self.platform.collect([task], redundancy=self.redundancy)
+        task = self._pair_task(key)
+        collected = self.platform.collect_batch([task], redundancy=self.redundancy)
         self.comparisons_asked += 1
         self.answers_bought += self.redundancy
         winner = self.inference.infer(collected).truths[task.task_id]
         verdict_low_high = winner == "left"  # key[0] above key[1]?
-        self._cache[key] = verdict_low_high
-        if self.deducer is not None:
-            if verdict_low_high:
-                self.deducer.record(key[0], key[1])
-            else:
-                self.deducer.record(key[1], key[0])
+        self._store(key, verdict_low_high)
         return verdict_low_high if i == key[0] else not verdict_low_high
 
 
@@ -146,6 +189,9 @@ def all_pairs_sort(comparator: CrowdComparator) -> SortResult:
     """Every pairwise comparison; rank by Copeland win count."""
     before = comparator.platform.stats.cost_spent
     n = len(comparator.items)
+    # All comparisons are known up front — one prefetch makes the whole
+    # sort a single batched dispatch under a parallel runtime.
+    comparator.prefetch([(i, j) for i in range(n) for j in range(i + 1, n)])
     wins = [0] * n
     for i in range(n):
         for j in range(i + 1, n):
@@ -225,7 +271,7 @@ def rating_sort(
                 truth=scaled,
             )
         )
-    collected = platform.collect(tasks, redundancy=redundancy)
+    collected = platform.collect_batch(tasks, redundancy=redundancy)
     ratings = {
         i: float(np.mean([a.value for a in collected[t.task_id]]))
         for i, t in enumerate(tasks)
@@ -261,6 +307,15 @@ def hybrid_sort(
         platform, items, score_fn, redundancy=redundancy, inference=inference
     )
     order = list(base.order)
+    # The close adjacent pairs are known after the rating pass; buy their
+    # comparisons as one batch before the (order-dependent) bubble pass.
+    comparator.prefetch(
+        [
+            (order[p], order[p + 1])
+            for p in range(len(order) - 1)
+            if abs(base.ratings[order[p]] - base.ratings[order[p + 1]]) < close_threshold
+        ]
+    )
     for position in range(len(order) - 1):
         i, j = order[position], order[position + 1]
         if abs(base.ratings[i] - base.ratings[j]) < close_threshold:

@@ -64,11 +64,18 @@ def tournament_max(
         raise ConfigurationError("no candidates to run a tournament over")
     rounds = 0
     while len(remaining) > 1:
-        next_round: list[int] = []
-        for start in range(0, len(remaining), fan_in):
-            group = remaining[start : start + fan_in]
-            next_round.append(_group_winner(comparator, group))
-        remaining = next_round
+        groups = [remaining[s : s + fan_in] for s in range(0, len(remaining), fan_in)]
+        # One tournament round = one batch: all intra-group games of the
+        # round are independent, so a parallel runtime plays them at once.
+        comparator.prefetch(
+            [
+                (group[x], group[y])
+                for group in groups
+                for x in range(len(group))
+                for y in range(x + 1, len(group))
+            ]
+        )
+        remaining = [_group_winner(comparator, group) for group in groups]
         rounds += 1
     return TopKResult(
         winners=[remaining[0]],

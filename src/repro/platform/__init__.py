@@ -1,5 +1,11 @@
 """Simulated crowdsourcing platform: tasks, HITs, events, pricing, market."""
 
+from repro.platform.batch import (
+    BatchConfig,
+    BatchRecord,
+    BatchRunResult,
+    BatchScheduler,
+)
 from repro.platform.events import Event, EventSimulator
 from repro.platform.platform import PlatformStats, SimulatedPlatform, TimelineResult
 from repro.platform.pricing import PriceResponseModel, PricingPolicy
@@ -21,6 +27,10 @@ from repro.platform.task import (
 __all__ = [
     "HIT",
     "Answer",
+    "BatchConfig",
+    "BatchRecord",
+    "BatchRunResult",
+    "BatchScheduler",
     "Event",
     "EventSimulator",
     "PlatformStats",

@@ -1,0 +1,354 @@
+"""Batched concurrent task runtime for the simulated platform.
+
+Real crowd platforms do not hand out one microtask at a time: requesters
+post *batches* of HITs, many assignments are in flight at once, workers
+abandon or time out on some of them, and the platform re-posts those until
+a retry limit is hit (the Reprowd / human-powered-sorts-and-joins regime).
+:class:`BatchScheduler` brings that execution model to the simulation:
+
+* pending tasks are grouped into batches of ``batch_size``;
+* each batch's assignments are dispatched through a bounded
+  ``ThreadPoolExecutor`` (``max_parallel`` lanes) and stamped onto a
+  simulated clock with the same number of concurrent lanes, so *simulated*
+  makespan shrinks as parallelism grows;
+* per-assignment faults — worker abandonment (``abandon_rate``) and
+  service times exceeding ``assignment_timeout`` — trigger bounded
+  retry-with-exponential-backoff on a fresh worker, and exhausting the
+  retry budget raises :class:`~repro.errors.RetryExhaustedError`.
+
+Determinism: planning (worker sampling) always happens on the caller's
+thread in task order, so the pool's RNG stream is consumed identically at
+any parallelism. With ``max_parallel=1`` attempts also draw from the
+platform RNG in the legacy order, making the sequential path bit-identical
+to :meth:`SimulatedPlatform.collect`. With ``max_parallel>1`` every
+assignment gets its own RNG derived from ``(seed, assignment index)``, so
+results are reproducible regardless of thread interleaving — just a
+different (equally valid) random stream than the sequential one.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    NoWorkersAvailableError,
+    RetryExhaustedError,
+)
+from repro.platform.task import Answer, Task
+
+if TYPE_CHECKING:  # avoid import cycles with platform/workers
+    from repro.platform.platform import SimulatedPlatform
+    from repro.workers.worker import Worker
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Knobs of the batch execution runtime.
+
+    Attributes:
+        batch_size: Tasks grouped into one dispatch wave.
+        max_parallel: Concurrent assignment lanes (threads and simulated
+            clock lanes). 1 reproduces the sequential path bit-for-bit.
+        retry_limit: Retries per assignment after the first attempt.
+        assignment_timeout: Simulated seconds after which an in-flight
+            assignment is reclaimed and retried; None disables timeouts.
+        abandon_rate: Probability a worker silently abandons an assignment
+            (fault injection; 0 disables it).
+        retry_backoff: Base simulated delay before retry r, growing as
+            ``retry_backoff * 2**(r-1)``.
+        seed: Entropy for the per-assignment RNG streams used when
+            ``max_parallel > 1``; None derives nothing extra (stream 0).
+    """
+
+    batch_size: int = 32
+    max_parallel: int = 1
+    retry_limit: int = 2
+    assignment_timeout: float | None = None
+    abandon_rate: float = 0.0
+    retry_backoff: float = 1.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.max_parallel < 1:
+            raise ConfigurationError("max_parallel must be >= 1")
+        if self.retry_limit < 0:
+            raise ConfigurationError("retry_limit must be >= 0")
+        if self.assignment_timeout is not None and self.assignment_timeout <= 0:
+            raise ConfigurationError("assignment_timeout must be positive or None")
+        if not 0.0 <= self.abandon_rate <= 1.0:
+            raise ConfigurationError("abandon_rate must be in [0, 1]")
+        if self.retry_backoff < 0:
+            raise ConfigurationError("retry_backoff must be non-negative")
+
+    @property
+    def faults_enabled(self) -> bool:
+        return self.abandon_rate > 0.0 or self.assignment_timeout is not None
+
+
+@dataclass
+class BatchRecord:
+    """Counters for one dispatched batch."""
+
+    index: int
+    tasks: int
+    dispatched: int = 0       # assignment attempts sent out
+    retried: int = 0          # attempts that were retries
+    timed_out: int = 0
+    abandoned: int = 0
+    makespan: float = 0.0     # simulated seconds (lane model)
+    wall_clock: float = 0.0   # real seconds spent dispatching
+
+
+@dataclass
+class BatchRunResult:
+    """Outcome of one :meth:`BatchScheduler.run` call."""
+
+    answers: dict[str, list[Answer]] = field(default_factory=dict)
+    records: list[BatchRecord] = field(default_factory=list)
+    makespan: float = 0.0
+    completion_times: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed tasks per simulated second."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return len(self.completion_times) / self.makespan
+
+
+@dataclass
+class _Assignment:
+    """One (task, worker) attempt tracked through execution."""
+
+    task: Task
+    worker: "Worker"
+    order: int                # stable dispatch order within the wave
+    stream: int               # global per-assignment RNG stream id
+    attempt: int = 0          # 0 = first try
+    # filled by execution:
+    fault: str | None = None  # None | "timeout" | "abandoned"
+    duration: float = 0.0     # simulated seconds the lane was occupied
+    value: object = None
+
+
+class BatchScheduler:
+    """Dispatch task batches concurrently against a simulated platform.
+
+    Args:
+        platform: The marketplace supplying workers and bookkeeping.
+        config: Runtime knobs; defaults are the sequential degenerate case.
+    """
+
+    def __init__(self, platform: "SimulatedPlatform", config: BatchConfig | None = None):
+        self.platform = platform
+        self.config = config or BatchConfig()
+        self.records: list[BatchRecord] = []
+        self._clock = 0.0     # simulated time already consumed by past batches
+        self._run_base = 0.0  # clock value when the current run() started
+        self._streams = 0     # per-assignment RNG stream counter
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def parallel(self) -> bool:
+        """True when this scheduler actually runs assignments concurrently."""
+        return self.config.max_parallel > 1
+
+    def run(
+        self,
+        tasks: Sequence[Task],
+        redundancy: int = 3,
+        complete: bool = True,
+    ) -> BatchRunResult:
+        """Gather *redundancy* answers per task, batch by batch.
+
+        Returns a :class:`BatchRunResult` whose ``answers`` mapping has the
+        same shape as :meth:`SimulatedPlatform.collect`. Tasks are completed
+        afterwards unless *complete* is False (round-structured callers keep
+        them open for further answers). Raises
+        :class:`RetryExhaustedError` when an assignment cannot be completed
+        within the retry budget.
+        """
+        if redundancy < 1:
+            raise ConfigurationError(f"redundancy must be >= 1, got {redundancy}")
+        if redundancy > len(self.platform.pool.active_workers):
+            raise NoWorkersAvailableError(
+                f"redundancy {redundancy} exceeds pool of "
+                f"{len(self.platform.pool.active_workers)}"
+            )
+        result = BatchRunResult()
+        self._run_base = self._clock  # completion times are relative to run start
+        size = self.config.batch_size
+        for start in range(0, len(tasks), size):
+            batch = list(tasks[start : start + size])
+            record = BatchRecord(index=len(self.records), tasks=len(batch))
+            self._run_batch(batch, redundancy, record, result, complete)
+            self.records.append(record)
+            self.platform.stats.record_batch(record)
+            self._clock += record.makespan
+        result.makespan = sum(r.makespan for r in result.records)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # One batch
+    # ------------------------------------------------------------------ #
+
+    def _run_batch(
+        self,
+        batch: list[Task],
+        redundancy: int,
+        record: BatchRecord,
+        result: BatchRunResult,
+        complete: bool,
+    ) -> None:
+        started = time.perf_counter()
+        platform = self.platform
+        platform.publish([t for t in batch if t.task_id not in platform._tasks])
+        result.records.append(record)
+
+        # Plan on the caller's thread: the pool RNG stream is consumed in
+        # task order exactly as the sequential path would. Workers who have
+        # already answered a task (round-structured callers) are excluded,
+        # which is a no-op — hence still bit-identical — for fresh tasks.
+        wave: list[_Assignment] = []
+        order = 0
+        for task in batch:
+            answered = {a.worker_id for a in platform._answers_by_task[task.task_id]}
+            for worker in platform.pool.sample(redundancy, exclude=answered):
+                wave.append(self._assignment(task, worker, order))
+                order += 1
+
+        attempted: dict[str, set[str]] = {t.task_id: set() for t in batch}
+        lanes = [0.0] * self.config.max_parallel
+        while wave:
+            self._execute_wave(wave)
+            retries: list[_Assignment] = []
+            for a in wave:
+                record.dispatched += 1
+                if a.attempt > 0:
+                    record.retried += 1
+                attempted[a.task.task_id].add(a.worker.worker_id)
+                backoff = (
+                    self.config.retry_backoff * 2 ** (a.attempt - 1) if a.attempt else 0.0
+                )
+                lane = min(range(len(lanes)), key=lanes.__getitem__)
+                finished = lanes[lane] + backoff + a.duration
+                lanes[lane] = finished
+                if a.fault is None:
+                    self._commit(a, result, finished)
+                else:
+                    if a.fault == "timeout":
+                        record.timed_out += 1
+                    else:
+                        record.abandoned += 1
+                    retries.append(self._retry(a, attempted[a.task.task_id], order))
+                    order += 1
+            wave = retries
+        if complete:
+            for task in batch:
+                if task.is_open:
+                    task.complete()
+        record.makespan = max(lanes)
+        record.wall_clock = time.perf_counter() - started
+
+    def _assignment(self, task: Task, worker: "Worker", order: int, attempt: int = 0) -> _Assignment:
+        stream = self._streams
+        self._streams += 1
+        return _Assignment(task=task, worker=worker, order=order, stream=stream, attempt=attempt)
+
+    def _retry(self, failed: _Assignment, attempted: set[str], order: int) -> _Assignment:
+        attempt = failed.attempt + 1
+        if attempt > self.config.retry_limit:
+            raise RetryExhaustedError(
+                failed.task.task_id, attempts=attempt, reason=failed.fault or "fault"
+            )
+        # Prefer a worker who has not touched this task; fall back to any
+        # worker who has not *answered* it when the pool is too small.
+        try:
+            worker = self.platform.pool.sample(1, exclude=attempted)[0]
+        except NoWorkersAvailableError:
+            answered = {
+                a.worker_id for a in self.platform.answers_for(failed.task.task_id)
+            }
+            worker = self.platform.pool.sample(1, exclude=answered)[0]
+        return self._assignment(failed.task, worker, order, attempt=attempt)
+
+    # ------------------------------------------------------------------ #
+    # Attempt execution
+    # ------------------------------------------------------------------ #
+
+    def _execute_wave(self, wave: list[_Assignment]) -> None:
+        """Fill in each assignment's (fault, duration, value) in place."""
+        if not self.parallel:
+            # Sequential: draw from the platform RNG in dispatch order —
+            # with faults off this is the legacy collect() stream exactly.
+            for a in wave:
+                self._attempt(a, self.platform.rng)
+            return
+        with ThreadPoolExecutor(max_workers=self.config.max_parallel) as pool:
+            futures = [pool.submit(self._attempt_isolated, a) for a in wave]
+            for future in futures:
+                future.result()  # re-raise worker-thread exceptions
+
+    def _attempt_isolated(self, a: _Assignment) -> None:
+        entropy = (
+            [self.config.seed, a.stream] if self.config.seed is not None else [a.stream]
+        )
+        self._attempt(a, np.random.default_rng(entropy))
+
+    def _attempt(self, a: _Assignment, rng: np.random.Generator) -> None:
+        cfg = self.config
+        if cfg.abandon_rate > 0.0 and rng.random() < cfg.abandon_rate:
+            a.fault = "abandoned"
+            # The slot is lost until the platform reclaims it.
+            a.duration = (
+                cfg.assignment_timeout
+                if cfg.assignment_timeout is not None
+                else a.worker.latency.service_time(rng)
+            )
+            return
+        duration = a.worker.latency.service_time(rng)
+        if cfg.assignment_timeout is not None and duration > cfg.assignment_timeout:
+            a.fault = "timeout"
+            a.duration = cfg.assignment_timeout
+            return
+        a.fault = None
+        a.duration = duration
+        a.value = a.worker.model.answer(a.task, rng)
+
+    # ------------------------------------------------------------------ #
+    # Commit (always on the caller's thread, in deterministic order)
+    # ------------------------------------------------------------------ #
+
+    def _commit(self, a: _Assignment, result: BatchRunResult, finished: float) -> None:
+        platform = self.platform
+        task, worker = a.task, a.worker
+        platform._charge(task.reward)
+        answer = Answer(
+            task_id=task.task_id,
+            worker_id=worker.worker_id,
+            value=a.value,
+            submitted_at=a.duration,  # matches the sequential collect() stamp
+            duration=a.duration,
+            reward_paid=task.reward,
+        )
+        worker.history.append(answer)
+        worker.earned += task.reward
+        platform.answers.append(answer)
+        platform._answers_by_task[task.task_id].append(answer)
+        platform.stats.answers_collected += 1
+        platform.stats.answers_by_worker[worker.worker_id] += 1
+        result.answers.setdefault(task.task_id, []).append(answer)
+        landed = (self._clock - self._run_base) + finished
+        previous = result.completion_times.get(task.task_id, 0.0)
+        result.completion_times[task.task_id] = max(previous, landed)

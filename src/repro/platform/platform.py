@@ -32,6 +32,8 @@ from repro.platform.pricing import PriceResponseModel, PricingPolicy
 from repro.platform.task import Answer, Task
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle with workers
+    from repro.platform.batch import BatchConfig, BatchScheduler
+    from repro.platform.task import HIT
     from repro.workers.pool import WorkerPool
     from repro.workers.worker import Worker
 
@@ -44,6 +46,37 @@ class PlatformStats:
     tasks_published: int = 0
     cost_spent: float = 0.0
     answers_by_worker: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    # Batch-runtime counters (populated by repro.platform.batch).
+    batches_dispatched: int = 0
+    assignments_dispatched: int = 0
+    assignments_retried: int = 0
+    assignments_timed_out: int = 0
+    assignments_abandoned: int = 0
+    batch_makespan: float = 0.0    # simulated seconds across all batches
+    batch_wall_clock: float = 0.0  # real seconds spent dispatching batches
+
+    def record_batch(self, record) -> None:
+        """Fold one :class:`~repro.platform.batch.BatchRecord` into the totals."""
+        self.batches_dispatched += 1
+        self.assignments_dispatched += record.dispatched
+        self.assignments_retried += record.retried
+        self.assignments_timed_out += record.timed_out
+        self.assignments_abandoned += record.abandoned
+        self.batch_makespan += record.makespan
+        self.batch_wall_clock += record.wall_clock
+
+    def batch_summary(self) -> str:
+        """One-line human-readable batch accounting (empty if unused)."""
+        if not self.batches_dispatched:
+            return ""
+        return (
+            f"{self.batches_dispatched} batches, "
+            f"{self.assignments_dispatched} assignments "
+            f"({self.assignments_retried} retried, "
+            f"{self.assignments_timed_out} timed out, "
+            f"{self.assignments_abandoned} abandoned), "
+            f"simulated makespan {self.batch_makespan:.1f}s"
+        )
 
 
 @dataclass
@@ -81,6 +114,7 @@ class SimulatedPlatform:
         budget: float = math.inf,
         pricing: PricingPolicy | None = None,
         seed: int | None = None,
+        batch: "BatchConfig | None" = None,
     ):
         self.pool = pool
         self.budget = budget
@@ -90,6 +124,21 @@ class SimulatedPlatform:
         self.answers: list[Answer] = []
         self._answers_by_task: dict[str, list[Answer]] = defaultdict(list)
         self._tasks: dict[str, Task] = {}
+        self.scheduler: "BatchScheduler | None" = None
+        if batch is not None:
+            self.attach_scheduler(batch)
+
+    def attach_scheduler(self, config: "BatchConfig") -> "BatchScheduler":
+        """Install (or replace) the batch execution runtime on this platform."""
+        from repro.platform.batch import BatchScheduler
+
+        self.scheduler = BatchScheduler(self, config)
+        return self.scheduler
+
+    @property
+    def parallel_batching(self) -> bool:
+        """True when an attached scheduler runs assignments concurrently."""
+        return self.scheduler is not None and self.scheduler.parallel
 
     # ------------------------------------------------------------------ #
     # Publishing & bookkeeping
@@ -174,6 +223,24 @@ class SimulatedPlatform:
             result[task.task_id] = [self.ask(task, worker) for worker in workers]
             task.complete()
         return result
+
+    def collect_batch(
+        self,
+        tasks: Sequence[Task],
+        redundancy: int = 3,
+        complete: bool = True,
+    ) -> dict[str, list[Answer]]:
+        """Like :meth:`collect`, routed through the batch runtime when attached.
+
+        Without a scheduler this is exactly :meth:`collect`; with one, tasks
+        are dispatched in batches with the configured parallelism and fault
+        model (bit-identical to :meth:`collect` at ``max_parallel=1`` with
+        fault injection off). Operators call this so a single engine knob
+        flips the whole stack between sequential and concurrent execution.
+        """
+        if self.scheduler is None:
+            return self.collect(tasks, redundancy=redundancy)
+        return self.scheduler.run(tasks, redundancy=redundancy, complete=complete).answers
 
     def collect_batched(
         self,

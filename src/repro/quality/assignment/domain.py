@@ -10,7 +10,7 @@ prior — the same machinery QASCA uses, bucketed by domain.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.errors import AssignmentError
 from repro.platform.task import Answer, Task

@@ -20,7 +20,7 @@ from repro.workers.models import (
     OneCoinModel,
     SpammerModel,
 )
-from repro.workers.worker import LatencyModel, Worker
+from repro.workers.worker import Worker
 
 
 class WorkerPool:

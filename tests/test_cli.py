@@ -121,3 +121,25 @@ class TestMain:
     def test_demo_script_has_crowd_features(self):
         assert "CROWDJOIN" in DEMO_SCRIPT
         assert "CROWDORDER" in DEMO_SCRIPT
+
+
+class TestBatchFlags:
+    def test_build_session_attaches_scheduler(self):
+        session = build_session(seed=1, redundancy=3, pool_size=10, max_parallel=4)
+        assert session.platform.scheduler is not None
+        assert session.platform.parallel_batching
+
+    def test_batch_summary_printed_after_crowd_work(self, capsys):
+        assert main(["--seed", "3", "--max-parallel", "4", "demo"]) == 0
+        assert "-- batch runtime:" in capsys.readouterr().out
+
+    def test_invalid_batch_flags_report_cleanly(self, capsys):
+        assert main(["--max-parallel", "0", "demo"]) == 2
+        assert "error: max_parallel must be >= 1" in capsys.readouterr().err
+
+    def test_parallel_demo_is_deterministic(self, capsys):
+        main(["--seed", "9", "--max-parallel", "8", "--batch-size", "16", "demo"])
+        first = capsys.readouterr().out
+        main(["--seed", "9", "--max-parallel", "8", "--batch-size", "16", "demo"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -4,8 +4,6 @@ Each test exercises a realistic pipeline the way a downstream user would —
 multiple subsystems composed through public APIs only.
 """
 
-import pytest
-
 from repro import CrowdEngine, CrowdOracle, EngineConfig
 from repro.cost.pruning import SimilarityPruner
 from repro.experiments.datasets import er_dataset, fill_dataset, ranking_dataset

@@ -5,7 +5,6 @@ budget conservation, graceful behaviour at the budget boundary, consistent
 state after mid-operation failures, and platform determinism under seeding.
 """
 
-import math
 
 import pytest
 
@@ -14,7 +13,6 @@ from repro.operators.fill import CrowdFill
 from repro.operators.filter import AdaptiveFilter, FixedKFilter
 from repro.operators.join import CrowdJoin
 from repro.platform.platform import SimulatedPlatform
-from repro.platform.task import single_choice
 from repro.quality.assignment import RoundRobinAssignment, run_assignment
 from repro.workers.pool import WorkerPool
 

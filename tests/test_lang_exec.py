@@ -5,7 +5,7 @@ import pytest
 from repro.data.database import Database
 from repro.data.schema import CNULL, SchemaBuilder
 from repro.errors import ExecutionError, PlanError
-from repro.lang.executor import CrowdOracle, Executor
+from repro.lang.executor import CrowdOracle
 from repro.lang.interpreter import CrowdSQLSession, StatementResult
 from repro.lang.optimizer import CostModel, Optimizer, estimate_plan_cost
 from repro.lang.parser import parse_one

@@ -9,7 +9,6 @@ from repro.data.expressions import (
     InList,
     IsCNull,
     IsNull,
-    Literal,
     Not,
     Or,
 )

@@ -1,6 +1,5 @@
 """Tests for smaller public APIs not covered elsewhere."""
 
-import math
 
 import pytest
 

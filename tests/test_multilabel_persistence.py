@@ -3,7 +3,7 @@
 import pytest
 
 from repro.data import Database, SchemaBuilder, load_database, save_database
-from repro.data.schema import CNULL, is_cnull
+from repro.data.schema import is_cnull
 from repro.errors import InferenceError, TaskStateError
 from repro.platform.platform import SimulatedPlatform
 from repro.platform.task import Answer, multi_choice

@@ -32,6 +32,7 @@ EXPERIMENT_BENCHES = {
     "F8": "bench_skyline.py",
     "F9": "bench_hybrid.py",
     "F10": "bench_planning.py",
+    "B1": "bench_batch_runtime.py",
 }
 
 

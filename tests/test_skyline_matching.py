@@ -8,7 +8,7 @@ from repro.errors import AssignmentError, ConfigurationError
 from repro.operators.schema_matching import CrowdSchemaMatcher
 from repro.operators.skyline import CrowdSkyline, true_skyline
 from repro.platform.platform import SimulatedPlatform
-from repro.platform.task import Task, TaskType, single_choice
+from repro.platform.task import Task, TaskType
 from repro.quality.assignment import (
     DomainAwareAssignment,
     RoundRobinAssignment,
