@@ -9,9 +9,12 @@ fault-injected row shows the retry machinery delivering full redundancy
 despite abandonment and timeouts.
 """
 
+import time
+
 from conftest import run_once
 
 from repro.experiments.harness import quick_mode, run_trials
+from repro.obs import MetricsRegistry, NullSink, Tracer
 from repro.platform.batch import BatchConfig
 from repro.platform.platform import SimulatedPlatform
 from repro.platform.task import single_choice
@@ -30,11 +33,16 @@ def _tasks(n: int) -> list:
     ]
 
 
-def _platform(seed: int, batch: BatchConfig | None = None) -> SimulatedPlatform:
+def _platform(
+    seed: int,
+    batch: BatchConfig | None = None,
+    tracer=None,
+    metrics=None,
+) -> SimulatedPlatform:
     pool = WorkerPool.heterogeneous(
         POOL_SIZE, accuracy_low=0.7, accuracy_high=0.95, seed=seed
     )
-    return SimulatedPlatform(pool, seed=seed + 1, batch=batch)
+    return SimulatedPlatform(pool, seed=seed + 1, batch=batch, tracer=tracer, metrics=metrics)
 
 
 def _normalized(platform: SimulatedPlatform, tasks: list, answers: dict) -> list:
@@ -120,3 +128,46 @@ def test_b1_batch_runtime_throughput(benchmark, report):
     # Faults happened and were absorbed: every task still got full redundancy.
     assert result.mean("faulty_retries") > 0
     assert result.mean("faulty_full_redundancy") == 1.0
+
+
+def _timed_run(seed: int, tracer=None, metrics=None, repeats: int = 5) -> float:
+    """Best-of-*repeats* wall-clock for the standard workload (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        cfg = BatchConfig(batch_size=50, max_parallel=4, seed=seed + 2)
+        platform = _platform(seed, batch=cfg, tracer=tracer, metrics=metrics)
+        tasks = _tasks(N_TASKS)
+        start = time.perf_counter()
+        platform.scheduler.run(tasks, redundancy=REDUNDANCY)
+        best = min(best, time.perf_counter() - start)
+        if tracer is not None:
+            tracer.close()
+    return best
+
+
+def test_b1_null_sink_overhead(benchmark, report):
+    """Observability wired to a null sink stays within noise of the off path.
+
+    Off path = NULL_TRACER + disabled registry (the defaults). On path =
+    enabled tracer emitting to :class:`~repro.obs.sinks.NullSink` plus an
+    enabled registry — full span/counter bookkeeping, no I/O. The guard
+    allows 5% relative overhead plus a 50 ms absolute floor so timer noise
+    on sub-100ms quick runs cannot trip it.
+    """
+
+    def measure() -> dict[str, float]:
+        off = _timed_run(seed=11)
+        on = _timed_run(
+            seed=11,
+            tracer=Tracer(NullSink()),
+            metrics=MetricsRegistry(enabled=True),
+        )
+        return {"off_s": off, "on_s": on}
+
+    values = run_once(benchmark, measure)
+    overhead = values["on_s"] / values["off_s"] - 1.0
+    report.note(
+        f"B1 overhead guard: off {values['off_s'] * 1e3:.1f} ms, "
+        f"on (null sink) {values['on_s'] * 1e3:.1f} ms, overhead {overhead:+.1%}"
+    )
+    assert values["on_s"] <= values["off_s"] * 1.05 + 0.050

@@ -1,7 +1,21 @@
 """Entry point for ``python -m repro``."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+
+def _run() -> int:
+    try:
+        return main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; suppress the noisy
+        # traceback and let stdout die quietly (dup2 keeps the interpreter
+        # from re-raising on flush at shutdown).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+sys.exit(_run())

@@ -4,14 +4,22 @@ Usage::
 
     python -m repro run script.sql [--seed 7] [--redundancy 3] [--pool 25]
                                    [--batch-size 32] [--max-parallel 8]
+                                   [--inference ds] [--trace run.jsonl]
+                                   [--metrics]
     python -m repro repl
     python -m repro demo
+    python -m repro trace-report run.jsonl
 
 Statements are ';'-separated. Queries print aligned tables plus crowd
 accounting. Crowd predicates work out of the box where defaults exist
 (CROWDEQUAL uses normalized token equality; CROWDORDER BY works on numeric
 columns); CROWDFILTER and CNULL resolution need programmatic oracles, so
 the CLI reports a clear error for them instead of guessing.
+
+``--trace FILE`` writes a JSONL span trace of the whole run (operators,
+batches, event timeline, EM iterations); ``trace-report`` renders it as
+per-operator time/cost breakdowns, retry hotspots, and slowest spans.
+``--metrics`` prints the metrics registry after the run.
 """
 
 from __future__ import annotations
@@ -20,12 +28,15 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.errors import CrowdDMError
+from repro.errors import ConfigurationError, CrowdDMError
 from repro.experiments.report import format_table
 from repro.lang.executor import QueryResult
 from repro.lang.interpreter import CrowdSQLSession, StatementResult
+from repro.obs import NULL_TRACER, JsonlSink, MetricsRegistry, Tracer, report_from_file
+from repro.obs.runtime import activate, deactivate
 from repro.platform.batch import BatchConfig
 from repro.platform.platform import SimulatedPlatform
+from repro.quality.truth import CATEGORICAL_METHODS
 from repro.workers.pool import WorkerPool
 
 DEMO_SCRIPT = """
@@ -50,17 +61,37 @@ def build_session(
     pool_size: int,
     batch_size: int = 32,
     max_parallel: int = 1,
+    inference: str = "mv",
+    trace_path: str | None = None,
+    metrics_enabled: bool = False,
 ) -> CrowdSQLSession:
-    """A session over a fresh simulated pool of reasonably diligent workers."""
+    """A session over a fresh simulated pool of reasonably diligent workers.
+
+    An unwritable or empty *trace_path* raises
+    :class:`~repro.errors.ConfigurationError` here, before any crowd work
+    starts, so the CLI reports it as a clean configuration error.
+    """
+    if trace_path is not None and not trace_path:
+        raise ConfigurationError("trace path must be a non-empty file name")
     pool = WorkerPool.heterogeneous(
         pool_size, accuracy_low=0.75, accuracy_high=0.97, seed=seed
     )
+    tracer = Tracer(JsonlSink(trace_path)) if trace_path else NULL_TRACER
+    metrics = MetricsRegistry(enabled=metrics_enabled)
     platform = SimulatedPlatform(
         pool,
         seed=seed + 1,
         batch=BatchConfig(batch_size=batch_size, max_parallel=max_parallel, seed=seed + 2),
+        tracer=tracer,
+        metrics=metrics,
     )
-    return CrowdSQLSession(platform=platform, redundancy=redundancy)
+    if tracer.enabled or metrics.enabled:
+        activate(tracer, metrics)
+    return CrowdSQLSession(
+        platform=platform,
+        redundancy=redundancy,
+        inference=CATEGORICAL_METHODS[inference](),
+    )
 
 
 def render(result: QueryResult | StatementResult) -> str:
@@ -134,13 +165,43 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=1,
         help="concurrent assignment lanes (1 = sequential)",
     )
+    parser.add_argument(
+        "--inference",
+        choices=sorted(CATEGORICAL_METHODS),
+        default="mv",
+        help="truth-inference method for crowd votes",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL span trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry after the run",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
     run_parser = commands.add_parser("run", help="execute a .sql script")
     run_parser.add_argument("script", help="path to the CrowdSQL file")
     commands.add_parser("repl", help="interactive session")
     commands.add_parser("demo", help="run the built-in demo script")
+    report_parser = commands.add_parser(
+        "trace-report", help="summarize a JSONL trace written with --trace"
+    )
+    report_parser.add_argument("trace_file", help="path to the trace file")
 
     args = parser.parse_args(argv)
+
+    if args.command == "trace-report":
+        try:
+            print(report_from_file(args.trace_file))
+        except CrowdDMError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
     try:
         session = build_session(
             args.seed,
@@ -148,24 +209,38 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.pool,
             batch_size=args.batch_size,
             max_parallel=args.max_parallel,
+            inference=args.inference,
+            trace_path=args.trace,
+            metrics_enabled=args.metrics,
         )
     except CrowdDMError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.command == "run":
-        try:
-            with open(args.script, encoding="utf-8") as handle:
-                sql = handle.read()
-        except OSError as exc:
-            print(f"error: cannot read {args.script}: {exc}", file=sys.stderr)
-            return 1
-        return run_script(session, sql)
-    if args.command == "repl":
-        return repl(session)
-    if args.command == "demo":
-        return run_script(session, DEMO_SCRIPT)
-    return 2
+    tracer = session.platform.tracer
+    metrics = session.platform.metrics
+    code = 2
+    try:
+        with tracer.span("run", command=args.command, seed=args.seed):
+            if args.command == "run":
+                try:
+                    with open(args.script, encoding="utf-8") as handle:
+                        sql = handle.read()
+                except OSError as exc:
+                    print(f"error: cannot read {args.script}: {exc}", file=sys.stderr)
+                    code = 1
+                else:
+                    code = run_script(session, sql)
+            elif args.command == "repl":
+                code = repl(session)
+            elif args.command == "demo":
+                code = run_script(session, DEMO_SCRIPT)
+    finally:
+        tracer.close()
+        deactivate(tracer, metrics)
+    if args.metrics:
+        print(metrics.report())
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,6 +35,14 @@ class EngineConfig:
             assignment (fault injection; 0 = off, the default).
         retry_backoff: Base simulated backoff before retry r
             (``retry_backoff * 2**(r-1)``).
+        trace_path: When set, the engine writes a span trace of every run
+            to this file as JSONL (read it back with
+            ``python -m repro trace-report FILE``).
+        metrics_enabled: Record counters/histograms (assignment latency,
+            retries per task, EM deltas, per-operator cost) in the
+            engine's :class:`~repro.obs.metrics.MetricsRegistry`.
+        event_log_limit: Cap on the in-memory event log each simulated
+            timeline retains; None (default) keeps every event.
     """
 
     redundancy: int = 3
@@ -50,6 +58,9 @@ class EngineConfig:
     assignment_timeout: float | None = None
     abandon_rate: float = 0.0
     retry_backoff: float = 1.0
+    trace_path: str | None = None
+    metrics_enabled: bool = False
+    event_log_limit: int | None = None
 
     def __post_init__(self) -> None:
         if self.redundancy < 1:
@@ -66,6 +77,10 @@ class EngineConfig:
         low, high = self.pool_accuracy_range
         if not 0.0 <= low <= high <= 1.0:
             raise ConfigurationError("pool_accuracy_range must satisfy 0 <= low <= high <= 1")
+        if self.trace_path is not None and not self.trace_path:
+            raise ConfigurationError("trace_path must be a non-empty path or None")
+        if self.event_log_limit is not None and self.event_log_limit < 0:
+            raise ConfigurationError("event_log_limit must be >= 0 or None")
         # Batch-runtime knobs share BatchConfig's validation.
         self.make_batch_config()
 

@@ -25,6 +25,8 @@ from repro.data.table import Table
 from repro.errors import ConfigurationError
 from repro.lang.executor import CrowdOracle, QueryResult
 from repro.lang.interpreter import CrowdSQLSession, StatementResult
+from repro.obs import NULL_TRACER, JsonlSink, MetricsRegistry, Tracer
+from repro.obs.runtime import activate, deactivate
 from repro.operators.categorize import CategorizeResult, CrowdCategorize
 from repro.operators.collect import CollectResult, CrowdCollect
 from repro.operators.count import CountResult, CrowdCount
@@ -69,12 +71,20 @@ class CrowdEngine:
         self.pool = pool or WorkerPool.heterogeneous(
             self.config.pool_size, low, high, seed=self.config.seed
         )
+        if self.config.trace_path is not None:
+            self.tracer = Tracer(JsonlSink(self.config.trace_path))
+        else:
+            self.tracer = NULL_TRACER
+        self.metrics = MetricsRegistry(enabled=self.config.metrics_enabled)
         self.platform = SimulatedPlatform(
             self.pool,
             budget=self.config.budget,
             pricing=PricingPolicy(default=self.config.task_price),
             seed=self.config.seed + 1,
             batch=self.config.make_batch_config(),
+            tracer=self.tracer,
+            metrics=self.metrics,
+            event_log_limit=self.config.event_log_limit,
         )
         # `is None` check: an empty Database is falsy (it defines __len__).
         self.database = Database() if database is None else database
@@ -85,6 +95,14 @@ class CrowdEngine:
             redundancy=self.config.redundancy,
             inference=self.config.make_inference(),
             oracle=self.oracle,
+        )
+        self._closed = False
+        # Truth inference has no platform handle; it reaches the tracer and
+        # registry through the process-global obs runtime.
+        if self.tracer.enabled or self.metrics.enabled:
+            activate(self.tracer, self.metrics)
+        self._root_span = self.tracer.span(
+            "engine", seed=self.config.seed, inference=self.config.inference
         )
 
     # ------------------------------------------------------------------ #
@@ -363,6 +381,28 @@ class CrowdEngine:
     # ------------------------------------------------------------------ #
     # Accounting
     # ------------------------------------------------------------------ #
+
+    def metrics_report(self) -> str:
+        """Human-readable dump of the engine's metrics registry."""
+        return self.metrics.report()
+
+    def close(self) -> None:
+        """End the root span, flush the trace file, release the obs runtime.
+
+        Idempotent, and a no-op for an engine without observability. The
+        engine stays usable afterwards — only tracing stops.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.tracer.close()
+        deactivate(self.tracer, self.metrics)
+
+    def __enter__(self) -> "CrowdEngine":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
 
     @property
     def scheduler(self):

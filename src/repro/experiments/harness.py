@@ -56,9 +56,18 @@ def make_platform(
     spec: PoolSpec,
     seed: int = 0,
     budget: float = math.inf,
+    tracer=None,
+    metrics=None,
 ) -> SimulatedPlatform:
-    """Deterministic platform: pool seeded with *seed*, market with seed+1."""
-    return SimulatedPlatform(spec.build(seed=seed), budget=budget, seed=seed + 1)
+    """Deterministic platform: pool seeded with *seed*, market with seed+1.
+
+    *tracer* / *metrics* are passed through so experiments can observe a
+    trial without rebuilding the platform wiring themselves.
+    """
+    return SimulatedPlatform(
+        spec.build(seed=seed), budget=budget, seed=seed + 1,
+        tracer=tracer, metrics=metrics,
+    )
 
 
 @dataclass

@@ -43,6 +43,7 @@ from repro.lang.planner import (
     ProjectNode,
     ScanNode,
 )
+from repro.obs.instrument import operator_span
 from repro.operators.fill import CrowdFill
 from repro.operators.sort import CrowdComparator, merge_sort_crowd
 from repro.platform.platform import SimulatedPlatform
@@ -344,15 +345,22 @@ class Executor:
                 "rename columns so names are unique"
             )
         out = []
-        for lrow in left_rows:
-            for rrow in right_rows:
-                merged = {**lrow, **rrow}
-                if crowd:
-                    verdict = self._eval_crowd(node.condition, merged, stats)
-                else:
-                    verdict = node.condition.evaluate(merged)
-                if verdict is True:
-                    out.append(merged)
+        if crowd:
+            with operator_span(
+                self.platform, "crowdjoin", left=len(left_rows), right=len(right_rows)
+            ) as span:
+                for lrow in left_rows:
+                    for rrow in right_rows:
+                        merged = {**lrow, **rrow}
+                        if self._eval_crowd(node.condition, merged, stats) is True:
+                            out.append(merged)
+                span.set_tag("matched", len(out))
+        else:
+            for lrow in left_rows:
+                for rrow in right_rows:
+                    merged = {**lrow, **rrow}
+                    if node.condition.evaluate(merged) is True:
+                        out.append(merged)
         return joined_schema, out
 
     def _run_crowd_order(

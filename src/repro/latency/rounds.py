@@ -114,10 +114,21 @@ class RoundScheduler:
         outcome = RoundOutcome()
         tasks = list(first_round)
         index = 0
+        tracer = self.platform.tracer
+        metrics = self.platform.metrics
+        sim_elapsed = 0.0
         while tasks:
             if index >= max_rounds:
                 raise ConfigurationError(f"exceeded max_rounds={max_rounds}")
-            timeline = self._run_round(tasks)
+            with tracer.span(
+                "round", sim_start=sim_elapsed, index=index, tasks=len(tasks)
+            ) as span:
+                timeline = self._run_round(tasks)
+                span.set_tag("answers", len(timeline.answers))
+                span.set_tag("duration", timeline.makespan)
+                span.sim_end = sim_elapsed + timeline.makespan
+            sim_elapsed += timeline.makespan
+            metrics.observe("round.duration", timeline.makespan)
             record = RoundRecord(
                 index=index,
                 tasks=len(tasks),

@@ -1,0 +1,50 @@
+"""repro.obs: end-to-end tracing and metrics for the crowd pipeline.
+
+The tutorial's pillars — quality, cost, latency — are all *measured*
+quantities, so the pipeline carries a first-class observability layer:
+
+* :class:`~repro.obs.tracer.Tracer` — hierarchical spans (engine →
+  operator → batch → retry/EM-iteration) with wall-clock and
+  simulated-clock timestamps, exported as JSONL.
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  percentile histograms; also the backing store for
+  :class:`~repro.platform.platform.PlatformStats`.
+* Sinks (:mod:`repro.obs.sinks`) and the trace-report renderer
+  (:mod:`repro.obs.report`).
+
+Everything defaults to off: :data:`~repro.obs.tracer.NULL_TRACER` and a
+disabled registry keep the instrumented hot path within noise of an
+uninstrumented build (guarded by ``bench_batch_runtime --quick``).
+"""
+
+from repro.obs.instrument import operator_span
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import build_tree, load_spans, render_report, report_from_file
+from repro.obs.runtime import activate, current_metrics, current_tracer, deactivate
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink, TraceSink
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "NullTracer",
+    "Span",
+    "TraceSink",
+    "Tracer",
+    "activate",
+    "build_tree",
+    "current_metrics",
+    "current_tracer",
+    "deactivate",
+    "load_spans",
+    "operator_span",
+    "render_report",
+    "report_from_file",
+]

@@ -1,0 +1,206 @@
+"""Metrics primitives: counters, gauges, and percentile histograms.
+
+:class:`MetricsRegistry` is the single home for every quantitative signal
+in a run. The platform's :class:`~repro.platform.platform.PlatformStats`
+counters are *backed by* a registry (one source of truth), while richer
+telemetry — assignment-latency histograms, retries per task, EM
+convergence deltas, per-operator cost — is recorded through the guarded
+convenience methods (:meth:`MetricsRegistry.inc`,
+:meth:`MetricsRegistry.observe`), which are no-ops when the registry is
+disabled so the hot path stays within noise of an uninstrumented run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+class Counter:
+    """A monotonically written scalar (ints stay ints, floats stay floats)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add *amount* (default 1) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with *value*."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Stores raw observations; percentiles by linear interpolation.
+
+    Matches ``numpy.percentile``'s default (linear) method so results are
+    directly comparable with the benchmark analysis code.
+    """
+
+    __slots__ = ("name", "values", "_sorted")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+        self._sorted: list[float] | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.values.append(float(value))
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (0-100), linearly interpolated."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.values:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self.values)
+        ranked = self._sorted
+        position = (len(ranked) - 1) * q / 100.0
+        low = math.floor(position)
+        high = math.ceil(position)
+        if low == high:
+            return ranked[low]
+        weight = position - low
+        return ranked[low] * (1.0 - weight) + ranked[high] * weight
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of counters, gauges, and histograms.
+
+    Args:
+        enabled: Gates the convenience recorders (:meth:`inc`,
+            :meth:`observe`, :meth:`set_gauge`). Direct handles from
+            :meth:`counter` / :meth:`gauge` / :meth:`histogram` always
+            work — that is how :class:`PlatformStats` keeps its totals here
+            even when extra telemetry is off.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -------------------------------------------------------------- #
+    # Instrument handles (always live)
+    # -------------------------------------------------------------- #
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under *name*, created on first use."""
+        found = self.counters.get(name)
+        if found is None:
+            found = self.counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under *name*, created on first use."""
+        found = self.gauges.get(name)
+        if found is None:
+            found = self.gauges[name] = Gauge(name)
+        return found
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under *name*, created on first use."""
+        found = self.histograms.get(name)
+        if found is None:
+            found = self.histograms[name] = Histogram(name)
+        return found
+
+    # -------------------------------------------------------------- #
+    # Guarded recorders (no-ops when disabled)
+    # -------------------------------------------------------------- #
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Increment counter *name* when the registry is enabled."""
+        if self.enabled:
+            self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record a histogram sample when the registry is enabled."""
+        if self.enabled:
+            self.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* when the registry is enabled."""
+        if self.enabled:
+            self.gauge(name).set(value)
+
+    # -------------------------------------------------------------- #
+    # Export
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict[str, Any]:
+        """All current values as plain data (counters, gauges, histograms)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "mean": h.mean,
+                    "p50": h.p50,
+                    "p95": h.p95,
+                    "p99": h.p99,
+                }
+                for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def report(self) -> str:
+        """Human-readable run report: counters then histogram percentiles."""
+        lines = ["== metrics =="]
+        for name, counter in sorted(self.counters.items()):
+            value = counter.value
+            rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name} = {rendered}")
+        for name, gauge in sorted(self.gauges.items()):
+            lines.append(f"  {name} = {gauge.value:.4f}")
+        if self.histograms:
+            lines.append("  -- histograms (count / mean / p50 / p95 / p99) --")
+            for name, hist in sorted(self.histograms.items()):
+                lines.append(
+                    f"  {name}: {hist.count} / {hist.mean:.4f} / "
+                    f"{hist.p50:.4f} / {hist.p95:.4f} / {hist.p99:.4f}"
+                )
+        return "\n".join(lines)

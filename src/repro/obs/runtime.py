@@ -1,0 +1,52 @@
+"""Process-wide active tracer/metrics for code without a platform handle.
+
+Operators and the batch runtime reach observability through their
+platform (``platform.tracer`` / ``platform.metrics``). Truth-inference
+algorithms deliberately have no platform dependency — they consume answer
+mappings — so their EM loops look up the *active* pair here instead. The
+engine and CLI :func:`activate` their instruments when observability is
+on and :func:`deactivate` on close; the defaults are the no-op tracer and
+a disabled registry, so library code can call :func:`current_tracer` and
+:func:`current_metrics` unconditionally.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+_DISABLED_METRICS = MetricsRegistry(enabled=False)
+_tracer: Tracer = NULL_TRACER
+_metrics: MetricsRegistry = _DISABLED_METRICS
+
+
+def current_tracer() -> Tracer:
+    """The active tracer (the no-op tracer unless one was activated)."""
+    return _tracer
+
+
+def current_metrics() -> MetricsRegistry:
+    """The active registry (a disabled one unless activated)."""
+    return _metrics
+
+
+def activate(tracer: Tracer | None = None, metrics: MetricsRegistry | None = None) -> None:
+    """Install *tracer*/*metrics* as the process-wide active instruments."""
+    global _tracer, _metrics
+    if tracer is not None:
+        _tracer = tracer
+    if metrics is not None:
+        _metrics = metrics
+
+
+def deactivate(tracer: Tracer | None = None, metrics: MetricsRegistry | None = None) -> None:
+    """Restore the no-op defaults.
+
+    When *tracer*/*metrics* are given, only deactivate if they are still
+    the active ones — a later activation wins over an earlier close.
+    """
+    global _tracer, _metrics
+    if tracer is None or tracer is _tracer:
+        _tracer = NULL_TRACER
+    if metrics is None or metrics is _metrics:
+        _metrics = _DISABLED_METRICS

@@ -1,0 +1,78 @@
+"""Trace sinks: where finished spans go.
+
+A :class:`~repro.obs.tracer.Tracer` emits every finished span to exactly
+one sink. Three implementations cover the use cases the tutorial's
+observability story needs:
+
+* :class:`JsonlSink` — one JSON object per line, flushed per span, so a
+  crashed run still leaves a readable trace (the Reprowd auditability
+  argument).
+* :class:`MemorySink` — keeps span dicts in a list; tests and in-process
+  report rendering read it directly.
+* :class:`NullSink` — discards everything; used to measure the overhead of
+  an *enabled* tracer separately from serialization cost.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+class TraceSink:
+    """Interface: receives finished-span dicts, in end order."""
+
+    def emit(self, span: dict[str, Any]) -> None:
+        """Receive one finished span. Subclasses must override."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release any underlying resource (default: nothing to do)."""
+        pass
+
+
+class NullSink(TraceSink):
+    """Discards spans (tracing machinery on, output off)."""
+
+    def emit(self, span: dict[str, Any]) -> None:
+        """Drop the span."""
+        pass
+
+
+class MemorySink(TraceSink):
+    """Collects span dicts in memory, in emission order."""
+
+    def __init__(self) -> None:
+        self.spans: list[dict[str, Any]] = []
+
+    def emit(self, span: dict[str, Any]) -> None:
+        """Append the span to :attr:`spans`."""
+        self.spans.append(span)
+
+
+class JsonlSink(TraceSink):
+    """Appends each span as one JSON line to *path*.
+
+    The file is opened eagerly so an unwritable path fails at configuration
+    time (a clean :class:`~repro.errors.ConfigurationError`), not midway
+    through a paid crowd run.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        try:
+            self._handle = open(path, "w", encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(f"cannot open trace file {path!r}: {exc}") from exc
+
+    def emit(self, span: dict[str, Any]) -> None:
+        """Write the span as one flushed JSON line."""
+        self._handle.write(json.dumps(span, default=str) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.instrument import operator_span
 from repro.platform.platform import SimulatedPlatform
 from repro.platform.task import Task, TaskType
 from repro.quality.truth import MajorityVote, TruthInference
@@ -72,40 +73,51 @@ class CrowdCategorize:
 
     def run(self, items: Sequence[Any]) -> CategorizeResult:
         """Categorize *items*; returns labels, groups, and accounting."""
-        before = self.platform.stats.cost_spent
-        tasks = []
-        for i, item in enumerate(items):
-            truth = self.truth_fn(item) if self.truth_fn is not None else None
-            if truth is not None and truth not in self.categories:
-                raise ConfigurationError(
-                    f"truth {truth!r} for item {i} is not among the categories"
+        with operator_span(
+            self.platform,
+            "categorize",
+            items=len(items),
+            categories=len(self.categories),
+            redundancy=self.redundancy,
+        ) as span:
+            before = self.platform.stats.cost_spent
+            tasks = []
+            for i, item in enumerate(items):
+                truth = self.truth_fn(item) if self.truth_fn is not None else None
+                if truth is not None and truth not in self.categories:
+                    raise ConfigurationError(
+                        f"truth {truth!r} for item {i} is not among the categories"
+                    )
+                difficulty = self.difficulty_fn(item) if self.difficulty_fn else 0.0
+                tasks.append(
+                    Task(
+                        TaskType.SINGLE_CHOICE,
+                        question=f"{self.question} — item: {item}",
+                        options=self.categories,
+                        payload={"item_index": i},
+                        truth=truth,
+                        difficulty=difficulty,
+                    )
                 )
-            difficulty = self.difficulty_fn(item) if self.difficulty_fn else 0.0
-            tasks.append(
-                Task(
-                    TaskType.SINGLE_CHOICE,
-                    question=f"{self.question} — item: {item}",
-                    options=self.categories,
-                    payload={"item_index": i},
-                    truth=truth,
-                    difficulty=difficulty,
-                )
-            )
-        collected = self.platform.collect(tasks, redundancy=self.redundancy)
-        inferred = self.inference.infer(collected)
+            collected = self.platform.collect(tasks, redundancy=self.redundancy)
+            inferred = self.inference.infer(collected)
 
-        labels: dict[int, Any] = {}
-        confidences: dict[int, float] = {}
-        groups: dict[Any, list[int]] = defaultdict(list)
-        for i, task in enumerate(tasks):
-            label = inferred.truths[task.task_id]
-            labels[i] = label
-            confidences[i] = inferred.confidences.get(task.task_id, 0.0)
-            groups[label].append(i)
-        return CategorizeResult(
-            labels=labels,
-            groups=dict(groups),
-            questions_asked=len(tasks) * self.redundancy,
-            cost=self.platform.stats.cost_spent - before,
-            confidences=confidences,
-        )
+            labels: dict[int, Any] = {}
+            confidences: dict[int, float] = {}
+            groups: dict[Any, list[int]] = defaultdict(list)
+            for i, task in enumerate(tasks):
+                label = inferred.truths[task.task_id]
+                labels[i] = label
+                confidences[i] = inferred.confidences.get(task.task_id, 0.0)
+                groups[label].append(i)
+            result = CategorizeResult(
+                labels=labels,
+                groups=dict(groups),
+                questions_asked=len(tasks) * self.redundancy,
+                cost=self.platform.stats.cost_spent - before,
+                confidences=confidences,
+            )
+            if self.truth_fn is not None and self.platform.tracer.enabled:
+                truth_list = [self.truth_fn(item) for item in items]
+                span.set_tag("accuracy", result.accuracy_against(truth_list))
+            return result

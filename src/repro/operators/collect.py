@@ -26,6 +26,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.instrument import operator_span
 from repro.platform.platform import SimulatedPlatform
 from repro.platform.task import Task, TaskType
 from repro.workers.models import CollectorModel
@@ -160,40 +161,46 @@ class CrowdCollect:
         """
         if max_queries < 1:
             raise ConfigurationError("max_queries must be >= 1")
-        before = self.platform.stats.cost_spent
-        result = CollectResult(items=[])
-        seen: set[Any] = set()
-        # Under a parallel batch runtime, contribution requests go out in
-        # waves of batch_size; a posted wave is paid for in full, so the
-        # coverage early-stop is only evaluated between waves (the real
-        # platform semantics: you cannot unpost a HIT batch).
-        wave_size = (
-            self.platform.scheduler.config.batch_size
-            if self.platform.parallel_batching
-            else 1
-        )
-        q = 0
-        while q < max_queries:
-            wave = [
-                Task(TaskType.COLLECT, question=self.question)
-                for _ in range(min(wave_size, max_queries - q))
-            ]
-            collected = self.platform.collect_batch(wave, redundancy=1)
-            for task in wave:
-                answer = collected[task.task_id][0]
-                q += 1
-                result.queries_issued = q
-                if answer.value is not None:
-                    result.frequencies[answer.value] += 1
-                    if answer.value not in seen:
-                        seen.add(answer.value)
-                        result.items.append(answer.value)
-                if q % self.checkpoint_every == 0:
-                    result.richness_trajectory.append(
-                        (q, len(seen), chao92_estimate(result.frequencies))
-                    )
-            if stop_at_coverage is not None and q >= 5:
-                if good_turing_coverage(result.frequencies) >= stop_at_coverage:
-                    break
-        result.cost = self.platform.stats.cost_spent - before
-        return result
+        with operator_span(
+            self.platform, "collect", max_queries=max_queries
+        ) as span:
+            before = self.platform.stats.cost_spent
+            result = CollectResult(items=[])
+            seen: set[Any] = set()
+            # Under a parallel batch runtime, contribution requests go out in
+            # waves of batch_size; a posted wave is paid for in full, so the
+            # coverage early-stop is only evaluated between waves (the real
+            # platform semantics: you cannot unpost a HIT batch).
+            wave_size = (
+                self.platform.scheduler.config.batch_size
+                if self.platform.parallel_batching
+                else 1
+            )
+            q = 0
+            while q < max_queries:
+                wave = [
+                    Task(TaskType.COLLECT, question=self.question)
+                    for _ in range(min(wave_size, max_queries - q))
+                ]
+                collected = self.platform.collect_batch(wave, redundancy=1)
+                for task in wave:
+                    answer = collected[task.task_id][0]
+                    q += 1
+                    result.queries_issued = q
+                    if answer.value is not None:
+                        result.frequencies[answer.value] += 1
+                        if answer.value not in seen:
+                            seen.add(answer.value)
+                            result.items.append(answer.value)
+                    if q % self.checkpoint_every == 0:
+                        result.richness_trajectory.append(
+                            (q, len(seen), chao92_estimate(result.frequencies))
+                        )
+                if stop_at_coverage is not None and q >= 5:
+                    if good_turing_coverage(result.frequencies) >= stop_at_coverage:
+                        break
+            result.cost = self.platform.stats.cost_spent - before
+            span.set_tag("queries", result.queries_issued)
+            span.set_tag("distinct", result.distinct_count)
+            span.set_tag("coverage", result.coverage)
+            return result

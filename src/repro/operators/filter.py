@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.instrument import operator_span
 from repro.platform.platform import SimulatedPlatform
 from repro.platform.task import Answer, Task, TaskType
 
@@ -94,6 +95,16 @@ class CrowdFilter:
         difficulty = self.difficulty_fn(item) if self.difficulty_fn is not None else 0.0
         return _make_task(item, index, self.question, truth, difficulty)
 
+    def _stamp(self, span: Any, items: Sequence[Any], result: FilterResult) -> None:
+        """Tag the operator span with outcome stats (accuracy when truth is known)."""
+        if not self.platform.tracer.enabled:
+            return
+        span.set_tag("questions", result.questions_asked)
+        span.set_tag("kept", len(result.kept))
+        if self.truth_fn is not None:
+            truth = [bool(self.truth_fn(item)) for item in items]
+            span.set_tag("accuracy", result.accuracy_against(truth))
+
 
 class FixedKFilter(CrowdFilter):
     """k answers per item, majority decides (ties -> not kept)."""
@@ -106,24 +117,33 @@ class FixedKFilter(CrowdFilter):
 
     def run(self, items: Sequence[Any]) -> FilterResult:
         """Filter *items* with k answers each; majority decides."""
-        before = self.platform.stats.cost_spent
-        tasks = [self._task_for(item, i) for i, item in enumerate(items)]
-        collected = self.platform.collect_batch(tasks, redundancy=self.redundancy)
-        decisions: dict[int, bool] = {}
-        answers_by_item: dict[int, list[Answer]] = {}
-        questions = 0
-        for i, task in enumerate(tasks):
-            answers = collected[task.task_id]
-            answers_by_item[i] = answers
-            questions += len(answers)
-            yes_votes = sum(1 for a in answers if a.value == YES)
-            decisions[i] = yes_votes * 2 > len(answers)
-        return FilterResult(
-            decisions=decisions,
-            questions_asked=questions,
-            cost=self.platform.stats.cost_spent - before,
-            answers_by_item=answers_by_item,
-        )
+        with operator_span(
+            self.platform,
+            "filter",
+            strategy="fixed_k",
+            items=len(items),
+            redundancy=self.redundancy,
+        ) as span:
+            before = self.platform.stats.cost_spent
+            tasks = [self._task_for(item, i) for i, item in enumerate(items)]
+            collected = self.platform.collect_batch(tasks, redundancy=self.redundancy)
+            decisions: dict[int, bool] = {}
+            answers_by_item: dict[int, list[Answer]] = {}
+            questions = 0
+            for i, task in enumerate(tasks):
+                answers = collected[task.task_id]
+                answers_by_item[i] = answers
+                questions += len(answers)
+                yes_votes = sum(1 for a in answers if a.value == YES)
+                decisions[i] = yes_votes * 2 > len(answers)
+            result = FilterResult(
+                decisions=decisions,
+                questions_asked=questions,
+                cost=self.platform.stats.cost_spent - before,
+                answers_by_item=answers_by_item,
+            )
+            self._stamp(span, items, result)
+            return result
 
 
 class AdaptiveFilter(CrowdFilter):
@@ -157,8 +177,23 @@ class AdaptiveFilter(CrowdFilter):
         *every* open item as a single batch, so a wave costs one round of
         simulated latency instead of one per answer.
         """
-        if self.platform.parallel_batching:
-            return self._run_waves(items)
+        with operator_span(
+            self.platform,
+            "filter",
+            strategy="adaptive",
+            items=len(items),
+            margin=self.margin,
+            max_answers=self.max_answers,
+        ) as span:
+            if self.platform.parallel_batching:
+                result = self._run_waves(items)
+            else:
+                result = self._run_sequential(items)
+            self._stamp(span, items, result)
+            return result
+
+    def _run_sequential(self, items: Sequence[Any]) -> FilterResult:
+        """One item at a time, buying answers until the margin is reached."""
         before = self.platform.stats.cost_spent
         decisions: dict[int, bool] = {}
         answers_by_item: dict[int, list[Answer]] = {}

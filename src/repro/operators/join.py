@@ -23,6 +23,7 @@ from typing import Any, Callable, Sequence
 from repro.cost.deduction import TransitiveResolver
 from repro.cost.pruning import CandidatePair, PruningReport, SimilarityPruner
 from repro.errors import ConfigurationError
+from repro.obs.instrument import operator_span
 from repro.platform.platform import SimulatedPlatform
 from repro.platform.task import Task, TaskType
 from repro.quality.truth import MajorityVote, TruthInference
@@ -135,6 +136,20 @@ class CrowdJoin:
 
     def run(self, records: Sequence[Any]) -> JoinResult:
         """Resolve *records*; returns matches, clusters, and accounting."""
+        with operator_span(
+            self.platform,
+            "join",
+            records=len(records),
+            pruned=self.pruner is not None,
+            transitivity=self.use_transitivity,
+        ) as span:
+            result = self._resolve(records)
+            span.set_tag("questions", result.questions_asked)
+            span.set_tag("matched", len(result.matched_pairs))
+            span.set_tag("deduced", result.deduced_pairs)
+            return result
+
+    def _resolve(self, records: Sequence[Any]) -> JoinResult:
         before_cost = self.platform.stats.cost_spent
         before_answers = self.platform.stats.answers_collected
         pairs, report = self._candidate_pairs(records)
@@ -218,6 +233,27 @@ def crossing_join(
     Same machinery as :class:`CrowdJoin` but over left x right pairs; the
     returned indexes are (left_index, len(left) + right_index).
     """
+    with operator_span(
+        platform, "join", kind="crossing", left=len(left), right=len(right)
+    ) as span:
+        result = _crossing_join(
+            platform, left, right, truth_fn, pruner, redundancy, inference, key
+        )
+        span.set_tag("questions", result.questions_asked)
+        span.set_tag("matched", len(result.matched_pairs))
+        return result
+
+
+def _crossing_join(
+    platform: SimulatedPlatform,
+    left: Sequence[Any],
+    right: Sequence[Any],
+    truth_fn: Callable[[Any, Any], bool],
+    pruner: SimilarityPruner | None,
+    redundancy: int,
+    inference: TruthInference | None,
+    key: Callable[[Any], str],
+) -> JoinResult:
     inference = inference or MajorityVote()
     before_cost = platform.stats.cost_spent
     before_answers = platform.stats.answers_collected

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.cost.deduction import ComparisonDeducer
 from repro.errors import ConfigurationError
+from repro.obs.instrument import operator_span
 from repro.platform.platform import SimulatedPlatform
 from repro.platform.task import Task, TaskType
 from repro.quality.truth import MajorityVote, TruthInference
@@ -187,58 +188,66 @@ class CrowdComparator:
 
 def all_pairs_sort(comparator: CrowdComparator) -> SortResult:
     """Every pairwise comparison; rank by Copeland win count."""
-    before = comparator.platform.stats.cost_spent
-    n = len(comparator.items)
-    # All comparisons are known up front — one prefetch makes the whole
-    # sort a single batched dispatch under a parallel runtime.
-    comparator.prefetch([(i, j) for i in range(n) for j in range(i + 1, n)])
-    wins = [0] * n
-    for i in range(n):
-        for j in range(i + 1, n):
-            if comparator.above(i, j):
-                wins[i] += 1
-            else:
-                wins[j] += 1
-    order = sorted(range(n), key=lambda idx: (-wins[idx], idx))
-    return SortResult(
-        order=order,
-        comparisons_asked=comparator.comparisons_asked,
-        answers_bought=comparator.answers_bought,
-        cost=comparator.platform.stats.cost_spent - before,
-    )
+    with operator_span(
+        comparator.platform, "sort", strategy="all_pairs", items=len(comparator.items)
+    ) as span:
+        before = comparator.platform.stats.cost_spent
+        n = len(comparator.items)
+        # All comparisons are known up front — one prefetch makes the whole
+        # sort a single batched dispatch under a parallel runtime.
+        comparator.prefetch([(i, j) for i in range(n) for j in range(i + 1, n)])
+        wins = [0] * n
+        for i in range(n):
+            for j in range(i + 1, n):
+                if comparator.above(i, j):
+                    wins[i] += 1
+                else:
+                    wins[j] += 1
+        order = sorted(range(n), key=lambda idx: (-wins[idx], idx))
+        span.set_tag("comparisons", comparator.comparisons_asked)
+        return SortResult(
+            order=order,
+            comparisons_asked=comparator.comparisons_asked,
+            answers_bought=comparator.answers_bought,
+            cost=comparator.platform.stats.cost_spent - before,
+        )
 
 
 def merge_sort_crowd(comparator: CrowdComparator) -> SortResult:
     """Comparison-optimal merge sort over the crowd comparator."""
-    before = comparator.platform.stats.cost_spent
+    with operator_span(
+        comparator.platform, "sort", strategy="merge", items=len(comparator.items)
+    ) as span:
+        before = comparator.platform.stats.cost_spent
 
-    def merge(left: list[int], right: list[int]) -> list[int]:
-        merged: list[int] = []
-        li = ri = 0
-        while li < len(left) and ri < len(right):
-            if comparator.above(left[li], right[ri]):
-                merged.append(left[li])
-                li += 1
-            else:
-                merged.append(right[ri])
-                ri += 1
-        merged.extend(left[li:])
-        merged.extend(right[ri:])
-        return merged
+        def merge(left: list[int], right: list[int]) -> list[int]:
+            merged: list[int] = []
+            li = ri = 0
+            while li < len(left) and ri < len(right):
+                if comparator.above(left[li], right[ri]):
+                    merged.append(left[li])
+                    li += 1
+                else:
+                    merged.append(right[ri])
+                    ri += 1
+            merged.extend(left[li:])
+            merged.extend(right[ri:])
+            return merged
 
-    def sort(indices: list[int]) -> list[int]:
-        if len(indices) <= 1:
-            return indices
-        mid = len(indices) // 2
-        return merge(sort(indices[:mid]), sort(indices[mid:]))
+        def sort(indices: list[int]) -> list[int]:
+            if len(indices) <= 1:
+                return indices
+            mid = len(indices) // 2
+            return merge(sort(indices[:mid]), sort(indices[mid:]))
 
-    order = sort(list(range(len(comparator.items))))
-    return SortResult(
-        order=order,
-        comparisons_asked=comparator.comparisons_asked,
-        answers_bought=comparator.answers_bought,
-        cost=comparator.platform.stats.cost_spent - before,
-    )
+        order = sort(list(range(len(comparator.items))))
+        span.set_tag("comparisons", comparator.comparisons_asked)
+        return SortResult(
+            order=order,
+            comparisons_asked=comparator.comparisons_asked,
+            answers_bought=comparator.answers_bought,
+            cost=comparator.platform.stats.cost_spent - before,
+        )
 
 
 def rating_sort(
@@ -256,34 +265,35 @@ def rating_sort(
     """
     if redundancy < 1:
         raise ConfigurationError("redundancy must be >= 1")
-    before = platform.stats.cost_spent
-    scores = [score_fn(item) for item in items]
-    low, high = min(scores), max(scores)
-    span = (high - low) or 1.0
-    tasks = []
-    for item, score in zip(items, scores):
-        scaled = scale[0] + (score - low) / span * (scale[1] - scale[0])
-        tasks.append(
-            Task(
-                TaskType.RATE,
-                question=f"{question} {item}",
-                payload={"scale": scale},
-                truth=scaled,
+    with operator_span(platform, "sort", strategy="rating", items=len(items)):
+        before = platform.stats.cost_spent
+        scores = [score_fn(item) for item in items]
+        low, high = min(scores), max(scores)
+        spread = (high - low) or 1.0
+        tasks = []
+        for item, score in zip(items, scores):
+            scaled = scale[0] + (score - low) / spread * (scale[1] - scale[0])
+            tasks.append(
+                Task(
+                    TaskType.RATE,
+                    question=f"{question} {item}",
+                    payload={"scale": scale},
+                    truth=scaled,
+                )
             )
+        collected = platform.collect_batch(tasks, redundancy=redundancy)
+        ratings = {
+            i: float(np.mean([a.value for a in collected[t.task_id]]))
+            for i, t in enumerate(tasks)
+        }
+        order = sorted(range(len(items)), key=lambda i: (-ratings[i], i))
+        return SortResult(
+            order=order,
+            comparisons_asked=0,
+            answers_bought=len(items) * redundancy,
+            cost=platform.stats.cost_spent - before,
+            ratings=ratings,
         )
-    collected = platform.collect_batch(tasks, redundancy=redundancy)
-    ratings = {
-        i: float(np.mean([a.value for a in collected[t.task_id]]))
-        for i, t in enumerate(tasks)
-    }
-    order = sorted(range(len(items)), key=lambda i: (-ratings[i], i))
-    return SortResult(
-        order=order,
-        comparisons_asked=0,
-        answers_bought=len(items) * redundancy,
-        cost=platform.stats.cost_spent - before,
-        ratings=ratings,
-    )
 
 
 def hybrid_sort(
@@ -301,30 +311,33 @@ def hybrid_sort(
     less than *close_threshold* is re-decided with a pairwise comparison
     (one local bubble pass) — Qurk's cost/quality compromise.
     """
-    before = platform.stats.cost_spent
-    base = rating_sort(platform, items, score_fn, redundancy, scale)
-    comparator = CrowdComparator(
-        platform, items, score_fn, redundancy=redundancy, inference=inference
-    )
-    order = list(base.order)
-    # The close adjacent pairs are known after the rating pass; buy their
-    # comparisons as one batch before the (order-dependent) bubble pass.
-    comparator.prefetch(
-        [
-            (order[p], order[p + 1])
-            for p in range(len(order) - 1)
-            if abs(base.ratings[order[p]] - base.ratings[order[p + 1]]) < close_threshold
-        ]
-    )
-    for position in range(len(order) - 1):
-        i, j = order[position], order[position + 1]
-        if abs(base.ratings[i] - base.ratings[j]) < close_threshold:
-            if not comparator.above(i, j):
-                order[position], order[position + 1] = j, i
-    return SortResult(
-        order=order,
-        comparisons_asked=comparator.comparisons_asked,
-        answers_bought=base.answers_bought + comparator.answers_bought,
-        cost=platform.stats.cost_spent - before,
-        ratings=base.ratings,
-    )
+    with operator_span(platform, "sort", strategy="hybrid", items=len(items)) as span:
+        before = platform.stats.cost_spent
+        base = rating_sort(platform, items, score_fn, redundancy, scale)
+        comparator = CrowdComparator(
+            platform, items, score_fn, redundancy=redundancy, inference=inference
+        )
+        order = list(base.order)
+        # The close adjacent pairs are known after the rating pass; buy their
+        # comparisons as one batch before the (order-dependent) bubble pass.
+        comparator.prefetch(
+            [
+                (order[p], order[p + 1])
+                for p in range(len(order) - 1)
+                if abs(base.ratings[order[p]] - base.ratings[order[p + 1]])
+                < close_threshold
+            ]
+        )
+        for position in range(len(order) - 1):
+            i, j = order[position], order[position + 1]
+            if abs(base.ratings[i] - base.ratings[j]) < close_threshold:
+                if not comparator.above(i, j):
+                    order[position], order[position + 1] = j, i
+        span.set_tag("comparisons", comparator.comparisons_asked)
+        return SortResult(
+            order=order,
+            comparisons_asked=comparator.comparisons_asked,
+            answers_bought=base.answers_bought + comparator.answers_bought,
+            cost=platform.stats.cost_spent - before,
+            ratings=base.ratings,
+        )

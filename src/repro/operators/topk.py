@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.latency.rounds import rounds_lower_bound
+from repro.obs.instrument import operator_span
 from repro.operators.sort import CrowdComparator
 
 
@@ -56,34 +57,39 @@ def tournament_max(
     """
     if fan_in < 2:
         raise ConfigurationError("fan_in must be >= 2")
-    before_cost = comparator.platform.stats.cost_spent
-    before_asked = comparator.comparisons_asked
-    before_answers = comparator.answers_bought
-    remaining = list(candidates) if candidates is not None else list(range(len(comparator.items)))
-    if not remaining:
+    pool = list(candidates) if candidates is not None else list(range(len(comparator.items)))
+    if not pool:
         raise ConfigurationError("no candidates to run a tournament over")
-    rounds = 0
-    while len(remaining) > 1:
-        groups = [remaining[s : s + fan_in] for s in range(0, len(remaining), fan_in)]
-        # One tournament round = one batch: all intra-group games of the
-        # round are independent, so a parallel runtime plays them at once.
-        comparator.prefetch(
-            [
-                (group[x], group[y])
-                for group in groups
-                for x in range(len(group))
-                for y in range(x + 1, len(group))
-            ]
+    with operator_span(
+        comparator.platform, "topk", strategy="max", items=len(pool), fan_in=fan_in
+    ) as span:
+        before_cost = comparator.platform.stats.cost_spent
+        before_asked = comparator.comparisons_asked
+        before_answers = comparator.answers_bought
+        remaining = pool
+        rounds = 0
+        while len(remaining) > 1:
+            groups = [remaining[s : s + fan_in] for s in range(0, len(remaining), fan_in)]
+            # One tournament round = one batch: all intra-group games of the
+            # round are independent, so a parallel runtime plays them at once.
+            comparator.prefetch(
+                [
+                    (group[x], group[y])
+                    for group in groups
+                    for x in range(len(group))
+                    for y in range(x + 1, len(group))
+                ]
+            )
+            remaining = [_group_winner(comparator, group) for group in groups]
+            rounds += 1
+        span.set_tag("rounds", rounds)
+        return TopKResult(
+            winners=[remaining[0]],
+            comparisons_asked=comparator.comparisons_asked - before_asked,
+            answers_bought=comparator.answers_bought - before_answers,
+            cost=comparator.platform.stats.cost_spent - before_cost,
+            rounds=rounds,
         )
-        remaining = [_group_winner(comparator, group) for group in groups]
-        rounds += 1
-    return TopKResult(
-        winners=[remaining[0]],
-        comparisons_asked=comparator.comparisons_asked - before_asked,
-        answers_bought=comparator.answers_bought - before_answers,
-        cost=comparator.platform.stats.cost_spent - before_cost,
-        rounds=rounds,
-    )
 
 
 def topk_tournament(
@@ -103,27 +109,31 @@ def topk_tournament(
     n = len(comparator.items)
     if k > n:
         raise ConfigurationError(f"k={k} exceeds {n} items")
-    before_cost = comparator.platform.stats.cost_spent
-    before_asked = comparator.comparisons_asked
-    before_answers = comparator.answers_bought
-    winners: list[int] = []
-    candidates = list(range(n))
-    total_rounds = 0
-    for _ in range(k):
-        result = tournament_max(comparator, fan_in=fan_in, candidates=candidates)
-        winner = result.winners[0]
-        winners.append(winner)
-        candidates = [c for c in candidates if c != winner]
-        total_rounds += result.rounds
-        if not candidates:
-            break
-    return TopKResult(
-        winners=winners,
-        comparisons_asked=comparator.comparisons_asked - before_asked,
-        answers_bought=comparator.answers_bought - before_answers,
-        cost=comparator.platform.stats.cost_spent - before_cost,
-        rounds=total_rounds,
-    )
+    with operator_span(
+        comparator.platform, "topk", strategy="topk", items=n, k=k, fan_in=fan_in
+    ) as span:
+        before_cost = comparator.platform.stats.cost_spent
+        before_asked = comparator.comparisons_asked
+        before_answers = comparator.answers_bought
+        winners: list[int] = []
+        candidates = list(range(n))
+        total_rounds = 0
+        for _ in range(k):
+            result = tournament_max(comparator, fan_in=fan_in, candidates=candidates)
+            winner = result.winners[0]
+            winners.append(winner)
+            candidates = [c for c in candidates if c != winner]
+            total_rounds += result.rounds
+            if not candidates:
+                break
+        span.set_tag("rounds", total_rounds)
+        return TopKResult(
+            winners=winners,
+            comparisons_asked=comparator.comparisons_asked - before_asked,
+            answers_bought=comparator.answers_bought - before_answers,
+            cost=comparator.platform.stats.cost_spent - before_cost,
+            rounds=total_rounds,
+        )
 
 
 def expected_tournament_cost(n_items: int, fan_in: int) -> tuple[int, int]:

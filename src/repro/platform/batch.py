@@ -28,6 +28,7 @@ different (equally valid) random stream than the sequential one.
 
 from __future__ import annotations
 
+import itertools
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -93,6 +94,11 @@ class BatchConfig:
         return self.abandon_rate > 0.0 or self.assignment_timeout is not None
 
 
+# Process-unique batch ids: PlatformStats folds each batch exactly once,
+# keyed by this id, even when a record is handed back twice (re-dispatch).
+_BATCH_IDS = itertools.count()
+
+
 @dataclass
 class BatchRecord:
     """Counters for one dispatched batch."""
@@ -105,6 +111,7 @@ class BatchRecord:
     abandoned: int = 0
     makespan: float = 0.0     # simulated seconds (lane model)
     wall_clock: float = 0.0   # real seconds spent dispatching
+    batch_id: int = field(default_factory=_BATCH_IDS.__next__)
 
 
 @dataclass
@@ -189,10 +196,24 @@ class BatchScheduler:
         result = BatchRunResult()
         self._run_base = self._clock  # completion times are relative to run start
         size = self.config.batch_size
+        tracer = self.platform.tracer
         for start in range(0, len(tasks), size):
             batch = list(tasks[start : start + size])
             record = BatchRecord(index=len(self.records), tasks=len(batch))
-            self._run_batch(batch, redundancy, record, result, complete)
+            with tracer.span(
+                "batch",
+                sim_start=self._clock,
+                index=record.index,
+                batch_id=record.batch_id,
+                tasks=len(batch),
+            ) as span:
+                self._run_batch(batch, redundancy, record, result, complete)
+                span.set_tag("dispatched", record.dispatched)
+                span.set_tag("retried", record.retried)
+                span.set_tag("timed_out", record.timed_out)
+                span.set_tag("abandoned", record.abandoned)
+                span.set_tag("makespan", record.makespan)
+                span.sim_end = self._clock + record.makespan
             self.records.append(record)
             self.platform.stats.record_batch(record)
             self._clock += record.makespan
@@ -230,6 +251,9 @@ class BatchScheduler:
 
         attempted: dict[str, set[str]] = {t.task_id: set() for t in batch}
         lanes = [0.0] * self.config.max_parallel
+        tracer = platform.tracer
+        metrics = platform.metrics
+        retry_counts: dict[str, int] = {}
         while wave:
             self._execute_wave(wave)
             retries: list[_Assignment] = []
@@ -246,14 +270,26 @@ class BatchScheduler:
                 lanes[lane] = finished
                 if a.fault is None:
                     self._commit(a, result, finished)
+                    metrics.observe("batch.assignment_latency", a.duration)
                 else:
                     if a.fault == "timeout":
                         record.timed_out += 1
                     else:
                         record.abandoned += 1
+                    retry_counts[a.task.task_id] = retry_counts.get(a.task.task_id, 0) + 1
+                    if tracer.enabled:
+                        tracer.annotate(
+                            "batch.retry",
+                            task_id=a.task.task_id,
+                            attempt=a.attempt + 1,
+                            reason=a.fault,
+                        )
                     retries.append(self._retry(a, attempted[a.task.task_id], order))
                     order += 1
             wave = retries
+        if metrics.enabled:
+            for task in batch:
+                metrics.observe("batch.retries_per_task", retry_counts.get(task.task_id, 0))
         if complete:
             for task in batch:
                 if task.is_open:

@@ -33,13 +33,28 @@ class Event:
 
 
 class EventSimulator:
-    """A classic event-driven simulation loop."""
+    """A classic event-driven simulation loop.
 
-    def __init__(self) -> None:
+    Args:
+        tracer: When given (and enabled), every processed event is emitted
+            as a zero-duration span annotation (``event.<kind>``) so a
+            trace can reconstruct the discrete-event timeline.
+        max_log: Cap on the in-memory :attr:`log`; events past the cap are
+            still processed (and traced) but no longer retained, bounding
+            memory on long runs. None keeps everything (historical
+            behaviour).
+    """
+
+    def __init__(self, tracer=None, max_log: int | None = None) -> None:
+        if max_log is not None and max_log < 0:
+            raise PlatformError(f"max_log must be >= 0 or None, got {max_log}")
         self._queue: list[Event] = []
         self._sequence = itertools.count()
         self.now = 0.0
         self.log: list[Event] = []
+        self.tracer = tracer
+        self.max_log = max_log
+        self.events_processed = 0
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -66,7 +81,11 @@ class EventSimulator:
             return None
         event = heapq.heappop(self._queue)
         self.now = event.time
-        self.log.append(event)
+        self.events_processed += 1
+        if self.max_log is None or len(self.log) < self.max_log:
+            self.log.append(event)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.annotate(f"event.{event.kind}", sim_time=event.time, **event.payload)
         return event
 
     def run(

@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import BudgetExceededError, NoWorkersAvailableError, PlatformError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.platform.events import EventSimulator
 from repro.platform.pricing import PriceResponseModel, PricingPolicy
 from repro.platform.task import Answer, Task
@@ -37,26 +39,48 @@ if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle with workers
     from repro.workers.pool import WorkerPool
     from repro.workers.worker import Worker
 
+# PlatformStats attribute -> backing metric name. The registry is the one
+# source of truth; the attributes below are generated property views.
+_STAT_METRICS = {
+    "answers_collected": "platform.answers_collected",
+    "tasks_published": "platform.tasks_published",
+    "cost_spent": "platform.cost_spent",
+    "batches_dispatched": "batch.batches_dispatched",
+    "assignments_dispatched": "batch.assignments_dispatched",
+    "assignments_retried": "batch.assignments_retried",
+    "assignments_timed_out": "batch.assignments_timed_out",
+    "assignments_abandoned": "batch.assignments_abandoned",
+    "batch_makespan": "batch.makespan",
+    "batch_wall_clock": "batch.wall_clock",
+}
 
-@dataclass
+
 class PlatformStats:
-    """Running totals the requester can inspect at any time."""
+    """Running totals the requester can inspect at any time.
 
-    answers_collected: int = 0
-    tasks_published: int = 0
-    cost_spent: float = 0.0
-    answers_by_worker: dict[str, int] = field(default_factory=lambda: defaultdict(int))
-    # Batch-runtime counters (populated by repro.platform.batch).
-    batches_dispatched: int = 0
-    assignments_dispatched: int = 0
-    assignments_retried: int = 0
-    assignments_timed_out: int = 0
-    assignments_abandoned: int = 0
-    batch_makespan: float = 0.0    # simulated seconds across all batches
-    batch_wall_clock: float = 0.0  # real seconds spent dispatching batches
+    The scalar counters (``answers_collected``, ``cost_spent``, the batch
+    counters, ...) live in a :class:`~repro.obs.metrics.MetricsRegistry`;
+    the attributes here are property views onto it, so ``engine.stats``
+    and ``engine.metrics`` can never disagree.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self.answers_by_worker: dict[str, int] = defaultdict(int)
+        self._folded_batches: set[int] = set()
 
     def record_batch(self, record) -> None:
-        """Fold one :class:`~repro.platform.batch.BatchRecord` into the totals."""
+        """Fold one :class:`~repro.platform.batch.BatchRecord` into the totals.
+
+        Idempotent per batch: a record that was already folded (a round
+        scheduler re-dispatching after timeout retries hands the same
+        record back) is skipped, keyed by ``record.batch_id``.
+        """
+        batch_id = getattr(record, "batch_id", None)
+        if batch_id is not None:
+            if batch_id in self._folded_batches:
+                return
+            self._folded_batches.add(batch_id)
         self.batches_dispatched += 1
         self.assignments_dispatched += record.dispatched
         self.assignments_retried += record.retried
@@ -77,6 +101,21 @@ class PlatformStats:
             f"{self.assignments_abandoned} abandoned), "
             f"simulated makespan {self.batch_makespan:.1f}s"
         )
+
+
+def _stat_property(metric_name: str) -> property:
+    def fget(self: PlatformStats):
+        return self.metrics.counter(metric_name).value
+
+    def fset(self: PlatformStats, value) -> None:
+        self.metrics.counter(metric_name).value = value
+
+    return property(fget, fset)
+
+
+for _attr, _metric in _STAT_METRICS.items():
+    setattr(PlatformStats, _attr, _stat_property(_metric))
+del _attr, _metric
 
 
 @dataclass
@@ -106,6 +145,12 @@ class SimulatedPlatform:
         seed: Seed for the platform's own RNG (assignment sampling and the
             workers' answer randomness both derive from it, so a seeded
             platform is fully reproducible).
+        tracer: Span tracer threaded through operators, the batch runtime,
+            and the event timeline; the no-op tracer when omitted.
+        metrics: Registry backing :class:`PlatformStats` and the extra
+            telemetry histograms; a disabled registry when omitted.
+        event_log_limit: Cap on the discrete-event simulator's in-memory
+            log (None = unbounded, the historical behaviour).
     """
 
     def __init__(
@@ -115,12 +160,18 @@ class SimulatedPlatform:
         pricing: PricingPolicy | None = None,
         seed: int | None = None,
         batch: "BatchConfig | None" = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        event_log_limit: int | None = None,
     ):
         self.pool = pool
         self.budget = budget
         self.pricing = pricing or PricingPolicy()
         self.rng = np.random.default_rng(seed)
-        self.stats = PlatformStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self.event_log_limit = event_log_limit
+        self.stats = PlatformStats(metrics=self.metrics)
         self.answers: list[Answer] = []
         self._answers_by_task: dict[str, list[Answer]] = defaultdict(list)
         self._tasks: dict[str, Task] = {}
@@ -370,7 +421,7 @@ class SimulatedPlatform:
         completion: dict[str, float] = {}
         collected: list[Answer] = []
 
-        sim = EventSimulator()
+        sim = EventSimulator(tracer=self.tracer, max_log=self.event_log_limit)
         mean_reward = float(np.mean([t.reward for t in tasks])) if tasks else 0.0
         multiplier = (
             price_response.rate_multiplier(mean_reward) if price_response is not None else 1.0
@@ -401,7 +452,12 @@ class SimulatedPlatform:
                 delay = worker.latency.inter_arrival(self.rng) / multiplier
                 simulator.schedule(delay, "arrival", worker_id=worker.worker_id)
 
-        sim.run(handle, until=horizon)
+        with self.tracer.span(
+            "timeline", sim_start=0.0, tasks=len(tasks), redundancy=redundancy
+        ) as span:
+            sim.run(handle, until=horizon)
+            span.set_tag("events", len(sim.log))
+            span.sim_end = sim.now
         # Completion = when the redundancy-th answer *arrives* (answers are
         # claimed in queue order but may land out of order).
         arrival_times: dict[str, list[float]] = defaultdict(list)

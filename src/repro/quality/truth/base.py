@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.errors import InferenceError
+from repro.obs.runtime import current_metrics, current_tracer
 from repro.platform.task import Answer, Task
 
 
@@ -87,6 +88,23 @@ class TruthInference:
                     raise InferenceError(
                         f"answer for task {a.task_id!r} filed under {task_id!r}"
                     )
+
+
+def em_span(method: str, answers_by_task: Mapping[str, Sequence[Answer]]):
+    """A ``truth.<method>`` span on the active tracer (no-op when off).
+
+    Truth inference has no platform handle, so EM loops reach the
+    observability layer through :mod:`repro.obs.runtime`.
+    """
+    return current_tracer().span(f"truth.{method}", tasks=len(answers_by_task))
+
+
+def em_iteration(method: str, iteration: int, delta: float) -> None:
+    """Record one EM iteration: an annotation plus a convergence-delta sample."""
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.annotate("em.iteration", method=method, iteration=iteration, delta=delta)
+    current_metrics().observe(f"em.{method}.delta", delta)
 
 
 def answers_from_platform(

@@ -26,6 +26,8 @@ from repro.platform.task import Answer
 from repro.quality.truth.base import (
     InferenceResult,
     TruthInference,
+    em_iteration,
+    em_span,
     label_space,
     votes_by_task,
 )
@@ -92,6 +94,7 @@ class DawidSkene(TruthInference):
         iterations = 0
         converged = False
 
+        span = em_span(self.name, answers_by_task)
         for iterations in range(1, self.max_iterations + 1):
             # ----- M-step: confusion matrices and class priors. -----
             confusion.fill(self.smoothing)
@@ -118,9 +121,13 @@ class DawidSkene(TruthInference):
 
             delta = float(np.abs(new_posteriors - posteriors).max())
             posteriors = new_posteriors
+            em_iteration(self.name, iterations, delta)
             if delta < self.tolerance:
                 converged = True
                 break
+        span.set_tag("iterations", iterations)
+        span.set_tag("converged", converged)
+        span.__exit__(None, None, None)
 
         truths: dict[str, Any] = {}
         confidences: dict[str, float] = {}

@@ -15,7 +15,13 @@ from typing import Any, Mapping, Sequence
 
 from repro.errors import InferenceError
 from repro.platform.task import Answer
-from repro.quality.truth.base import InferenceResult, TruthInference, votes_by_task
+from repro.quality.truth.base import (
+    InferenceResult,
+    TruthInference,
+    em_iteration,
+    em_span,
+    votes_by_task,
+)
 
 
 def _sigmoid(x: float) -> float:
@@ -73,6 +79,7 @@ class Glad(TruthInference):
 
         iterations = 0
         converged = False
+        span = em_span(self.name, answers_by_task)
         for iterations in range(1, self.max_iterations + 1):
             # ----- M-step: gradient ascent on expected log-likelihood. -----
             for _ in range(self.gradient_steps):
@@ -130,9 +137,13 @@ class Glad(TruthInference):
                 for label, p in post.items()
             )
             posteriors = new_posteriors
+            em_iteration(self.name, iterations, delta)
             if delta < self.tolerance:
                 converged = True
                 break
+        span.set_tag("iterations", iterations)
+        span.set_tag("converged", converged)
+        span.__exit__(None, None, None)
 
         truths: dict[str, Any] = {}
         confidences: dict[str, float] = {}

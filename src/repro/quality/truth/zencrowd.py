@@ -13,7 +13,13 @@ from typing import Any, Mapping, Sequence
 
 from repro.errors import InferenceError
 from repro.platform.task import Answer
-from repro.quality.truth.base import InferenceResult, TruthInference, votes_by_task
+from repro.quality.truth.base import (
+    InferenceResult,
+    TruthInference,
+    em_iteration,
+    em_span,
+    votes_by_task,
+)
 
 
 class ZenCrowd(TruthInference):
@@ -52,6 +58,7 @@ class ZenCrowd(TruthInference):
         posteriors: dict[str, dict[Any, float]] = {}
         iterations = 0
         converged = False
+        span = em_span(self.name, answers_by_task)
         for iterations in range(1, self.max_iterations + 1):
             # E-step: posterior over each task's candidate labels.
             new_posteriors: dict[str, dict[Any, float]] = {}
@@ -99,9 +106,13 @@ class ZenCrowd(TruthInference):
                 delta = 1.0
             posteriors = new_posteriors
             reliability = new_reliability
+            em_iteration(self.name, iterations, delta)
             if delta < self.tolerance:
                 converged = True
                 break
+        span.set_tag("iterations", iterations)
+        span.set_tag("converged", converged)
+        span.__exit__(None, None, None)
 
         truths: dict[str, Any] = {}
         confidences: dict[str, float] = {}

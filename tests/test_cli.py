@@ -143,3 +143,48 @@ class TestBatchFlags:
         main(["--seed", "9", "--max-parallel", "8", "--batch-size", "16", "demo"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestObservabilityFlags:
+    def test_trace_writes_jsonl_with_run_root(self, tmp_path, capsys):
+        from repro.obs import build_tree, load_spans
+
+        trace = tmp_path / "run.jsonl"
+        assert main(["--seed", "3", "--max-parallel", "4", "--trace", str(trace), "demo"]) == 0
+        capsys.readouterr()
+        spans = load_spans(str(trace))
+        tree = build_tree(spans)
+        assert [r["name"] for r in tree[None]] == ["run"]
+        names = {s["name"] for s in spans}
+        assert "operator.crowdjoin" in names
+        assert "batch" in names
+
+    def test_trace_report_on_cli_trace(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        main(["--seed", "3", "--max-parallel", "4", "--trace", str(trace), "demo"])
+        capsys.readouterr()
+        assert main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "per-operator breakdown" in out
+        assert "batch runtime" in out
+
+    def test_unwritable_trace_path_reports_cleanly(self, capsys):
+        assert main(["--trace", "/nonexistent-dir/run.jsonl", "demo"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot open trace file")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_metrics_flag_prints_registry(self, capsys):
+        assert main(["--seed", "3", "--metrics", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" in out
+        assert "platform.answers_collected" in out
+
+    def test_trace_report_missing_file(self, capsys):
+        assert main(["trace-report", "/nonexistent/trace.jsonl"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_empty_trace_path_reports_cleanly(self, capsys):
+        assert main(["--trace", "", "demo"]) == 2
+        assert "error: trace path must be a non-empty" in capsys.readouterr().err
