@@ -5,9 +5,12 @@ Usage::
     python -m repro run script.sql [--seed 7] [--redundancy 3] [--pool 25]
                                    [--batch-size 32] [--max-parallel 8]
                                    [--inference ds] [--trace run.jsonl]
-                                   [--metrics]
+                                   [--metrics] [--failure-policy degrade]
+                                   [--fault-plan plan.json]
+                                   [--checkpoint DIR | --resume DIR]
     python -m repro repl
     python -m repro demo
+    python -m repro chaos [--seeds 3] [--intensity 1.0] [--check-resume]
     python -m repro trace-report run.jsonl
 
 Statements are ';'-separated. Queries print aligned tables plus crowd
@@ -20,6 +23,13 @@ the CLI reports a clear error for them instead of guessing.
 batches, event timeline, EM iterations); ``trace-report`` renders it as
 per-operator time/cost breakdowns, retry hotspots, and slowest spans.
 ``--metrics`` prints the metrics registry after the run.
+
+Robustness flags: ``--fault-plan FILE`` injects a declarative fault plan
+(see :mod:`repro.faults`); ``--failure-policy`` picks what happens when a
+task cannot complete (``fail``/``skip``/``degrade``); ``--checkpoint DIR``
+snapshots platform + database state after every statement so a killed run
+can continue with ``--resume DIR``. Exit codes: 0 ok, 1 run error, 2
+configuration error, 3 retries exhausted on a crowd task.
 """
 
 from __future__ import annotations
@@ -28,7 +38,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.errors import ConfigurationError, CrowdDMError
+from repro.errors import ConfigurationError, CrowdDMError, RetryExhaustedError
 from repro.experiments.report import format_table
 from repro.lang.executor import QueryResult
 from repro.lang.interpreter import CrowdSQLSession, StatementResult
@@ -64,15 +74,26 @@ def build_session(
     inference: str = "mv",
     trace_path: str | None = None,
     metrics_enabled: bool = False,
+    failure_policy: str = "fail",
+    fault_plan: str | None = None,
 ) -> CrowdSQLSession:
     """A session over a fresh simulated pool of reasonably diligent workers.
 
     An unwritable or empty *trace_path* raises
     :class:`~repro.errors.ConfigurationError` here, before any crowd work
-    starts, so the CLI reports it as a clean configuration error.
+    starts, so the CLI reports it as a clean configuration error. The same
+    goes for an unreadable or malformed *fault_plan* file.
     """
     if trace_path is not None and not trace_path:
         raise ConfigurationError("trace path must be a non-empty file name")
+    plan = None
+    if fault_plan is not None:
+        from repro.faults.plan import FaultPlan
+
+        try:
+            plan = FaultPlan.from_file(fault_plan)
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read fault plan {fault_plan}: {exc}") from exc
     pool = WorkerPool.heterogeneous(
         pool_size, accuracy_low=0.75, accuracy_high=0.97, seed=seed
     )
@@ -81,10 +102,17 @@ def build_session(
     platform = SimulatedPlatform(
         pool,
         seed=seed + 1,
-        batch=BatchConfig(batch_size=batch_size, max_parallel=max_parallel, seed=seed + 2),
+        batch=BatchConfig(
+            batch_size=batch_size,
+            max_parallel=max_parallel,
+            seed=seed + 2,
+            failure_policy=failure_policy,
+        ),
         tracer=tracer,
         metrics=metrics,
     )
+    if plan is not None:
+        platform.attach_faults(plan)
     if tracer.enabled or metrics.enabled:
         activate(tracer, metrics)
     return CrowdSQLSession(
@@ -112,11 +140,35 @@ def render(result: QueryResult | StatementResult) -> str:
     return "\n".join(lines)
 
 
-def run_script(session: CrowdSQLSession, sql: str, out=None) -> int:
-    """Execute *sql*; print results; return a process exit code."""
+def run_script(
+    session: CrowdSQLSession,
+    sql: str,
+    out=None,
+    checkpoint_dir: str | None = None,
+    resume_dir: str | None = None,
+) -> int:
+    """Execute *sql*; print results; return a process exit code.
+
+    With *checkpoint_dir*, the platform + database state is snapshotted
+    after every statement; with *resume_dir*, a snapshot written that way
+    is restored first and already-executed statements are skipped. Exit
+    codes: 0 ok, 1 run error, 3 retries exhausted on a crowd task.
+    """
     out = out if out is not None else sys.stdout  # resolve at call time
+    skip = 0
+    results = []
     try:
-        results = session.execute(sql)
+        if resume_dir is not None:
+            skip = _restore_session(session, resume_dir)
+            print(f"-- resumed from {resume_dir}: skipping {skip} statement(s)", file=out)
+        on_statement = None
+        if checkpoint_dir is not None:
+            def on_statement(index: int, result) -> None:
+                _checkpoint_session(session, checkpoint_dir, statements_done=index + 1)
+        results = session.execute(sql, skip=skip, on_statement=on_statement)
+    except RetryExhaustedError as exc:
+        print(f"error: {exc}", file=out)
+        return 3
     except CrowdDMError as exc:
         print(f"error: {exc}", file=out)
         return 1
@@ -127,6 +179,41 @@ def run_script(session: CrowdSQLSession, sql: str, out=None) -> int:
         if batch_line:
             print(f"-- batch runtime: {batch_line}", file=out)
     return 0
+
+
+def _checkpoint_session(
+    session: CrowdSQLSession, directory: str, statements_done: int
+) -> None:
+    """Snapshot the session (platform state + database rows) to *directory*."""
+    from pathlib import Path
+
+    from repro.data.persistence import save_database
+    from repro.recovery.checkpoint import Checkpoint
+
+    Checkpoint.capture(
+        session.platform,
+        scheduler=session.platform.scheduler,
+        inference=session.inference,
+        extra={"statements_done": statements_done},
+    ).save(directory)
+    save_database(session.database, Path(directory) / "db")
+
+
+def _restore_session(session: CrowdSQLSession, directory: str) -> int:
+    """Restore a CLI checkpoint; returns how many statements to skip."""
+    from pathlib import Path
+
+    from repro.data.persistence import load_database
+    from repro.recovery.checkpoint import Checkpoint
+
+    checkpoint = Checkpoint.load(directory)
+    checkpoint.restore(
+        session.platform,
+        scheduler=session.platform.scheduler,
+        inference=session.inference,
+    )
+    session.database = load_database(Path(directory) / "db")
+    return int(checkpoint.extra.get("statements_done", 0))
 
 
 def repl(session: CrowdSQLSession, stdin=None, out=None) -> int:
@@ -145,6 +232,38 @@ def repl(session: CrowdSQLSession, stdin=None, out=None) -> int:
             buffer = []
     if buffer and "".join(buffer).strip():
         run_script(session, "".join(buffer), out=out)
+    return 0
+
+
+def _run_chaos_command(args) -> int:
+    """``python -m repro chaos``: seeded chaos sweep + optional resume check."""
+    import tempfile
+
+    from repro.faults.chaos import run_chaos, verify_kill_resume
+
+    seeds = range(args.seed, args.seed + args.seeds)
+    failed = 0
+    for seed in seeds:
+        try:
+            report = run_chaos(seed, intensity=args.intensity)
+        except Exception as exc:  # survival contract: any escape is a failure
+            print(f"seed {seed}: FAILED — {type(exc).__name__}: {exc}")
+            failed += 1
+            continue
+        print(report.summary())
+        if args.check_resume:
+            with tempfile.TemporaryDirectory() as tmp:
+                identical = verify_kill_resume(
+                    seed, tmp, intensity=args.intensity
+                )
+            status = "bit-identical" if identical else "DIVERGED"
+            print(f"seed {seed}: kill-and-resume {status}")
+            if not identical:
+                failed += 1
+    if failed:
+        print(f"chaos: {failed} of {len(seeds)} seed(s) failed")
+        return 1
+    print(f"chaos: all {len(seeds)} seed(s) survived")
     return 0
 
 
@@ -182,11 +301,49 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="print the metrics registry after the run",
     )
+    parser.add_argument(
+        "--failure-policy",
+        choices=("fail", "skip", "degrade"),
+        default="fail",
+        help="what to do when a crowd task cannot complete",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        default=None,
+        help="inject faults from a JSON fault plan (see repro.faults)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="snapshot platform + database state after every statement",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="restore a --checkpoint snapshot and continue the script",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
     run_parser = commands.add_parser("run", help="execute a .sql script")
     run_parser.add_argument("script", help="path to the CrowdSQL file")
     commands.add_parser("repl", help="interactive session")
     commands.add_parser("demo", help="run the built-in demo script")
+    chaos_parser = commands.add_parser(
+        "chaos", help="run the chaos harness over seeded random fault plans"
+    )
+    chaos_parser.add_argument(
+        "--seeds", type=int, default=3, help="how many consecutive seeds to run"
+    )
+    chaos_parser.add_argument(
+        "--intensity", type=float, default=1.0, help="fault-plan intensity multiplier"
+    )
+    chaos_parser.add_argument(
+        "--check-resume",
+        action="store_true",
+        help="also verify kill-and-resume bit-identity for each seed",
+    )
     report_parser = commands.add_parser(
         "trace-report", help="summarize a JSONL trace written with --trace"
     )
@@ -202,6 +359,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 1
         return 0
 
+    if args.command == "chaos":
+        return _run_chaos_command(args)
+
     try:
         session = build_session(
             args.seed,
@@ -212,6 +372,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             inference=args.inference,
             trace_path=args.trace,
             metrics_enabled=args.metrics,
+            failure_policy=args.failure_policy,
+            fault_plan=args.fault_plan,
         )
     except CrowdDMError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -230,11 +392,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                     print(f"error: cannot read {args.script}: {exc}", file=sys.stderr)
                     code = 1
                 else:
-                    code = run_script(session, sql)
+                    code = run_script(
+                        session,
+                        sql,
+                        checkpoint_dir=args.checkpoint,
+                        resume_dir=args.resume,
+                    )
             elif args.command == "repl":
                 code = repl(session)
             elif args.command == "demo":
-                code = run_script(session, DEMO_SCRIPT)
+                code = run_script(
+                    session,
+                    DEMO_SCRIPT,
+                    checkpoint_dir=args.checkpoint,
+                    resume_dir=args.resume,
+                )
     finally:
         tracer.close()
         deactivate(tracer, metrics)

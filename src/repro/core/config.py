@@ -43,6 +43,16 @@ class EngineConfig:
             engine's :class:`~repro.obs.metrics.MetricsRegistry`.
         event_log_limit: Cap on the in-memory event log each simulated
             timeline retains; None (default) keeps every event.
+        failure_policy: What the batch runtime does when a task cannot be
+            completed — ``"fail"`` (raise, the historical default),
+            ``"skip"`` (drop the task from results), or ``"degrade"``
+            (keep partial answers plus a failure record).
+        fault_plan: Path to a JSON :class:`~repro.faults.plan.FaultPlan`
+            the engine's platform injects, or None (no faults).
+        deadline: Simulated-clock deadline; a breaker stops dispatching
+            new batches once the scheduler clock reaches it. None = off.
+        budget_reserve: Stop dispatching new batches once remaining
+            budget drops to this floor (a budget circuit breaker). 0 = off.
     """
 
     redundancy: int = 3
@@ -61,6 +71,10 @@ class EngineConfig:
     trace_path: str | None = None
     metrics_enabled: bool = False
     event_log_limit: int | None = None
+    failure_policy: str = "fail"
+    fault_plan: str | None = None
+    deadline: float | None = None
+    budget_reserve: float = 0.0
 
     def __post_init__(self) -> None:
         if self.redundancy < 1:
@@ -81,7 +95,18 @@ class EngineConfig:
             raise ConfigurationError("trace_path must be a non-empty path or None")
         if self.event_log_limit is not None and self.event_log_limit < 0:
             raise ConfigurationError("event_log_limit must be >= 0 or None")
-        # Batch-runtime knobs share BatchConfig's validation.
+        if self.fault_plan is not None and not self.fault_plan:
+            raise ConfigurationError("fault_plan must be a non-empty path or None")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be > 0 or None, got {self.deadline}"
+            )
+        if self.budget_reserve < 0:
+            raise ConfigurationError(
+                f"budget_reserve must be >= 0, got {self.budget_reserve}"
+            )
+        # Batch-runtime knobs share BatchConfig's validation (including
+        # failure_policy parsing).
         self.make_batch_config()
 
     def make_inference(self):
@@ -98,4 +123,13 @@ class EngineConfig:
             abandon_rate=self.abandon_rate,
             retry_backoff=self.retry_backoff,
             seed=self.seed + 2,
+            failure_policy=self.failure_policy,
         )
+
+    def make_fault_plan(self):
+        """Load the configured fault plan, or None when faults are off."""
+        if self.fault_plan is None:
+            return None
+        from repro.faults.plan import FaultPlan
+
+        return FaultPlan.from_file(self.fault_plan)

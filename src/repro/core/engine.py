@@ -86,6 +86,20 @@ class CrowdEngine:
             metrics=self.metrics,
             event_log_limit=self.config.event_log_limit,
         )
+        plan = self.config.make_fault_plan()
+        if plan is not None:
+            self.platform.attach_faults(plan)
+        if self.platform.scheduler is not None:
+            from repro.recovery.breakers import BudgetBreaker, DeadlineBreaker
+
+            if self.config.budget_reserve > 0:
+                self.platform.scheduler.breakers.append(
+                    BudgetBreaker(reserve=self.config.budget_reserve)
+                )
+            if self.config.deadline is not None:
+                self.platform.scheduler.breakers.append(
+                    DeadlineBreaker(deadline=self.config.deadline)
+                )
         # `is None` check: an empty Database is falsy (it defines __len__).
         self.database = Database() if database is None else database
         self.oracle = oracle or CrowdOracle()
@@ -377,6 +391,58 @@ class CrowdEngine:
             **kwargs,
         )
         return workflow.run(documents)
+
+    # ------------------------------------------------------------------ #
+    # Robustness: degraded gathering and checkpoint/resume
+    # ------------------------------------------------------------------ #
+
+    def gather(self, tasks: Sequence[Any], redundancy: int | None = None):
+        """Collect answers for raw tasks under the configured failure policy.
+
+        Returns a :class:`~repro.recovery.degrade.DegradedResult`: per-task
+        answers, failure records, per-tuple confidences (via the engine's
+        inference method), and a coverage report. Under the default
+        ``failure_policy="fail"`` this raises on the first unrecoverable
+        task, exactly like :meth:`SimulatedPlatform.collect_batch`.
+        """
+        from repro.recovery.degrade import DegradedResult
+
+        redundancy = redundancy or self.config.redundancy
+        run = self.platform.scheduler.run(list(tasks), redundancy=redundancy)
+        inferred = None
+        evidence = {t: a for t, a in run.answers.items() if a}
+        if evidence:
+            inferred = self._inference().infer(evidence)
+        return DegradedResult.from_answers(
+            tasks, run.answers, run.failures, redundancy, inference=inferred
+        )
+
+    def checkpoint(self, directory: str) -> None:
+        """Snapshot platform/scheduler/EM state to *directory* (JSON)."""
+        from repro.recovery.checkpoint import Checkpoint
+
+        Checkpoint.capture(
+            self.platform,
+            scheduler=self.platform.scheduler,
+            inference=self._session.inference,
+        ).save(directory)
+
+    def restore_checkpoint(self, directory: str) -> None:
+        """Restore a snapshot written by :meth:`checkpoint` into this engine.
+
+        The engine must be configured identically to the one that wrote the
+        snapshot (same seed, pool size, batch knobs); the checkpoint then
+        overwrites the mutable run state — RNG streams, pool membership,
+        answer log, spend, scheduler clock — so dispatching continues
+        bit-identically to a run that was never interrupted.
+        """
+        from repro.recovery.checkpoint import Checkpoint
+
+        Checkpoint.load(directory).restore(
+            self.platform,
+            scheduler=self.platform.scheduler,
+            inference=self._session.inference,
+        )
 
     # ------------------------------------------------------------------ #
     # Accounting

@@ -87,16 +87,54 @@ class RetryExhaustedError(PlatformError):
     Attributes:
         task_id: The task whose assignment could not be completed.
         attempts: Total attempts made (first try plus retries).
+        reason: The fault that killed the final attempt.
+        outcomes: Per-attempt outcome strings, oldest first (e.g.
+            ``["timeout", "abandoned", "timeout"]``). Empty when the caller
+            did not track attempt history.
     """
 
-    def __init__(self, task_id: str, attempts: int, reason: str = ""):
-        detail = f" ({reason})" if reason else ""
-        super().__init__(
-            f"assignment for task {task_id!r} failed {attempts} attempt(s){detail}; "
-            f"retry limit exhausted"
-        )
+    def __init__(
+        self,
+        task_id: str,
+        attempts: int,
+        reason: str = "",
+        outcomes: "list[str] | None" = None,
+    ):
+        super().__init__("")  # message comes from __str__, built from context
         self.task_id = task_id
         self.attempts = attempts
+        self.reason = reason
+        self.outcomes = list(outcomes) if outcomes else []
+
+    def __str__(self) -> str:
+        if self.outcomes:
+            history = ", ".join(self.outcomes)
+            detail = f" [{history}]"
+        elif self.reason:
+            detail = f" ({self.reason})"
+        else:
+            detail = ""
+        return (
+            f"task {self.task_id!r}: all {self.attempts} attempt(s) failed{detail}; "
+            f"retry budget exhausted"
+        )
+
+
+class FaultPlanError(CrowdDMError):
+    """A fault-injection plan is malformed or cannot be applied."""
+
+
+class CheckpointError(CrowdDMError):
+    """A checkpoint could not be written, read, or applied to live state."""
+
+
+class SimulatedCrash(CrowdDMError):
+    """Raised by test/chaos harnesses to model a process kill mid-run.
+
+    Deliberately *not* a recoverable library error: harnesses raise it to
+    abandon a run at a controlled point and then exercise resume-from-
+    checkpoint, mimicking ``kill -9`` without leaving the test process.
+    """
 
 
 class InferenceError(CrowdDMError):

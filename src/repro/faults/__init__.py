@@ -1,0 +1,35 @@
+"""Fault injection for the simulated crowd platform (repro.faults).
+
+Declarative, seed-deterministic fault plans (:mod:`repro.faults.plan`)
+applied at the platform/batch seams by a stateless injector
+(:mod:`repro.faults.injector`), plus a chaos harness
+(:mod:`repro.faults.chaos`) that runs pipelines under randomized plans
+and asserts survival + accounting coherence.
+"""
+
+from repro.faults.chaos import ChaosReport, chaos_suite, run_chaos, verify_kill_resume
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BudgetShock,
+    DeliveryFaults,
+    FaultPlan,
+    OutageWindow,
+    StragglerSpikes,
+    WorkerChurn,
+    random_plan,
+)
+
+__all__ = [
+    "BudgetShock",
+    "ChaosReport",
+    "DeliveryFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "OutageWindow",
+    "StragglerSpikes",
+    "WorkerChurn",
+    "chaos_suite",
+    "random_plan",
+    "run_chaos",
+    "verify_kill_resume",
+]

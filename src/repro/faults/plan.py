@@ -1,0 +1,303 @@
+"""Declarative fault plans: what goes wrong, when, and how often.
+
+A :class:`FaultPlan` is a pure description — frozen dataclasses, JSON
+round-trippable — of the hostile-runtime phenomena a crowd platform
+exhibits (the Reprowd argument: if the platform can fail in these ways,
+the pipeline must be tested under them *reproducibly*):
+
+* **platform outages** — windows of simulated time during which the
+  platform serves no assignments; in-flight batches stall until the
+  window closes.
+* **worker churn** — workers leave mid-run and new (unvetted) workers
+  join, shifting the pool's quality distribution under the requester.
+* **delivery faults** — answers arrive duplicated, late, or corrupted.
+* **straggler spikes** — a fraction of assignments take many times their
+  sampled service time (often tripping the timeout/retry machinery).
+* **budget shocks** — the requester's remaining budget is slashed
+  mid-run (a grant cut, a runaway parallel query).
+
+Every stochastic decision an injector makes is derived from
+``(plan.seed, decision domain, decision key)``, never from shared mutable
+RNG state, so a plan replays identically at any parallelism and across
+checkpoint/resume boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FaultPlanError
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """The platform serves nothing during ``[start, end)`` simulated seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise FaultPlanError(
+                f"outage window must satisfy 0 <= start < end, got [{self.start}, {self.end})"
+            )
+
+    def delay_from(self, now: float) -> float:
+        """Seconds a batch starting at *now* must wait out, 0 if outside."""
+        if self.start <= now < self.end:
+            return self.end - now
+        return 0.0
+
+
+@dataclass(frozen=True)
+class WorkerChurn:
+    """Per-batch worker departure/arrival process.
+
+    Attributes:
+        leave_rate: Probability each active worker leaves before a batch.
+        join_rate: Expected new workers joining before a batch (Poisson).
+        join_accuracy: (low, high) accuracy range for joiners — fresh
+            workers are typically less vetted than the seed pool.
+        min_pool: Churn never shrinks the active pool below this floor.
+    """
+
+    leave_rate: float = 0.0
+    join_rate: float = 0.0
+    join_accuracy: tuple[float, float] = (0.5, 0.9)
+    min_pool: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.leave_rate <= 1.0:
+            raise FaultPlanError(f"leave_rate must be in [0, 1], got {self.leave_rate}")
+        if self.join_rate < 0:
+            raise FaultPlanError(f"join_rate must be >= 0, got {self.join_rate}")
+        low, high = self.join_accuracy
+        if not 0.0 <= low <= high <= 1.0:
+            raise FaultPlanError(
+                f"join_accuracy must satisfy 0 <= low <= high <= 1, got {self.join_accuracy}"
+            )
+        if self.min_pool < 1:
+            raise FaultPlanError(f"min_pool must be >= 1, got {self.min_pool}")
+
+
+@dataclass(frozen=True)
+class DeliveryFaults:
+    """Answer-delivery corruption: duplicates, latecomers, garbled values.
+
+    Attributes:
+        duplicate_rate: Probability a committed answer is delivered twice
+            (the copy is never charged — platforms do not double-bill).
+        late_rate: Probability an answer's submission stamp slips.
+        late_delay: Simulated seconds a late answer slips by.
+        corrupt_rate: Probability a choice answer's value is replaced by a
+            uniformly random option (transport/UI corruption).
+    """
+
+    duplicate_rate: float = 0.0
+    late_rate: float = 0.0
+    late_delay: float = 60.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("duplicate_rate", "late_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultPlanError(f"{name} must be in [0, 1], got {rate}")
+        if self.late_delay < 0:
+            raise FaultPlanError(f"late_delay must be >= 0, got {self.late_delay}")
+
+
+@dataclass(frozen=True)
+class StragglerSpikes:
+    """A fraction of assignments run far over their sampled service time."""
+
+    rate: float = 0.0
+    multiplier: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultPlanError(f"rate must be in [0, 1], got {self.rate}")
+        if self.multiplier < 1.0:
+            raise FaultPlanError(f"multiplier must be >= 1, got {self.multiplier}")
+
+
+@dataclass(frozen=True)
+class BudgetShock:
+    """Before global batch *at_batch*, remaining budget is scaled by *factor*."""
+
+    at_batch: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.at_batch < 0:
+            raise FaultPlanError(f"at_batch must be >= 0, got {self.at_batch}")
+        if not 0.0 <= self.factor <= 1.0:
+            raise FaultPlanError(f"factor must be in [0, 1], got {self.factor}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seed-deterministic description of a hostile run."""
+
+    seed: int = 0
+    outages: tuple[OutageWindow, ...] = ()
+    churn: WorkerChurn | None = None
+    delivery: DeliveryFaults | None = None
+    stragglers: StragglerSpikes | None = None
+    budget_shocks: tuple[BudgetShock, ...] = ()
+    name: str = ""
+    # populated lazily, not part of identity
+    _shock_index: dict[int, float] = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise FaultPlanError(f"seed must be an integer, got {self.seed!r}")
+        seen: dict[int, float] = {}
+        for shock in self.budget_shocks:
+            if shock.at_batch in seen:
+                raise FaultPlanError(f"duplicate budget shock at batch {shock.at_batch}")
+            seen[shock.at_batch] = shock.factor
+        self._shock_index.update(seen)
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not (
+            self.outages
+            or self.churn
+            or self.delivery
+            or self.stragglers
+            or self.budget_shocks
+        )
+
+    def outage_delay(self, now: float) -> float:
+        """Total stall a batch starting at *now* suffers (longest window wins)."""
+        return max((w.delay_from(now) for w in self.outages), default=0.0)
+
+    def shock_factor(self, batch_index: int) -> float | None:
+        """The budget scale factor due before *batch_index*, if any."""
+        return self._shock_index.get(batch_index)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (drops the lazy shock index)."""
+        data = asdict(self)
+        data.pop("_shock_index", None)
+        data["outages"] = [asdict(w) for w in self.outages]
+        data["budget_shocks"] = [asdict(s) for s in self.budget_shocks]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        try:
+            churn = data.get("churn")
+            if churn is not None:
+                churn = WorkerChurn(
+                    leave_rate=churn.get("leave_rate", 0.0),
+                    join_rate=churn.get("join_rate", 0.0),
+                    join_accuracy=tuple(churn.get("join_accuracy", (0.5, 0.9))),
+                    min_pool=churn.get("min_pool", 3),
+                )
+            delivery = data.get("delivery")
+            if delivery is not None:
+                delivery = DeliveryFaults(**delivery)
+            stragglers = data.get("stragglers")
+            if stragglers is not None:
+                stragglers = StragglerSpikes(**stragglers)
+            return cls(
+                seed=data.get("seed", 0),
+                outages=tuple(OutageWindow(**w) for w in data.get("outages", ())),
+                churn=churn,
+                delivery=delivery,
+                stragglers=stragglers,
+                budget_shocks=tuple(
+                    BudgetShock(**s) for s in data.get("budget_shocks", ())
+                ),
+                name=data.get("name", ""),
+            )
+        except (TypeError, ValueError) as exc:
+            raise FaultPlanError(f"malformed fault plan: {exc}") from exc
+
+    def to_json(self) -> str:
+        """Pretty-printed JSON; round-trips through :meth:`from_json`."""
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise FaultPlanError("fault plan JSON must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: "Path | str") -> "FaultPlan":
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read fault plan {path}: {exc}") from exc
+        return cls.from_json(text)
+
+
+def random_plan(seed: int, intensity: float = 1.0) -> FaultPlan:
+    """A randomized but fully seed-determined plan for chaos runs.
+
+    The same *seed* always yields the same plan; *intensity* in (0, 1.5]
+    scales every rate so CI can stay in the survivable regime while local
+    chaos hunts can turn the dial up.
+    """
+    if intensity <= 0:
+        raise FaultPlanError(f"intensity must be > 0, got {intensity}")
+    rng = np.random.default_rng([seed, 0xFA017])
+    outages: list[OutageWindow] = []
+    for _ in range(int(rng.integers(0, 3))):
+        start = float(rng.uniform(0, 600))
+        outages.append(OutageWindow(start=start, end=start + float(rng.uniform(20, 180))))
+    churn = None
+    if rng.random() < 0.7:
+        churn = WorkerChurn(
+            leave_rate=min(1.0, float(rng.uniform(0.0, 0.08)) * intensity),
+            join_rate=float(rng.uniform(0.0, 0.8)) * intensity,
+            join_accuracy=(0.5, 0.9),
+        )
+    delivery = None
+    if rng.random() < 0.8:
+        delivery = DeliveryFaults(
+            duplicate_rate=min(1.0, float(rng.uniform(0.0, 0.1)) * intensity),
+            late_rate=min(1.0, float(rng.uniform(0.0, 0.2)) * intensity),
+            late_delay=float(rng.uniform(10, 120)),
+            corrupt_rate=min(1.0, float(rng.uniform(0.0, 0.08)) * intensity),
+        )
+    stragglers = None
+    if rng.random() < 0.6:
+        stragglers = StragglerSpikes(
+            rate=min(1.0, float(rng.uniform(0.0, 0.15)) * intensity),
+            multiplier=float(rng.uniform(3, 12)),
+        )
+    shocks: list[BudgetShock] = []
+    if rng.random() < 0.4:
+        shocks.append(
+            BudgetShock(
+                at_batch=int(rng.integers(1, 6)),
+                factor=float(rng.uniform(0.3, 0.9)),
+            )
+        )
+    return FaultPlan(
+        seed=seed,
+        outages=tuple(outages),
+        churn=churn,
+        delivery=delivery,
+        stragglers=stragglers,
+        budget_shocks=tuple(shocks),
+        name=f"chaos-{seed}",
+    )

@@ -488,9 +488,15 @@ class Executor:
             truth=YES if truth else NO,
         )
         collected = self.platform.collect_batch([task], redundancy=self.redundancy)
-        verdict = self.inference.infer(collected).truths[task.task_id] == YES
+        answers = collected.get(task.task_id, [])
+        if answers:
+            verdict = self.inference.infer({task.task_id: answers}).truths[task.task_id] == YES
+        else:
+            # Skip/degrade failure policy: no votes came back — conservatively
+            # treat the predicate as not satisfied rather than crashing.
+            verdict = False
         stats.crowd_questions += 1
-        stats.crowd_answers += self.redundancy
+        stats.crowd_answers += len(answers)
         stats.crowd_cost += self.platform.stats.cost_spent - before
         self._predicate_cache[cache_key] = verdict
         return verdict

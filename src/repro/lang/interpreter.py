@@ -9,7 +9,7 @@ scripts of ';'-separated statements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.data.database import Database
 from repro.data.schema import Column, ColumnType, Schema
@@ -81,11 +81,27 @@ class CrowdSQLSession:
 
     # ------------------------------------------------------------------ #
 
-    def execute(self, sql: str) -> list[QueryResult | StatementResult]:
-        """Run a script; returns one result per statement, in order."""
+    def execute(
+        self,
+        sql: str,
+        skip: int = 0,
+        on_statement: "Callable[[int, QueryResult | StatementResult], None] | None" = None,
+    ) -> list[QueryResult | StatementResult]:
+        """Run a script; returns one result per executed statement, in order.
+
+        *skip* drops the first N statements without executing them (resume
+        from a checkpoint whose database/platform state already reflects
+        them). *on_statement* is called after each executed statement with
+        ``(statement_index, result)`` — the hook checkpointing builds on.
+        """
         results: list[QueryResult | StatementResult] = []
-        for statement in parse(sql).statements:
-            results.append(self._execute_statement(statement))
+        for index, statement in enumerate(parse(sql).statements):
+            if index < skip:
+                continue
+            result = self._execute_statement(statement)
+            results.append(result)
+            if on_statement is not None:
+                on_statement(index, result)
         return results
 
     def query(self, sql: str) -> QueryResult:

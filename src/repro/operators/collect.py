@@ -184,8 +184,14 @@ class CrowdCollect:
                 ]
                 collected = self.platform.collect_batch(wave, redundancy=1)
                 for task in wave:
-                    answer = collected[task.task_id][0]
+                    delivered = collected.get(task.task_id, [])
                     q += 1
+                    if not delivered:
+                        # Skip/degrade failure policy: a query that bought no
+                        # contribution still counts as issued.
+                        result.queries_issued = q
+                        continue
+                    answer = delivered[0]
                     result.queries_issued = q
                     if answer.value is not None:
                         result.frequencies[answer.value] += 1

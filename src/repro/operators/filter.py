@@ -131,7 +131,9 @@ class FixedKFilter(CrowdFilter):
             answers_by_item: dict[int, list[Answer]] = {}
             questions = 0
             for i, task in enumerate(tasks):
-                answers = collected[task.task_id]
+                # Under skip/degrade failure policies a task may come back
+                # with no answers; treat it as "not kept" instead of crashing.
+                answers = collected.get(task.task_id, [])
                 answers_by_item[i] = answers
                 questions += len(answers)
                 yes_votes = sum(1 for a in answers if a.value == YES)
@@ -235,7 +237,12 @@ class AdaptiveFilter(CrowdFilter):
             collected = self.platform.collect_batch(wave, redundancy=1, complete=False)
             still_open: list[int] = []
             for i in open_items:
-                answer = collected[tasks[i].task_id][0]
+                delivered = collected.get(tasks[i].task_id, [])
+                if not delivered:
+                    # Skip/degrade failure policy: no answer this wave means
+                    # the task is unservable — close the item on current votes.
+                    continue
+                answer = delivered[0]
                 answers_by_item[i].append(answer)
                 questions += 1
                 votes[i][0 if answer.value == YES else 1] += 1

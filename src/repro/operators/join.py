@@ -128,7 +128,13 @@ class CrowdJoin:
         collected = self.platform.collect_batch(tasks, redundancy=self.redundancy)
         verdicts: list[bool] = []
         for task in tasks:
-            result = self.inference.infer({task.task_id: collected[task.task_id]})
+            answers = collected.get(task.task_id, [])
+            if not answers:
+                # Skip/degrade failure policy: no evidence — conservatively
+                # treat the pair as a non-match rather than crashing.
+                verdicts.append(False)
+                continue
+            result = self.inference.infer({task.task_id: answers})
             verdicts.append(result.truths[task.task_id] == YES)
         return verdicts
 

@@ -154,13 +154,20 @@ class CrowdComparator:
             return 0
         tasks = {key: self._pair_task(key) for key in todo}
         collected = self.platform.collect_batch(list(tasks.values()), redundancy=self.redundancy)
+        bought = 0
         for key, task in tasks.items():
+            answers = collected.get(task.task_id, [])
+            bought += len(answers)
+            if not answers:
+                # Skip/degrade failure policy: leave the pair uncached; a
+                # later above() call retries it individually.
+                continue
             winner = self.inference.infer(
-                {task.task_id: collected[task.task_id]}
+                {task.task_id: answers}
             ).truths[task.task_id]
             self._store(key, winner == "left")
         self.comparisons_asked += len(todo)
-        self.answers_bought += len(todo) * self.redundancy
+        self.answers_bought += bought
         return len(todo)
 
     def above(self, i: int, j: int) -> bool:
@@ -178,9 +185,15 @@ class CrowdComparator:
                 return deduced
         task = self._pair_task(key)
         collected = self.platform.collect_batch([task], redundancy=self.redundancy)
+        answers = collected.get(task.task_id, [])
         self.comparisons_asked += 1
-        self.answers_bought += self.redundancy
-        winner = self.inference.infer(collected).truths[task.task_id]
+        self.answers_bought += len(answers)
+        if not answers:
+            # Skip/degrade failure policy: no evidence for this comparison —
+            # deterministically keep the lower index first instead of crashing.
+            self._store(key, True)
+            return i == key[0]
+        winner = self.inference.infer({task.task_id: answers}).truths[task.task_id]
         verdict_low_high = winner == "left"  # key[0] above key[1]?
         self._store(key, verdict_low_high)
         return verdict_low_high if i == key[0] else not verdict_low_high

@@ -37,14 +37,17 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.errors import (
+    BudgetExceededError,
     ConfigurationError,
     NoWorkersAvailableError,
     RetryExhaustedError,
 )
 from repro.platform.task import Answer, Task
+from repro.recovery.degrade import FailureInfo, FailurePolicy
 
 if TYPE_CHECKING:  # avoid import cycles with platform/workers
     from repro.platform.platform import SimulatedPlatform
+    from repro.recovery.breakers import CircuitBreaker
     from repro.workers.worker import Worker
 
 
@@ -65,6 +68,11 @@ class BatchConfig:
             ``retry_backoff * 2**(r-1)``.
         seed: Entropy for the per-assignment RNG streams used when
             ``max_parallel > 1``; None derives nothing extra (stream 0).
+        failure_policy: What happens when a task cannot be completed
+            (retries exhausted, budget gone, breaker open): ``"fail"``
+            raises, ``"skip"`` drops the task from the answers,
+            ``"degrade"`` keeps partial answers and records failures (see
+            :class:`~repro.recovery.degrade.FailurePolicy`).
     """
 
     batch_size: int = 32
@@ -74,20 +82,26 @@ class BatchConfig:
     abandon_rate: float = 0.0
     retry_backoff: float = 1.0
     seed: int | None = None
+    failure_policy: str = "fail"
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
-            raise ConfigurationError("batch_size must be >= 1")
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.max_parallel < 1:
-            raise ConfigurationError("max_parallel must be >= 1")
+            raise ConfigurationError(f"max_parallel must be >= 1, got {self.max_parallel}")
         if self.retry_limit < 0:
-            raise ConfigurationError("retry_limit must be >= 0")
+            raise ConfigurationError(f"retry_limit must be >= 0, got {self.retry_limit}")
         if self.assignment_timeout is not None and self.assignment_timeout <= 0:
-            raise ConfigurationError("assignment_timeout must be positive or None")
+            raise ConfigurationError(
+                f"assignment_timeout must be positive or None, got {self.assignment_timeout}"
+            )
         if not 0.0 <= self.abandon_rate <= 1.0:
-            raise ConfigurationError("abandon_rate must be in [0, 1]")
+            raise ConfigurationError(f"abandon_rate must be in [0, 1], got {self.abandon_rate}")
         if self.retry_backoff < 0:
-            raise ConfigurationError("retry_backoff must be non-negative")
+            raise ConfigurationError(
+                f"retry_backoff must be non-negative, got {self.retry_backoff}"
+            )
+        FailurePolicy.parse(self.failure_policy)  # raises ConfigurationError if unknown
 
     @property
     def faults_enabled(self) -> bool:
@@ -111,6 +125,7 @@ class BatchRecord:
     abandoned: int = 0
     makespan: float = 0.0     # simulated seconds (lane model)
     wall_clock: float = 0.0   # real seconds spent dispatching
+    outage_wait: float = 0.0  # simulated seconds stalled by a platform outage
     batch_id: int = field(default_factory=_BATCH_IDS.__next__)
 
 
@@ -122,6 +137,12 @@ class BatchRunResult:
     records: list[BatchRecord] = field(default_factory=list)
     makespan: float = 0.0
     completion_times: dict[str, float] = field(default_factory=dict)
+    failures: dict[str, FailureInfo] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one task could not be fully completed."""
+        return bool(self.failures)
 
     @property
     def throughput(self) -> float:
@@ -144,6 +165,9 @@ class _Assignment:
     fault: str | None = None  # None | "timeout" | "abandoned"
     duration: float = 0.0     # simulated seconds the lane was occupied
     value: object = None
+    straggled: bool = False   # duration inflated by an injected straggler spike
+    # outcome history of this retry chain, shared across its assignments
+    outcomes: list[str] = field(default_factory=list)
 
 
 class BatchScheduler:
@@ -158,9 +182,12 @@ class BatchScheduler:
         self.platform = platform
         self.config = config or BatchConfig()
         self.records: list[BatchRecord] = []
+        self.breakers: list["CircuitBreaker"] = []
+        self.batches_run = 0  # lifetime batch count; survives checkpoint/resume
         self._clock = 0.0     # simulated time already consumed by past batches
         self._run_base = 0.0  # clock value when the current run() started
         self._streams = 0     # per-assignment RNG stream counter
+        self._budget_exhausted = False
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -170,6 +197,11 @@ class BatchScheduler:
     def parallel(self) -> bool:
         """True when this scheduler actually runs assignments concurrently."""
         return self.config.max_parallel > 1
+
+    @property
+    def simulated_clock(self) -> float:
+        """Total simulated seconds consumed by every batch dispatched so far."""
+        return self._clock
 
     def run(
         self,
@@ -182,23 +214,50 @@ class BatchScheduler:
         Returns a :class:`BatchRunResult` whose ``answers`` mapping has the
         same shape as :meth:`SimulatedPlatform.collect`. Tasks are completed
         afterwards unless *complete* is False (round-structured callers keep
-        them open for further answers). Raises
-        :class:`RetryExhaustedError` when an assignment cannot be completed
-        within the retry budget.
+        them open for further answers).
+
+        Failure behaviour follows ``config.failure_policy``: under
+        ``"fail"`` an assignment that cannot be completed raises
+        (:class:`RetryExhaustedError`, :class:`BudgetExceededError`, ...);
+        under ``"skip"``/``"degrade"`` the run always returns, with
+        per-task :class:`~repro.recovery.degrade.FailureInfo` in
+        ``result.failures`` — ``degrade`` keeps partial answers (every
+        requested task id has a key, possibly an empty list) while
+        ``skip`` drops failed tasks from the answers mapping entirely.
+        Circuit breakers in :attr:`breakers` are consulted at batch
+        boundaries when the policy is not ``"fail"``.
         """
         if redundancy < 1:
             raise ConfigurationError(f"redundancy must be >= 1, got {redundancy}")
-        if redundancy > len(self.platform.pool.active_workers):
+        policy = FailurePolicy.parse(self.config.failure_policy)
+        active = len(self.platform.pool.active_workers)
+        if redundancy > active and policy is FailurePolicy.FAIL:
             raise NoWorkersAvailableError(
-                f"redundancy {redundancy} exceeds pool of "
-                f"{len(self.platform.pool.active_workers)}"
+                f"redundancy {redundancy} exceeds pool of {active}"
             )
         result = BatchRunResult()
         self._run_base = self._clock  # completion times are relative to run start
+        self._budget_exhausted = False
         size = self.config.batch_size
         tracer = self.platform.tracer
+        injector = self.platform.faults
+        halted: str | None = None
         for start in range(0, len(tasks), size):
             batch = list(tasks[start : start + size])
+            if halted is None and self._budget_exhausted:
+                halted = "budget_exhausted"
+            if halted is None and policy is not FailurePolicy.FAIL:
+                halted = self._check_breakers()
+            if halted is not None:
+                for task in batch:
+                    self._record_failure(result, FailureInfo(task.task_id, reason=halted))
+                continue
+            if injector is not None:
+                for event in injector.on_batch_start(
+                    self.batches_run, self.platform, redundancy
+                ):
+                    if tracer.enabled:
+                        tracer.annotate("fault.injected", batch=self.batches_run, event=event)
             record = BatchRecord(index=len(self.records), tasks=len(batch))
             with tracer.span(
                 "batch",
@@ -207,18 +266,50 @@ class BatchScheduler:
                 batch_id=record.batch_id,
                 tasks=len(batch),
             ) as span:
-                self._run_batch(batch, redundancy, record, result, complete)
+                self._run_batch(batch, redundancy, record, result, complete, policy)
                 span.set_tag("dispatched", record.dispatched)
                 span.set_tag("retried", record.retried)
                 span.set_tag("timed_out", record.timed_out)
                 span.set_tag("abandoned", record.abandoned)
                 span.set_tag("makespan", record.makespan)
+                if record.outage_wait:
+                    span.set_tag("outage_wait", record.outage_wait)
                 span.sim_end = self._clock + record.makespan
             self.records.append(record)
+            self.batches_run += 1
             self.platform.stats.record_batch(record)
             self._clock += record.makespan
         result.makespan = sum(r.makespan for r in result.records)
+        if policy is FailurePolicy.DEGRADE:
+            for task in tasks:
+                result.answers.setdefault(task.task_id, [])
+        elif policy is FailurePolicy.SKIP:
+            for task_id in result.failures:
+                result.answers.pop(task_id, None)
         return result
+
+    def _check_breakers(self) -> str | None:
+        """The name of the first open breaker, or None to keep dispatching."""
+        tracer = self.platform.tracer
+        for breaker in self.breakers:
+            reason = breaker.check(self.platform, self)
+            if reason is not None:
+                self.platform.metrics.inc("recovery.breaker_trips")
+                if tracer.enabled:
+                    tracer.annotate("breaker.open", breaker=breaker.name, reason=reason)
+                return breaker.name
+        return None
+
+    def _record_failure(self, result: BatchRunResult, info: FailureInfo) -> None:
+        """File *info* unless the task already has a recorded failure."""
+        if info.task_id in result.failures:
+            return
+        result.failures[info.task_id] = info
+        self.platform.metrics.inc("recovery.tasks_failed")
+        if self.platform.tracer.enabled:
+            self.platform.tracer.annotate(
+                "task.failed", task_id=info.task_id, reason=info.reason
+            )
 
     # ------------------------------------------------------------------ #
     # One batch
@@ -231,11 +322,26 @@ class BatchScheduler:
         record: BatchRecord,
         result: BatchRunResult,
         complete: bool,
+        policy: FailurePolicy = FailurePolicy.FAIL,
     ) -> None:
         started = time.perf_counter()
         platform = self.platform
         platform.publish([t for t in batch if t.task_id not in platform._tasks])
         result.records.append(record)
+
+        # A platform outage stalls the whole batch until the window ends:
+        # every lane starts at the delay instead of zero.
+        outage = 0.0
+        if platform.faults is not None:
+            outage = platform.faults.outage_delay(self._clock)
+            if outage > 0.0:
+                record.outage_wait = outage
+                platform.metrics.inc("faults.outage_delays")
+                platform.metrics.observe("faults.outage_wait", outage)
+                if platform.tracer.enabled:
+                    platform.tracer.annotate(
+                        "fault.outage", sim_start=self._clock, wait=outage
+                    )
 
         # Plan on the caller's thread: the pool RNG stream is consumed in
         # task order exactly as the sequential path would. Workers who have
@@ -245,12 +351,12 @@ class BatchScheduler:
         order = 0
         for task in batch:
             answered = {a.worker_id for a in platform._answers_by_task[task.task_id]}
-            for worker in platform.pool.sample(redundancy, exclude=answered):
+            for worker in self._plan_workers(task, redundancy, answered, policy, result):
                 wave.append(self._assignment(task, worker, order))
                 order += 1
 
         attempted: dict[str, set[str]] = {t.task_id: set() for t in batch}
-        lanes = [0.0] * self.config.max_parallel
+        lanes = [outage] * self.config.max_parallel
         tracer = platform.tracer
         metrics = platform.metrics
         retry_counts: dict[str, int] = {}
@@ -258,10 +364,13 @@ class BatchScheduler:
             self._execute_wave(wave)
             retries: list[_Assignment] = []
             for a in wave:
+                task_id = a.task.task_id
                 record.dispatched += 1
                 if a.attempt > 0:
                     record.retried += 1
-                attempted[a.task.task_id].add(a.worker.worker_id)
+                if a.straggled:
+                    metrics.inc("faults.stragglers")
+                attempted[task_id].add(a.worker.worker_id)
                 backoff = (
                     self.config.retry_backoff * 2 ** (a.attempt - 1) if a.attempt else 0.0
                 )
@@ -269,23 +378,68 @@ class BatchScheduler:
                 finished = lanes[lane] + backoff + a.duration
                 lanes[lane] = finished
                 if a.fault is None:
-                    self._commit(a, result, finished)
+                    if self._budget_exhausted:
+                        self._record_failure(
+                            result, FailureInfo(task_id, reason="budget_exhausted")
+                        )
+                        continue
+                    try:
+                        self._commit(a, result, finished)
+                    except BudgetExceededError:
+                        if policy is FailurePolicy.FAIL:
+                            raise
+                        self._budget_exhausted = True
+                        self._record_failure(
+                            result, FailureInfo(task_id, reason="budget_exhausted")
+                        )
+                        continue
                     metrics.observe("batch.assignment_latency", a.duration)
                 else:
                     if a.fault == "timeout":
                         record.timed_out += 1
                     else:
                         record.abandoned += 1
-                    retry_counts[a.task.task_id] = retry_counts.get(a.task.task_id, 0) + 1
+                    a.outcomes.append(a.fault)
+                    retry_counts[task_id] = retry_counts.get(task_id, 0) + 1
                     if tracer.enabled:
                         tracer.annotate(
                             "batch.retry",
-                            task_id=a.task.task_id,
+                            task_id=task_id,
                             attempt=a.attempt + 1,
                             reason=a.fault,
                         )
-                    retries.append(self._retry(a, attempted[a.task.task_id], order))
-                    order += 1
+                    if self._budget_exhausted:
+                        self._record_failure(
+                            result, FailureInfo(task_id, reason="budget_exhausted")
+                        )
+                        continue
+                    try:
+                        retries.append(self._retry(a, attempted[task_id], order))
+                        order += 1
+                    except RetryExhaustedError as exc:
+                        if policy is FailurePolicy.FAIL:
+                            raise
+                        self._record_failure(
+                            result,
+                            FailureInfo(
+                                task_id,
+                                reason="retries_exhausted",
+                                attempts=exc.attempts,
+                                outcomes=list(exc.outcomes),
+                            ),
+                        )
+                    except NoWorkersAvailableError:
+                        if policy is FailurePolicy.FAIL:
+                            raise
+                        self._record_failure(
+                            result,
+                            FailureInfo(
+                                task_id,
+                                reason="no_workers",
+                                attempts=a.attempt + 1,
+                                outcomes=list(a.outcomes),
+                            ),
+                        )
             wave = retries
         if metrics.enabled:
             for task in batch:
@@ -297,6 +451,36 @@ class BatchScheduler:
         record.makespan = max(lanes)
         record.wall_clock = time.perf_counter() - started
 
+    def _plan_workers(
+        self,
+        task: Task,
+        redundancy: int,
+        answered: set[str],
+        policy: FailurePolicy,
+        result: BatchRunResult,
+    ) -> "list[Worker]":
+        """Sample *redundancy* workers; degrade to fewer when the pool is short.
+
+        Under the ``fail`` policy a short pool raises exactly as before;
+        otherwise the task proceeds with however many eligible workers
+        remain (zero means an immediate ``no_workers`` failure record).
+        """
+        pool = self.platform.pool
+        try:
+            return pool.sample(redundancy, exclude=answered)
+        except NoWorkersAvailableError:
+            if policy is FailurePolicy.FAIL:
+                raise
+        eligible = [
+            w for w in pool.active_workers if w.worker_id not in answered
+        ]
+        if not eligible:
+            self._record_failure(
+                result, FailureInfo(task.task_id, reason="no_workers")
+            )
+            return []
+        return pool.sample(len(eligible), exclude=answered)
+
     def _assignment(self, task: Task, worker: "Worker", order: int, attempt: int = 0) -> _Assignment:
         stream = self._streams
         self._streams += 1
@@ -306,7 +490,10 @@ class BatchScheduler:
         attempt = failed.attempt + 1
         if attempt > self.config.retry_limit:
             raise RetryExhaustedError(
-                failed.task.task_id, attempts=attempt, reason=failed.fault or "fault"
+                failed.task.task_id,
+                attempts=attempt,
+                reason=failed.fault or "fault",
+                outcomes=failed.outcomes,
             )
         # Prefer a worker who has not touched this task; fall back to any
         # worker who has not *answered* it when the pool is too small.
@@ -317,7 +504,9 @@ class BatchScheduler:
                 a.worker_id for a in self.platform.answers_for(failed.task.task_id)
             }
             worker = self.platform.pool.sample(1, exclude=answered)[0]
-        return self._assignment(failed.task, worker, order, attempt=attempt)
+        nxt = self._assignment(failed.task, worker, order, attempt=attempt)
+        nxt.outcomes = failed.outcomes  # the chain shares one history list
+        return nxt
 
     # ------------------------------------------------------------------ #
     # Attempt execution
@@ -354,6 +543,12 @@ class BatchScheduler:
             )
             return
         duration = a.worker.latency.service_time(rng)
+        faults = self.platform.faults
+        if faults is not None:
+            # Keyed by the assignment's global stream id — identical at any
+            # parallelism; only the flag is set here (worker thread), the
+            # metric is counted on the caller thread.
+            duration, a.straggled = faults.perturb_duration(a.stream, duration)
         if cfg.assignment_timeout is not None and duration > cfg.assignment_timeout:
             a.fault = "timeout"
             a.duration = cfg.assignment_timeout
@@ -378,13 +573,29 @@ class BatchScheduler:
             duration=a.duration,
             reward_paid=task.reward,
         )
+        deliveries = [answer]
+        if platform.faults is not None:
+            answer, duplicates, fault_names = platform.faults.deliver(
+                answer, task, a.stream
+            )
+            deliveries = [answer, *duplicates]
+            for name in fault_names:
+                platform.metrics.inc(f"faults.{name}")
+                if platform.tracer.enabled:
+                    platform.tracer.annotate(
+                        "fault.delivery",
+                        task_id=task.task_id,
+                        worker_id=worker.worker_id,
+                        kind=name,
+                    )
         worker.history.append(answer)
         worker.earned += task.reward
-        platform.answers.append(answer)
-        platform._answers_by_task[task.task_id].append(answer)
-        platform.stats.answers_collected += 1
-        platform.stats.answers_by_worker[worker.worker_id] += 1
-        result.answers.setdefault(task.task_id, []).append(answer)
+        for delivered in deliveries:
+            platform.answers.append(delivered)
+            platform._answers_by_task[task.task_id].append(delivered)
+            platform.stats.answers_collected += 1
+            platform.stats.answers_by_worker[worker.worker_id] += 1
+            result.answers.setdefault(task.task_id, []).append(delivered)
         landed = (self._clock - self._run_base) + finished
         previous = result.completion_times.get(task.task_id, 0.0)
         result.completion_times[task.task_id] = max(previous, landed)

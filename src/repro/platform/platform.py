@@ -34,6 +34,8 @@ from repro.platform.pricing import PriceResponseModel, PricingPolicy
 from repro.platform.task import Answer, Task
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle with workers
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
     from repro.platform.batch import BatchConfig, BatchScheduler
     from repro.platform.task import HIT
     from repro.workers.pool import WorkerPool
@@ -52,6 +54,7 @@ _STAT_METRICS = {
     "assignments_abandoned": "batch.assignments_abandoned",
     "batch_makespan": "batch.makespan",
     "batch_wall_clock": "batch.wall_clock",
+    "batch_outage_wait": "batch.outage_wait",
 }
 
 
@@ -88,6 +91,7 @@ class PlatformStats:
         self.assignments_abandoned += record.abandoned
         self.batch_makespan += record.makespan
         self.batch_wall_clock += record.wall_clock
+        self.batch_outage_wait += getattr(record, "outage_wait", 0.0)
 
     def batch_summary(self) -> str:
         """One-line human-readable batch accounting (empty if unused)."""
@@ -176,6 +180,7 @@ class SimulatedPlatform:
         self._answers_by_task: dict[str, list[Answer]] = defaultdict(list)
         self._tasks: dict[str, Task] = {}
         self.scheduler: "BatchScheduler | None" = None
+        self.faults: "FaultInjector | None" = None
         if batch is not None:
             self.attach_scheduler(batch)
 
@@ -185,6 +190,17 @@ class SimulatedPlatform:
 
         self.scheduler = BatchScheduler(self, config)
         return self.scheduler
+
+    def attach_faults(self, plan: "FaultPlan | None") -> "FaultInjector | None":
+        """Install (or clear, with None) a fault-injection plan.
+
+        Faults only act on the batch runtime seams, so a plan without an
+        attached scheduler is inert by construction.
+        """
+        from repro.faults.injector import FaultInjector
+
+        self.faults = FaultInjector(plan) if plan is not None else None
+        return self.faults
 
     @property
     def parallel_batching(self) -> bool:

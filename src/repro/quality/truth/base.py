@@ -76,6 +76,24 @@ class TruthInference:
         """Infer truths from the evidence. Subclasses must override."""
         raise NotImplementedError
 
+    def export_state(self) -> dict[str, Any]:
+        """JSON-serializable warm-start state for checkpointing.
+
+        Stateless methods (majority voting and friends) return ``{}``. EM
+        methods export their estimated worker parameters so a resumed
+        session can re-converge from where it left off instead of from the
+        cold prior.
+        """
+        return {}
+
+    def warm_start(self, state: Mapping[str, Any]) -> None:
+        """Seed the next :meth:`infer` from previously exported state.
+
+        A no-op by default; EM subclasses override. Warm starting changes
+        initialization only — the fixed point is the same, iteration counts
+        may differ — so bit-identity harnesses leave it off.
+        """
+
     @staticmethod
     def _validate(answers_by_task: Mapping[str, Sequence[Answer]]) -> None:
         if not answers_by_task:

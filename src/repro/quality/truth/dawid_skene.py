@@ -29,7 +29,6 @@ from repro.quality.truth.base import (
     em_iteration,
     em_span,
     label_space,
-    votes_by_task,
 )
 
 
@@ -56,6 +55,21 @@ class DawidSkene(TruthInference):
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.smoothing = smoothing
+        self._warm_quality: dict[str, float] = {}
+        self._last_quality: dict[str, float] = {}
+
+    def export_state(self) -> dict[str, Any]:
+        """Mean-diagonal worker qualities from the most recent :meth:`infer`."""
+        return {"worker_quality": dict(self._last_quality)}
+
+    def warm_start(self, state: Mapping[str, Any]) -> None:
+        """Bias the initial posteriors by previously estimated worker quality.
+
+        Full confusion matrices are label-space specific, so only the scalar
+        qualities carry over: initialization becomes a quality-weighted vote
+        instead of plain majority voting.
+        """
+        self._warm_quality = dict(state.get("worker_quality", {}))
 
     def infer(self, answers_by_task: Mapping[str, Sequence[Answer]]) -> InferenceResult:
         self._validate(answers_by_task)
@@ -79,12 +93,13 @@ class DawidSkene(TruthInference):
         obs_worker_arr = np.array(obs_worker)
         obs_label_arr = np.array(obs_label)
 
-        # Initialize posteriors from majority voting.
+        # Initialize posteriors from majority voting; with warm-start state,
+        # votes are weighted by the previously estimated worker quality.
         posteriors = np.full((n_tasks, n_labels), 1.0 / n_labels)
-        for task_id, counts in votes_by_task(answers_by_task).items():
+        for task_id, answers in answers_by_task.items():
             row = np.zeros(n_labels)
-            for label, c in counts.items():
-                row[label_index[label]] = c
+            for a in answers:
+                row[label_index[a.value]] += self._warm_quality.get(a.worker_id, 1.0)
             total = row.sum()
             if total > 0:
                 posteriors[task_index[task_id]] = row / total
@@ -142,6 +157,7 @@ class DawidSkene(TruthInference):
         worker_quality = {
             w: float(np.trace(confusion[worker_index[w]]) / n_labels) for w in worker_ids
         }
+        self._last_quality = dict(worker_quality)
         return InferenceResult(
             truths=truths,
             confidences=confidences,

@@ -44,6 +44,16 @@ class ZenCrowd(TruthInference):
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.prior_reliability = prior_reliability
+        self._warm_reliability: dict[str, float] = {}
+        self._last_reliability: dict[str, float] = {}
+
+    def export_state(self) -> dict[str, Any]:
+        """Worker reliabilities estimated by the most recent :meth:`infer`."""
+        return {"reliability": dict(self._last_reliability)}
+
+    def warm_start(self, state: Mapping[str, Any]) -> None:
+        """Initialize the next EM run from exported worker reliabilities."""
+        self._warm_reliability = dict(state.get("reliability", {}))
 
     def infer(self, answers_by_task: Mapping[str, Sequence[Answer]]) -> InferenceResult:
         self._validate(answers_by_task)
@@ -53,7 +63,9 @@ class ZenCrowd(TruthInference):
             for task_id, counts in votes_by_task(answers_by_task).items()
         }
         worker_ids = sorted({a.worker_id for ans in answers_by_task.values() for a in ans})
-        reliability = {w: self.prior_reliability for w in worker_ids}
+        reliability = {
+            w: self._warm_reliability.get(w, self.prior_reliability) for w in worker_ids
+        }
 
         posteriors: dict[str, dict[Any, float]] = {}
         iterations = 0
@@ -114,6 +126,7 @@ class ZenCrowd(TruthInference):
         span.set_tag("converged", converged)
         span.__exit__(None, None, None)
 
+        self._last_reliability = dict(reliability)
         truths: dict[str, Any] = {}
         confidences: dict[str, float] = {}
         for task_id, post in posteriors.items():

@@ -1,0 +1,180 @@
+"""Graceful degradation: partial results with explicit uncertainty.
+
+"Getting It All from the Crowd" (Trushkowsky et al.) argues that a crowd
+query which cannot finish should say *how much* it got and *how sure* it
+is, not throw everything away. This module is that contract:
+
+* :class:`FailurePolicy` — what a scheduler does when an assignment
+  exhausts its retries or a circuit breaker opens: ``fail`` raises (the
+  historical behaviour), ``skip`` drops the task silently from the
+  answers, ``degrade`` keeps every partial answer and reports coverage.
+* :class:`FailureInfo` — structured record of one task's failure.
+* :class:`CoverageReport` — accounting over a degraded run; its
+  :meth:`~CoverageReport.validate` is the invariant the chaos harness
+  asserts (completed + partial + failed == requested, answers add up).
+* :class:`DegradedResult` — answers + failures + per-tuple confidence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigurationError
+from repro.platform.task import Answer, Task
+
+if TYPE_CHECKING:
+    from repro.quality.truth.base import InferenceResult
+
+
+class FailurePolicy(enum.Enum):
+    """What a batch run does with tasks that cannot be completed."""
+
+    FAIL = "fail"        # raise (historical behaviour)
+    SKIP = "skip"        # drop the task's partial answers, keep going
+    DEGRADE = "degrade"  # keep partial answers, report coverage
+
+    @classmethod
+    def parse(cls, value: "str | FailurePolicy") -> "FailurePolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            options = ", ".join(p.value for p in cls)
+            raise ConfigurationError(
+                f"unknown failure policy {value!r}; available: {options}"
+            ) from None
+
+
+@dataclass
+class FailureInfo:
+    """Why one task could not be (fully) completed."""
+
+    task_id: str
+    reason: str                       # retries_exhausted | budget_exhausted |
+                                      # no_workers | breaker:budget | breaker:deadline
+    attempts: int = 0
+    outcomes: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        detail = f" after {self.attempts} attempt(s)" if self.attempts else ""
+        history = f" [{', '.join(self.outcomes)}]" if self.outcomes else ""
+        return f"task {self.task_id!r}: {self.reason}{detail}{history}"
+
+
+@dataclass
+class CoverageReport:
+    """How much of a degraded run actually landed."""
+
+    requested: int            # tasks asked for
+    completed: int            # tasks with >= redundancy answers
+    partial: int              # tasks with some but < redundancy answers
+    failed: int               # tasks with zero answers
+    answers_expected: int     # requested * redundancy
+    answers_collected: int    # answers actually in the result
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of expected answers that landed, in [0, 1]."""
+        if self.answers_expected <= 0:
+            return 1.0
+        return min(1.0, self.answers_collected / self.answers_expected)
+
+    @property
+    def complete(self) -> bool:
+        return self.partial == 0 and self.failed == 0
+
+    def validate(self) -> None:
+        """Raise ``AssertionError`` unless the accounting is coherent."""
+        assert self.requested >= 0, f"negative requested: {self.requested}"
+        assert self.completed + self.partial + self.failed == self.requested, (
+            f"coverage split {self.completed}+{self.partial}+{self.failed} "
+            f"!= requested {self.requested}"
+        )
+        assert 0 <= self.answers_collected, "negative answers_collected"
+        assert 0.0 <= self.coverage <= 1.0, f"coverage out of range: {self.coverage}"
+
+    def summary(self) -> str:
+        """One-line human-readable coverage statement."""
+        return (
+            f"{self.completed}/{self.requested} tasks complete "
+            f"({self.partial} partial, {self.failed} failed), "
+            f"answer coverage {self.coverage:.0%}"
+        )
+
+
+@dataclass
+class DegradedResult:
+    """A crowd result that survived faults: answers + explicit uncertainty.
+
+    Attributes:
+        answers: task id -> answers that did land (possibly short or empty).
+        failures: task id -> why it fell short (absent for complete tasks).
+        confidences: task id -> confidence in the aggregated value. From
+            truth inference when available, else the answer-coverage ratio
+            for the task (0.0 for tasks with nothing).
+        truths: task id -> aggregated value, when inference ran.
+        coverage: the run's :class:`CoverageReport`.
+    """
+
+    answers: dict[str, list[Answer]]
+    failures: dict[str, FailureInfo]
+    confidences: dict[str, float]
+    coverage: CoverageReport
+    truths: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        return not self.coverage.complete
+
+    @classmethod
+    def from_answers(
+        cls,
+        tasks: Sequence[Task],
+        answers: Mapping[str, Sequence[Answer]],
+        failures: Mapping[str, FailureInfo],
+        redundancy: int,
+        inference: "InferenceResult | None" = None,
+    ) -> "DegradedResult":
+        """Build the result + coverage accounting from a (partial) run."""
+        completed = partial = failed = 0
+        collected = 0
+        confidences: dict[str, float] = {}
+        truths: dict[str, Any] = {}
+        for task in tasks:
+            got = list(answers.get(task.task_id, ()))
+            collected += len(got)
+            if not got:
+                failed += 1
+            elif len(got) >= redundancy:
+                completed += 1
+            else:
+                partial += 1
+            if inference is not None and task.task_id in inference.truths:
+                truths[task.task_id] = inference.truths[task.task_id]
+                confidences[task.task_id] = inference.confidences.get(
+                    task.task_id, len(got) / redundancy if redundancy else 0.0
+                )
+            else:
+                confidences[task.task_id] = (
+                    min(1.0, len(got) / redundancy) if redundancy else 0.0
+                )
+        report = CoverageReport(
+            requested=len(tasks),
+            completed=completed,
+            partial=partial,
+            failed=failed,
+            answers_expected=len(tasks) * redundancy,
+            answers_collected=collected,
+        )
+        report.validate()
+        return cls(
+            answers={t.task_id: list(answers.get(t.task_id, ())) for t in tasks},
+            failures=dict(failures),
+            confidences=confidences,
+            coverage=report,
+            truths=truths,
+        )

@@ -66,6 +66,14 @@ class WorkerPool:
         """Eliminate a worker (qualification failure, spammer detection)."""
         self.worker(worker_id).active = False
 
+    def add_worker(self, worker: Worker) -> Worker:
+        """Admit a new worker mid-run (churn arrivals, pool maintenance)."""
+        if worker.worker_id in self._by_id:
+            raise ConfigurationError(f"worker {worker.worker_id!r} already in pool")
+        self._workers.append(worker)
+        self._by_id[worker.worker_id] = worker
+        return worker
+
     def sample(self, k: int, exclude: set[str] = frozenset()) -> list[Worker]:
         """Sample *k* distinct active workers uniformly, excluding ids in *exclude*.
 
@@ -140,6 +148,10 @@ class WorkerPool:
         if not 0.0 <= spammer_fraction <= 1.0:
             raise ConfigurationError("spammer_fraction must be in [0, 1]")
         n_spam = int(round(n * spammer_fraction))
+        if spammer_fraction > 0.0 and n >= 1 and n_spam == 0:
+            # A nonzero contamination request must contaminate: round(0.1*4)
+            # would otherwise silently yield a clean pool.
+            n_spam = 1
         workers: list[Worker] = []
         for i in range(n):
             model: AnswerModel

@@ -147,7 +147,9 @@ class TestFaultModel:
         with pytest.raises(RetryExhaustedError) as excinfo:
             platform.scheduler.run(make_tasks(4), redundancy=2)
         assert excinfo.value.attempts == 2
-        assert "retry limit exhausted" in str(excinfo.value)
+        assert "retry budget exhausted" in str(excinfo.value)
+        assert excinfo.value.outcomes == ["abandoned", "abandoned"]
+        assert excinfo.value.task_id in str(excinfo.value)
 
     def test_retry_prefers_fresh_workers(self):
         # Pool of 3, redundancy 3: a retry cannot find an unattempted worker

@@ -188,3 +188,116 @@ class TestObservabilityFlags:
     def test_empty_trace_path_reports_cleanly(self, capsys):
         assert main(["--trace", "", "demo"]) == 2
         assert "error: trace path must be a non-empty" in capsys.readouterr().err
+
+
+class TestRobustnessFlags:
+    def make_failing_session(self, policy="fail"):
+        """A session whose every assignment is abandoned (retries exhaust)."""
+        from repro.lang.interpreter import CrowdSQLSession
+        from repro.platform.batch import BatchConfig
+        from repro.platform.platform import SimulatedPlatform
+        from repro.quality.truth import CATEGORICAL_METHODS
+        from repro.workers.pool import WorkerPool
+
+        pool = WorkerPool.heterogeneous(
+            8, accuracy_low=0.75, accuracy_high=0.95, seed=1
+        )
+        platform = SimulatedPlatform(
+            pool,
+            seed=2,
+            batch=BatchConfig(
+                abandon_rate=1.0, retry_limit=0, seed=3, failure_policy=policy
+            ),
+        )
+        return CrowdSQLSession(
+            platform=platform, redundancy=3, inference=CATEGORICAL_METHODS["mv"]()
+        )
+
+    CROWD_SQL = (
+        "CREATE TABLE t (a STRING); INSERT INTO t VALUES ('x');"
+        "CREATE TABLE u (b STRING); INSERT INTO u VALUES ('x');"
+        "SELECT a, b FROM t CROWDJOIN u ON CROWDEQUAL(a, b);"
+    )
+
+    def test_retry_exhaustion_exits_three_with_one_line(self):
+        out = io.StringIO()
+        code = run_script(self.make_failing_session(), self.CROWD_SQL, out=out)
+        assert code == 3
+        error_lines = [
+            line for line in out.getvalue().splitlines() if line.startswith("error:")
+        ]
+        assert len(error_lines) == 1
+        assert "retry budget exhausted" in error_lines[0]
+        assert "attempt(s) failed" in error_lines[0]
+
+    def test_degrade_policy_completes_with_empty_join(self):
+        out = io.StringIO()
+        code = run_script(self.make_failing_session(policy="degrade"), self.CROWD_SQL, out=out)
+        assert code == 0
+        assert "0 row(s)" in out.getvalue()
+
+    def test_fault_plan_flag_demo_survives(self, tmp_path, capsys):
+        from repro.faults import random_plan
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(random_plan(4).to_json(), encoding="utf-8")
+        code = main(
+            [
+                "--seed", "3", "--max-parallel", "4",
+                "--fault-plan", str(plan_path),
+                "--failure-policy", "degrade",
+                "demo",
+            ]
+        )
+        assert code == 0
+        assert "The Iron Giant" in capsys.readouterr().out
+
+    def test_missing_fault_plan_is_config_error(self, capsys):
+        assert main(["--fault-plan", "/nonexistent/plan.json", "demo"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_fault_plan_is_config_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"seed": "not-an-int"}', encoding="utf-8")
+        assert main(["--fault-plan", str(bad), "demo"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume_skips_statements(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        assert main(["--seed", "3", "--checkpoint", str(ck), "demo"]) == 0
+        capsys.readouterr()
+        assert (ck / "checkpoint.json").exists()
+        assert (ck / "db").exists()
+        assert main(["--seed", "3", "--resume", str(ck), "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "skipping 8 statement(s)" in out
+
+    def test_resumed_database_is_intact(self, tmp_path):
+        ck = tmp_path / "ck"
+        session = build_session(seed=2, redundancy=3, pool_size=10)
+        sql = (
+            "CREATE TABLE t (a STRING); INSERT INTO t VALUES ('kept');"
+        )
+        assert run_script(session, sql, out=io.StringIO(), checkpoint_dir=str(ck)) == 0
+        fresh = build_session(seed=2, redundancy=3, pool_size=10)
+        out = io.StringIO()
+        code = run_script(
+            fresh, sql + " SELECT * FROM t;", out=out, resume_dir=str(ck)
+        )
+        assert code == 0
+        assert "kept" in out.getvalue()
+        assert "skipping 2 statement(s)" in out.getvalue()
+
+
+class TestChaosCommand:
+    def test_chaos_command_survives(self, capsys):
+        assert main(["chaos", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 0:" in out
+        assert "all 1 seed(s) survived" in out
+
+    def test_chaos_command_with_resume_check(self, capsys):
+        assert main(["--seed", "5", "chaos", "--seeds", "1", "--check-resume"]) == 0
+        out = capsys.readouterr().out
+        assert "kill-and-resume bit-identical" in out

@@ -213,3 +213,70 @@ class TestEngineExtendedOperators:
         documents = proofreading_dataset(3, seed=9)
         result = engine.find_fix_verify(documents, find_redundancy=3)
         assert len(result.corrected) == 3
+
+
+class TestEngineRobustness:
+    def test_failure_policy_flows_into_scheduler(self):
+        engine = CrowdEngine(EngineConfig(failure_policy="degrade", seed=1))
+        assert engine.scheduler.config.failure_policy == "degrade"
+
+    def test_robustness_knobs_validated(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(failure_policy="explode")
+        with pytest.raises(ConfigurationError):
+            EngineConfig(deadline=0.0)
+        with pytest.raises(ConfigurationError):
+            EngineConfig(budget_reserve=-0.5)
+        with pytest.raises(ConfigurationError):
+            EngineConfig(fault_plan="")
+
+    def test_breakers_attached_from_config(self):
+        engine = CrowdEngine(
+            EngineConfig(budget=5.0, budget_reserve=1.0, deadline=100.0, seed=2)
+        )
+        names = [b.name for b in engine.scheduler.breakers]
+        assert names == ["breaker:budget", "breaker:deadline"]
+
+    def test_fault_plan_attached_from_config(self, tmp_path):
+        from repro.faults import random_plan
+
+        path = tmp_path / "plan.json"
+        path.write_text(random_plan(3).to_json(), encoding="utf-8")
+        engine = CrowdEngine(EngineConfig(fault_plan=str(path), seed=3))
+        assert engine.platform.faults is not None
+        assert engine.platform.faults.plan.seed == random_plan(3).seed
+
+    def test_gather_returns_degraded_result(self):
+        engine = CrowdEngine(
+            EngineConfig(
+                failure_policy="degrade",
+                abandon_rate=1.0,
+                retry_limit=0,
+                seed=4,
+                redundancy=2,
+            )
+        )
+        tasks = make_choice_tasks(4)
+        result = engine.gather(tasks)
+        result.coverage.validate()
+        assert result.coverage.requested == 4
+        assert result.coverage.failed == 4
+        assert result.degraded
+
+    def test_gather_complete_run_has_confidences(self):
+        engine = CrowdEngine(EngineConfig(seed=5, redundancy=3))
+        tasks = make_choice_tasks(4)
+        result = engine.gather(tasks)
+        assert result.coverage.complete
+        assert set(result.truths) == {t.task_id for t in tasks}
+        assert all(0.0 <= c <= 1.0 for c in result.confidences.values())
+
+    def test_checkpoint_restore_round_trip(self, tmp_path):
+        engine = CrowdEngine(EngineConfig(seed=6, redundancy=3))
+        engine.gather(make_choice_tasks(4))
+        engine.checkpoint(str(tmp_path))
+
+        twin = CrowdEngine(EngineConfig(seed=6, redundancy=3))
+        twin.restore_checkpoint(str(tmp_path))
+        assert len(twin.platform.answers) == len(engine.platform.answers)
+        assert twin.spent == pytest.approx(engine.spent)

@@ -170,6 +170,59 @@ class TestPersistence:
         result = session.query("SELECT name FROM people WHERE age > 20")
         assert [r["name"] for r in result.rows] == ["ann"]
 
+    def test_roundtrip_preserves_nulls(self, tmp_path):
+        database = Database("nulls")
+        schema = SchemaBuilder().string("a").integer("n").float("x").build()
+        database.create_table(
+            "t",
+            schema,
+            rows=[
+                {"a": None, "n": None, "x": None},
+                {"a": "kept", "n": 0, "x": 0.0},
+            ],
+        )
+        save_database(database, tmp_path)
+        rows = [r.as_dict() for r in load_database(tmp_path).table("t")]
+        assert rows[0] == {"a": None, "n": None, "x": None}
+        assert rows[1] == {"a": "kept", "n": 0, "x": 0.0}
+
+    def test_roundtrip_preserves_unicode_and_csv_specials(self, tmp_path):
+        database = Database("unicode")
+        schema = SchemaBuilder().string("title").build()
+        tricky = [
+            "Amélie — 映画",
+            'has "quotes", commas, and\nnewlines',
+            "emoji 🎬 and ß",
+        ]
+        database.create_table("films", schema, rows=[{"title": t} for t in tricky])
+        save_database(database, tmp_path)
+        loaded = [r["title"] for r in load_database(tmp_path).table("films")]
+        assert loaded == tricky
+
+    def test_roundtrip_empty_string_becomes_null(self, tmp_path):
+        # CSV represents NULL as an empty cell, so an empty string is
+        # indistinguishable from NULL after a round-trip — pin the coercion.
+        database = Database("emptystr")
+        database.create_table(
+            "t", SchemaBuilder().string("s").build(), rows=[{"s": ""}]
+        )
+        save_database(database, tmp_path)
+        loaded = next(iter(load_database(tmp_path).table("t")))
+        assert loaded["s"] is None
+
+    def test_roundtrip_preserves_empty_tables(self, tmp_path):
+        database = Database("empty")
+        schema = (
+            SchemaBuilder().string("name", nullable=False).crowd_integer("votes").build()
+        )
+        database.create_table("nothing", schema)
+        save_database(database, tmp_path)
+        loaded = load_database(tmp_path)
+        table = loaded.table("nothing")
+        assert len(table) == 0
+        assert table.schema == schema
+        table.insert({"name": "works"})  # still a usable table
+
     def test_save_is_overwrite_safe(self, tmp_path):
         database = self._db()
         save_database(database, tmp_path)

@@ -218,6 +218,27 @@ class TestWorkerPool:
         with pytest.raises(ConfigurationError):
             WorkerPool.with_spammers(10, spammer_fraction=1.5)
 
+    def test_small_pool_nonzero_fraction_gets_a_spammer(self):
+        # Regression: round(4 * 0.1) == 0 used to produce a spammer-free
+        # "spammer" pool; any positive fraction must yield at least one.
+        pool = WorkerPool.with_spammers(4, spammer_fraction=0.1, seed=6)
+        spammers = [w for w in pool if true_accuracy(w) is None]
+        assert len(spammers) == 1
+
+    def test_zero_fraction_means_no_spammers(self):
+        pool = WorkerPool.with_spammers(6, spammer_fraction=0.0, seed=7)
+        assert all(true_accuracy(w) is not None for w in pool)
+
+    def test_add_worker_rejects_duplicate_id(self):
+        pool = WorkerPool.uniform(3, seed=8)
+        from repro.workers.models import OneCoinModel
+        from repro.workers.worker import Worker
+
+        pool.add_worker(Worker(model=OneCoinModel(0.8), worker_id="newcomer"))
+        assert "newcomer" in pool
+        with pytest.raises(ConfigurationError):
+            pool.add_worker(Worker(model=OneCoinModel(0.8), worker_id="newcomer"))
+
     def test_sample_distinct(self):
         pool = WorkerPool.uniform(10, seed=4)
         workers = pool.sample(5)
