@@ -1,0 +1,152 @@
+"""C1 — Answer cache: duplicate-heavy workloads publish far fewer HITs.
+
+Two workloads exercise the cache the way Qurk and Reprowd motivate it:
+
+* A crowd-all-pairs join over a record set containing each entity several
+  times. Identical record pairs render identical questions, so the cache
+  coalesces them in flight and replays across chunks — the off/on published
+  HIT counts differ by well over the 30% acceptance floor.
+* A fixed-k filter whose predicate runs twice over the same items (a
+  repeated trial). With a warm cache the second pass publishes nothing.
+
+Expected shape: cache-on publishes a fraction of the HITs, spends a
+fraction of the budget, and finishes in less wall-clock time, while a
+duplicate-free cold run stays answer-for-answer identical to cache-off.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.experiments.harness import PoolSpec, make_platform, quick_mode, run_trials
+from repro.operators.filter import FixedKFilter
+from repro.operators.join import CrowdJoin
+from repro.platform.batch import BatchConfig
+from repro.platform.cache import AnswerCache
+
+POOL = PoolSpec(kind="uniform", size=30, accuracy=0.9)
+REDUNDANCY = 3
+N_ENTITIES = 6 if quick_mode() else 10   # distinct records in the join
+N_COPIES = 3 if quick_mode() else 4      # times each record repeats
+N_ITEMS = 40 if quick_mode() else 120    # items per filter pass
+TIMING_REPEATS = 2 if quick_mode() else 3
+
+
+def _records() -> list[str]:
+    return [f"entity record {i}" for i in range(N_ENTITIES)] * N_COPIES
+
+
+def _join_platform(seed: int, cached: bool):
+    # The batch runtime posts whole chunks at once, so duplicate pairs in a
+    # chunk exercise in-flight coalescing as well as cross-chunk replay.
+    platform = make_platform(POOL, seed=seed)
+    platform.attach_scheduler(
+        BatchConfig(batch_size=50, max_parallel=4, seed=seed + 2)
+    )
+    if cached:
+        platform.attach_cache(AnswerCache())
+    return platform
+
+
+def _run_join(seed: int, cached: bool):
+    platform = _join_platform(seed, cached)
+    join = CrowdJoin(
+        platform, lambda a, b: a == b, use_transitivity=False, redundancy=REDUNDANCY
+    )
+    start = time.perf_counter()
+    join.run(_records())
+    elapsed = time.perf_counter() - start
+    return platform, elapsed
+
+
+def _best_join_time(seed: int, cached: bool) -> float:
+    return min(_run_join(seed, cached)[1] for _ in range(TIMING_REPEATS))
+
+
+def _trial(seed: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+
+    # Duplicate-heavy all-pairs join, cache off vs on.
+    off, _ = _run_join(seed, cached=False)
+    on, _ = _run_join(seed, cached=True)
+    values["join_published_off"] = off.stats.tasks_published
+    values["join_published_on"] = on.stats.tasks_published
+    values["join_cost_off"] = off.stats.cost_spent
+    values["join_cost_on"] = on.stats.cost_spent
+    values["join_hits"] = on.cache.hits
+    values["join_coalesced"] = on.cache.coalesced
+    values["join_saved"] = on.stats.cache_cost_saved
+
+    # Repeated filter predicate: the second pass replays the first.
+    items = [f"item {i}" for i in range(N_ITEMS)]
+    for label, cached in (("off", False), ("on", True)):
+        platform = _join_platform(seed + 7, cached)
+        crowd_filter = FixedKFilter(
+            platform, "Is this item relevant?",
+            truth_fn=lambda item: int(item.split()[-1]) % 2 == 0,
+            redundancy=REDUNDANCY,
+        )
+        crowd_filter.run(items)
+        first_published = platform.stats.tasks_published
+        crowd_filter.run(items)
+        values[f"filter_first_{label}"] = first_published
+        values[f"filter_second_{label}"] = (
+            platform.stats.tasks_published - first_published
+        )
+    return values
+
+
+def test_c1_answer_cache_dedup(benchmark, report):
+    result = run_once(benchmark, lambda: run_trials("C1", _trial, n_trials=3))
+
+    n_pairs = result.mean("join_published_off")
+    rows = [
+        {
+            "workload": f"all-pairs join ({N_ENTITIES}x{N_COPIES} records)",
+            "HITs off": n_pairs,
+            "HITs on": result.mean("join_published_on"),
+            "cost off": result.mean("join_cost_off"),
+            "cost on": result.mean("join_cost_on"),
+        },
+        {
+            "workload": f"repeated filter ({N_ITEMS} items, 2 passes)",
+            "HITs off": result.mean("filter_first_off")
+            + result.mean("filter_second_off"),
+            "HITs on": result.mean("filter_first_on")
+            + result.mean("filter_second_on"),
+            "cost off": float("nan"),
+            "cost on": float("nan"),
+        },
+    ]
+    report.table(rows, title="C1: answer cache — published HITs and spend",
+                 float_format="{:.2f}")
+    report.note(
+        f"join reuse: {result.mean('join_hits'):.0f} hits, "
+        f"{result.mean('join_coalesced'):.0f} coalesced in flight, "
+        f"saved {result.mean('join_saved'):.2f} per trial"
+    )
+
+    # Acceptance: >=30% fewer published HITs on the duplicate-heavy join.
+    assert result.mean("join_published_on") <= 0.7 * n_pairs
+    assert result.mean("join_cost_on") < result.mean("join_cost_off")
+    # A warm cache answers the repeated predicate pass entirely for free.
+    assert result.mean("filter_second_on") == 0.0
+    assert result.mean("filter_second_off") == result.mean("filter_first_off")
+
+
+def test_c1_answer_cache_wall_clock(benchmark, report):
+    """Fewer simulated assignments is also less real work: cache-on wins."""
+
+    def measure() -> dict[str, float]:
+        return {
+            "off_s": _best_join_time(seed=31, cached=False),
+            "on_s": _best_join_time(seed=31, cached=True),
+        }
+
+    values = run_once(benchmark, measure)
+    report.note(
+        f"C1 wall-clock (best of {TIMING_REPEATS}): "
+        f"off {values['off_s'] * 1e3:.1f} ms, on {values['on_s'] * 1e3:.1f} ms, "
+        f"speedup {values['off_s'] / values['on_s']:.2f}x"
+    )
+    assert values["on_s"] < values["off_s"]

@@ -7,6 +7,7 @@ Usage::
                                    [--inference ds] [--trace run.jsonl]
                                    [--metrics] [--failure-policy degrade]
                                    [--fault-plan plan.json]
+                                   [--cache answers.jsonl | --no-cache]
                                    [--checkpoint DIR | --resume DIR]
     python -m repro repl
     python -m repro demo
@@ -23,6 +24,11 @@ the CLI reports a clear error for them instead of guessing.
 batches, event timeline, EM iterations); ``trace-report`` renders it as
 per-operator time/cost breakdowns, retry hotspots, and slowest spans.
 ``--metrics`` prints the metrics registry after the run.
+
+Identical crowd questions are answered once per run (an in-memory answer
+cache is on by default; ``--no-cache`` disables it). ``--cache FILE``
+persists the cache as JSONL across runs, Reprowd-style: a re-run of the
+same script replays every answer and publishes 0 new HITs.
 
 Robustness flags: ``--fault-plan FILE`` injects a declarative fault plan
 (see :mod:`repro.faults`); ``--failure-policy`` picks what happens when a
@@ -76,13 +82,21 @@ def build_session(
     metrics_enabled: bool = False,
     failure_policy: str = "fail",
     fault_plan: str | None = None,
+    cache_enabled: bool = True,
+    cache_path: str | None = None,
 ) -> CrowdSQLSession:
     """A session over a fresh simulated pool of reasonably diligent workers.
 
     An unwritable or empty *trace_path* raises
     :class:`~repro.errors.ConfigurationError` here, before any crowd work
     starts, so the CLI reports it as a clean configuration error. The same
-    goes for an unreadable or malformed *fault_plan* file.
+    goes for an unreadable or malformed *fault_plan* file, and for an
+    unreadable or unwritable *cache_path*.
+
+    The CLI keeps an in-memory answer cache by default (identical crowd
+    questions within a run are published once); *cache_path* additionally
+    loads/spills it from/to a JSONL file, and ``cache_enabled=False``
+    switches caching off entirely.
     """
     if trace_path is not None and not trace_path:
         raise ConfigurationError("trace path must be a non-empty file name")
@@ -94,6 +108,26 @@ def build_session(
             plan = FaultPlan.from_file(fault_plan)
         except OSError as exc:
             raise ConfigurationError(f"cannot read fault plan {fault_plan}: {exc}") from exc
+    cache = None
+    if cache_enabled or cache_path is not None:
+        from pathlib import Path
+
+        from repro.errors import CacheError
+        from repro.platform.cache import AnswerCache
+
+        if cache_path is not None and not cache_path:
+            raise ConfigurationError("cache path must be a non-empty file name")
+        cache = AnswerCache()
+        if cache_path is not None:
+            try:
+                if Path(cache_path).exists():
+                    cache.load(cache_path)
+                else:
+                    # Touch the spill file now so an unwritable path is a
+                    # clean configuration error, not a crash after paid work.
+                    cache.save(cache_path)
+            except CacheError as exc:
+                raise ConfigurationError(str(exc)) from exc
     pool = WorkerPool.heterogeneous(
         pool_size, accuracy_low=0.75, accuracy_high=0.97, seed=seed
     )
@@ -111,6 +145,8 @@ def build_session(
         tracer=tracer,
         metrics=metrics,
     )
+    if cache is not None:
+        platform.attach_cache(cache)
     if plan is not None:
         platform.attach_faults(plan)
     if tracer.enabled or metrics.enabled:
@@ -178,6 +214,9 @@ def run_script(
         batch_line = session.platform.stats.batch_summary()
         if batch_line:
             print(f"-- batch runtime: {batch_line}", file=out)
+        cache_line = session.platform.stats.cache_summary()
+        if cache_line:
+            print(f"-- answer cache: {cache_line}", file=out)
     return 0
 
 
@@ -313,6 +352,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="inject faults from a JSON fault plan (see repro.faults)",
     )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=None,
+        help="load/spill the answer cache from/to FILE (JSONL) so repeated "
+        "runs replay answers instead of re-publishing HITs",
+    )
+    cache_group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable answer reuse (every crowd question is published)",
+    )
     parser.add_argument(
         "--checkpoint",
         metavar="DIR",
@@ -374,6 +426,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             metrics_enabled=args.metrics,
             failure_policy=args.failure_policy,
             fault_plan=args.fault_plan,
+            cache_enabled=not args.no_cache,
+            cache_path=args.cache,
         )
     except CrowdDMError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -408,6 +462,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                     resume_dir=args.resume,
                 )
     finally:
+        if args.cache and session.platform.cache is not None:
+            from repro.errors import CacheError
+
+            try:
+                session.platform.cache.save(args.cache)
+            except CacheError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                code = 1
         tracer.close()
         deactivate(tracer, metrics)
     if args.metrics:

@@ -53,6 +53,18 @@ class EngineConfig:
             new batches once the scheduler clock reaches it. None = off.
         budget_reserve: Stop dispatching new batches once remaining
             budget drops to this floor (a budget circuit breaker). 0 = off.
+        cache_enabled: Attach a content-addressed
+            :class:`~repro.platform.cache.AnswerCache` to the platform, so
+            identical questions are published once and answers are reused
+            across operators and statements. Off by default (the
+            historical behaviour); a cold cache changes nothing on
+            workloads without duplicate questions.
+        cache_path: JSONL file the cache is loaded from at startup (when
+            it exists) and spilled to on :meth:`~repro.core.engine.
+            CrowdEngine.close` — Reprowd-style reuse across runs. Setting
+            a path implies ``cache_enabled``.
+        cache_max_entries: LRU capacity of the cache (least-recently-used
+            signature evicted past it); None = unbounded.
     """
 
     redundancy: int = 3
@@ -75,6 +87,9 @@ class EngineConfig:
     fault_plan: str | None = None
     deadline: float | None = None
     budget_reserve: float = 0.0
+    cache_enabled: bool = False
+    cache_path: str | None = None
+    cache_max_entries: int | None = None
 
     def __post_init__(self) -> None:
         if self.redundancy < 1:
@@ -105,6 +120,12 @@ class EngineConfig:
             raise ConfigurationError(
                 f"budget_reserve must be >= 0, got {self.budget_reserve}"
             )
+        if self.cache_path is not None and not self.cache_path:
+            raise ConfigurationError("cache_path must be a non-empty path or None")
+        if self.cache_max_entries is not None and self.cache_max_entries < 1:
+            raise ConfigurationError(
+                f"cache_max_entries must be >= 1 or None, got {self.cache_max_entries}"
+            )
         # Batch-runtime knobs share BatchConfig's validation (including
         # failure_policy parsing).
         self.make_batch_config()
@@ -125,6 +146,19 @@ class EngineConfig:
             seed=self.seed + 2,
             failure_policy=self.failure_policy,
         )
+
+    @property
+    def cache_active(self) -> bool:
+        """True when the engine should attach an answer cache."""
+        return self.cache_enabled or self.cache_path is not None
+
+    def make_cache(self):
+        """Instantiate the configured answer cache, or None when off."""
+        if not self.cache_active:
+            return None
+        from repro.platform.cache import AnswerCache
+
+        return AnswerCache(max_entries=self.cache_max_entries)
 
     def make_fault_plan(self):
         """Load the configured fault plan, or None when faults are off."""

@@ -86,6 +86,13 @@ class CrowdEngine:
             metrics=self.metrics,
             event_log_limit=self.config.event_log_limit,
         )
+        cache = self.config.make_cache()
+        if cache is not None:
+            from pathlib import Path
+
+            if self.config.cache_path and Path(self.config.cache_path).exists():
+                cache.load(self.config.cache_path)
+            self.platform.attach_cache(cache)
         plan = self.config.make_fault_plan()
         if plan is not None:
             self.platform.attach_faults(plan)
@@ -455,12 +462,16 @@ class CrowdEngine:
     def close(self) -> None:
         """End the root span, flush the trace file, release the obs runtime.
 
-        Idempotent, and a no-op for an engine without observability. The
+        With a configured ``cache_path``, the answer cache is also spilled
+        to disk here so the next run replays this one's answers. Idempotent,
+        and a no-op for an engine without observability or a cache path. The
         engine stays usable afterwards — only tracing stops.
         """
         if self._closed:
             return
         self._closed = True
+        if self.platform.cache is not None and self.config.cache_path:
+            self.platform.cache.save(self.config.cache_path)
         self.tracer.close()
         deactivate(self.tracer, self.metrics)
 
@@ -474,6 +485,11 @@ class CrowdEngine:
     def scheduler(self):
         """The platform's batch execution runtime."""
         return self.platform.scheduler
+
+    @property
+    def cache(self):
+        """The platform's answer cache (None when caching is off)."""
+        return self.platform.cache
 
     @property
     def stats(self) -> PlatformStats:

@@ -128,6 +128,10 @@ class CheckpointError(CrowdDMError):
     """A checkpoint could not be written, read, or applied to live state."""
 
 
+class CacheError(CrowdDMError):
+    """The answer cache could not be read, written, or decoded."""
+
+
 class SimulatedCrash(CrowdDMError):
     """Raised by test/chaos harnesses to model a process kill mid-run.
 

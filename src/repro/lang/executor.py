@@ -46,6 +46,7 @@ from repro.lang.planner import (
 from repro.obs.instrument import operator_span
 from repro.operators.fill import CrowdFill
 from repro.operators.sort import CrowdComparator, merge_sort_crowd
+from repro.platform.cache import signature_of
 from repro.platform.platform import SimulatedPlatform
 from repro.platform.task import Task, TaskType
 from repro.quality.truth import MajorityVote, TruthInference
@@ -138,7 +139,12 @@ class Executor:
         self.redundancy = redundancy
         self.inference = inference or MajorityVote()
         self.oracle = oracle or CrowdOracle()
-        self._predicate_cache: dict[tuple[Any, ...], bool] = {}
+        # Statement-local verdict memo, keyed by the same content signature
+        # the platform's AnswerCache uses (see repro.platform.cache): a
+        # repeated predicate over identical values costs zero questions
+        # within a statement, and with a cache attached to the platform the
+        # raw votes are also reused *across* statements.
+        self._verdicts: dict[str, bool] = {}
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -440,13 +446,25 @@ class Executor:
         self, predicate: CrowdPredicate, row: dict[str, Any], stats: ExecutionStats
     ) -> bool:
         values = predicate.operand_values(row)
-        cache_key = (predicate.kind, predicate.question, values)
-        if cache_key in self._predicate_cache:
-            return self._predicate_cache[cache_key]
-
         if predicate.kind == "equal":
             if len(values) != 2:
                 raise ExecutionError("CROWDEQUAL takes exactly two operands")
+            question = f"Do these refer to the same thing? A: {values[0]} | B: {values[1]}"
+        elif predicate.kind == "filter":
+            if len(values) != 1:
+                raise ExecutionError("CROWDFILTER takes exactly one operand")
+            question = f"{predicate.question} — value: {values[0]}"
+        elif predicate.kind == "order":
+            if len(values) != 2:
+                raise ExecutionError("CROWDORDER takes exactly two operands")
+            question = f"Does A rank at least as high as B? A: {values[0]} | B: {values[1]}"
+        else:
+            raise ExecutionError(f"unknown crowd predicate kind {predicate.kind!r}")
+        signature = signature_of(TaskType.SINGLE_CHOICE, question, (YES, NO))
+        if signature in self._verdicts:
+            return self._verdicts[signature]
+
+        if predicate.kind == "equal":
             a, b = values
             prune = self.oracle.equal_similarity_prune
             if (
@@ -456,29 +474,20 @@ class Executor:
                 and jaccard_tokens(a, b) < prune
             ):
                 stats.pairs_pruned += 1
-                self._predicate_cache[cache_key] = False
+                self._verdicts[signature] = False
                 return False
             truth = self.oracle.equal_fn(a, b)
-            question = f"Do these refer to the same thing? A: {a} | B: {b}"
         elif predicate.kind == "filter":
-            if len(values) != 1:
-                raise ExecutionError("CROWDFILTER takes exactly one operand")
             if self.oracle.filter_fn is None:
                 raise ExecutionError(
                     "query uses CROWDFILTER but no filter oracle is configured"
                 )
             truth = self.oracle.filter_fn(values[0], predicate.question)
-            question = f"{predicate.question} — value: {values[0]}"
-        elif predicate.kind == "order":
-            if len(values) != 2:
-                raise ExecutionError("CROWDORDER takes exactly two operands")
+        else:
             score = self.oracle.order_score_fn or (
                 lambda v: float(v) if isinstance(v, (int, float)) else 0.0
             )
             truth = score(values[0]) >= score(values[1])
-            question = f"Does A rank at least as high as B? A: {values[0]} | B: {values[1]}"
-        else:
-            raise ExecutionError(f"unknown crowd predicate kind {predicate.kind!r}")
 
         before = self.platform.stats.cost_spent
         task = Task(
@@ -498,5 +507,5 @@ class Executor:
         stats.crowd_questions += 1
         stats.crowd_answers += len(answers)
         stats.crowd_cost += self.platform.stats.cost_spent - before
-        self._predicate_cache[cache_key] = verdict
+        self._verdicts[signature] = verdict
         return verdict

@@ -6,6 +6,14 @@ from repro.platform.batch import (
     BatchRunResult,
     BatchScheduler,
 )
+from repro.platform.cache import (
+    AnswerCache,
+    CachedAnswer,
+    CacheEntry,
+    CacheResolution,
+    signature_of,
+    task_signature,
+)
 from repro.platform.events import Event, EventSimulator
 from repro.platform.platform import PlatformStats, SimulatedPlatform, TimelineResult
 from repro.platform.pricing import PriceResponseModel, PricingPolicy
@@ -27,10 +35,14 @@ from repro.platform.task import (
 __all__ = [
     "HIT",
     "Answer",
+    "AnswerCache",
     "BatchConfig",
     "BatchRecord",
     "BatchRunResult",
     "BatchScheduler",
+    "CacheEntry",
+    "CacheResolution",
+    "CachedAnswer",
     "Event",
     "EventSimulator",
     "PlatformStats",
@@ -47,5 +59,7 @@ __all__ = [
     "multi_choice",
     "numeric",
     "rate",
+    "signature_of",
     "single_choice",
+    "task_signature",
 ]

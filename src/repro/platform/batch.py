@@ -241,9 +241,15 @@ class BatchScheduler:
         size = self.config.batch_size
         tracer = self.platform.tracer
         injector = self.platform.faults
+        # Answer-cache seam: hits are served without dispatching, in-flight
+        # duplicates coalesce onto one canonical task, and only the misses
+        # run below. resolution is None when no cache applies (none
+        # attached, or a complete=False round-structured caller).
+        resolution = self.platform.cache_resolve(tasks, redundancy, complete=complete)
+        run_tasks = list(tasks) if resolution is None else resolution.misses
         halted: str | None = None
-        for start in range(0, len(tasks), size):
-            batch = list(tasks[start : start + size])
+        for start in range(0, len(run_tasks), size):
+            batch = list(run_tasks[start : start + size])
             if halted is None and self._budget_exhausted:
                 halted = "budget_exhausted"
             if halted is None and policy is not FailurePolicy.FAIL:
@@ -280,6 +286,27 @@ class BatchScheduler:
             self.platform.stats.record_batch(record)
             self._clock += record.makespan
         result.makespan = sum(r.makespan for r in result.records)
+        if resolution is not None:
+            self.platform.cache_finish(resolution, result.answers, complete=complete)
+            for task in resolution.hit_tasks:
+                result.completion_times[task.task_id] = 0.0
+            for canonical_id, dups in resolution.duplicates.items():
+                landed = result.completion_times.get(canonical_id)
+                failure = result.failures.get(canonical_id)
+                for dup in dups:
+                    if landed is not None:
+                        # A coalesced duplicate lands when its canonical does.
+                        result.completion_times[dup.task_id] = landed
+                    if failure is not None:
+                        self._record_failure(
+                            result,
+                            FailureInfo(
+                                dup.task_id,
+                                reason=failure.reason,
+                                attempts=failure.attempts,
+                                outcomes=list(failure.outcomes),
+                            ),
+                        )
         if policy is FailurePolicy.DEGRADE:
             for task in tasks:
                 result.answers.setdefault(task.task_id, [])

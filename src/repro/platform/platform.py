@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle with workers
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlan
     from repro.platform.batch import BatchConfig, BatchScheduler
+    from repro.platform.cache import AnswerCache, CacheResolution
     from repro.platform.task import HIT
     from repro.workers.pool import WorkerPool
     from repro.workers.worker import Worker
@@ -55,6 +56,12 @@ _STAT_METRICS = {
     "batch_makespan": "batch.makespan",
     "batch_wall_clock": "batch.wall_clock",
     "batch_outage_wait": "batch.outage_wait",
+    "cache_hits": "cache.hits",
+    "cache_misses": "cache.misses",
+    "cache_coalesced": "cache.coalesced",
+    "cache_evictions": "cache.evictions",
+    "cache_answers_reused": "cache.answers_reused",
+    "cache_cost_saved": "cache.cost_saved",
 }
 
 
@@ -104,6 +111,18 @@ class PlatformStats:
             f"{self.assignments_timed_out} timed out, "
             f"{self.assignments_abandoned} abandoned), "
             f"simulated makespan {self.batch_makespan:.1f}s"
+        )
+
+    def cache_summary(self) -> str:
+        """One-line answer-cache accounting (empty when the cache saw no traffic)."""
+        if not (self.cache_hits or self.cache_misses or self.cache_coalesced):
+            return ""
+        return (
+            f"{self.cache_hits} hits, {self.cache_misses} misses, "
+            f"{self.cache_coalesced} coalesced, "
+            f"{self.cache_answers_reused} answers reused, "
+            f"saved {self.cache_cost_saved:.4f}, "
+            f"{self.tasks_published} tasks published"
         )
 
 
@@ -181,6 +200,7 @@ class SimulatedPlatform:
         self._tasks: dict[str, Task] = {}
         self.scheduler: "BatchScheduler | None" = None
         self.faults: "FaultInjector | None" = None
+        self.cache: "AnswerCache | None" = None
         if batch is not None:
             self.attach_scheduler(batch)
 
@@ -201,6 +221,21 @@ class SimulatedPlatform:
 
         self.faults = FaultInjector(plan) if plan is not None else None
         return self.faults
+
+    def attach_cache(self, cache: "AnswerCache | None") -> "AnswerCache | None":
+        """Install (or clear, with None) the content-addressed answer cache.
+
+        The cache's counters are rebound onto this platform's registry so
+        the ``cache_*`` views on :class:`PlatformStats` and the cache object
+        always agree. Only ask-and-close collection paths (``collect`` and
+        ``scheduler.run`` with ``complete=True``) consult the cache;
+        round-structured callers keeping tasks open for more evidence, HIT
+        batches, and online :meth:`ask` assignment never do.
+        """
+        if cache is not None:
+            cache.rebind_metrics(self.metrics)
+        self.cache = cache
+        return cache
 
     @property
     def parallel_batching(self) -> bool:
@@ -244,6 +279,57 @@ class SimulatedPlatform:
         self.stats.cost_spent += amount
 
     # ------------------------------------------------------------------ #
+    # Answer cache seam (shared by collect() and the batch scheduler)
+    # ------------------------------------------------------------------ #
+
+    def cache_resolve(
+        self, tasks: Sequence[Task], redundancy: int, complete: bool = True
+    ) -> "CacheResolution | None":
+        """Partition a request against the cache; None when it can't apply.
+
+        Only ask-and-close requests participate: a ``complete=False``
+        caller is buying *additional* evidence for tasks it keeps open, so
+        serving its own earlier answers back would be self-poisoning.
+        """
+        if self.cache is None or not complete:
+            return None
+        return self.cache.resolve(tasks, redundancy)
+
+    def cache_finish(
+        self,
+        resolution: "CacheResolution",
+        answers: dict[str, list[Answer]],
+        complete: bool = True,
+    ) -> None:
+        """Store fresh answers, fan out to duplicates, merge hits, account.
+
+        Cache-served answers never touch the platform answer log, worker
+        histories, ``answers_collected``, or the budget — they represent no
+        new crowd work. Saved cost is valued at the pricing policy's rate
+        for each reused answer. The ``answer_cache`` span is emitted only
+        when reuse actually happened, so a reuse-free run's trace tree is
+        bit-identical to a cache-off run.
+        """
+        self.cache.apply(resolution, answers, complete=complete)
+        if not resolution.reused:
+            return
+        saved = 0.0
+        for task in resolution.hit_tasks:
+            saved += self.pricing.price(task) * len(answers.get(task.task_id, ()))
+        for dups in resolution.duplicates.values():
+            for dup in dups:
+                saved += self.pricing.price(dup) * len(answers.get(dup.task_id, ()))
+        self.stats.cache_cost_saved += saved
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "answer_cache",
+                hits=len(resolution.hits),
+                coalesced=resolution.coalesced_count,
+                saved=round(saved, 6),
+            ):
+                pass
+
+    # ------------------------------------------------------------------ #
     # Answer collection
     # ------------------------------------------------------------------ #
 
@@ -283,12 +369,16 @@ class SimulatedPlatform:
             raise NoWorkersAvailableError(
                 f"redundancy {redundancy} exceeds pool of {len(self.pool.active_workers)}"
             )
-        self.publish([t for t in tasks if t.task_id not in self._tasks])
+        resolution = self.cache_resolve(tasks, redundancy)
+        run_tasks = tasks if resolution is None else resolution.misses
+        self.publish([t for t in run_tasks if t.task_id not in self._tasks])
         result: dict[str, list[Answer]] = {}
-        for task in tasks:
+        for task in run_tasks:
             workers = self.pool.sample(redundancy)
             result[task.task_id] = [self.ask(task, worker) for worker in workers]
             task.complete()
+        if resolution is not None:
+            self.cache_finish(resolution, result, complete=True)
         return result
 
     def collect_batch(

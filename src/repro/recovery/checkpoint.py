@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.data.schema import CNULL, is_cnull
 from repro.errors import CheckpointError
 from repro.platform.platform import _STAT_METRICS
 from repro.platform.task import Answer, Task, TaskState, TaskType
@@ -65,6 +66,8 @@ def encode_value(value: Any) -> Any:
     """Encode one answer/payload value into a JSON-safe structure."""
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
+    if is_cnull(value):
+        return {"__kind__": "cnull"}
     if isinstance(value, np.integer):
         return int(value)
     if isinstance(value, np.floating):
@@ -93,6 +96,8 @@ def decode_value(data: Any) -> Any:
         return data
     kind = data.get("__kind__")
     items = data.get("items", [])
+    if kind == "cnull":
+        return CNULL
     if kind == "tuple":
         return tuple(decode_value(v) for v in items)
     if kind == "list":
@@ -370,6 +375,8 @@ class Checkpoint:
             "pool": snapshot_pool(platform.pool),
             "platform": snapshot_platform(platform),
         }
+        if platform.cache is not None:
+            state["cache"] = platform.cache.export_entries()
         scheduler = scheduler if scheduler is not None else platform.scheduler
         if scheduler is not None:
             state["scheduler"] = snapshot_scheduler(scheduler)
@@ -432,6 +439,8 @@ class Checkpoint:
         """
         restore_pool(platform.pool, self.state["pool"])
         restore_platform(platform, self.state["platform"])
+        if platform.cache is not None and "cache" in self.state:
+            platform.cache.import_entries(self.state["cache"])
         scheduler = scheduler if scheduler is not None else platform.scheduler
         if scheduler is not None and "scheduler" in self.state:
             restore_scheduler(scheduler, self.state["scheduler"])

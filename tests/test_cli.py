@@ -145,6 +145,67 @@ class TestBatchFlags:
         assert first == second
 
 
+class TestCacheFlags:
+    def test_build_session_cache_default_and_opt_out(self):
+        assert build_session(seed=1, redundancy=3, pool_size=10).platform.cache is not None
+        session = build_session(seed=1, redundancy=3, pool_size=10, cache_enabled=False)
+        assert session.platform.cache is None
+
+    def test_cache_summary_printed_after_crowd_work(self, capsys):
+        assert main(["--seed", "3", "demo"]) == 0
+        assert "-- answer cache:" in capsys.readouterr().out
+
+    def test_no_cache_suppresses_summary_line(self, capsys):
+        assert main(["--seed", "3", "--no-cache", "demo"]) == 0
+        assert "-- answer cache:" not in capsys.readouterr().out
+
+    def test_cached_rerun_publishes_nothing(self, tmp_path, capsys):
+        spill = tmp_path / "answers.jsonl"
+        assert main(["--seed", "3", "--cache", str(spill), "demo"]) == 0
+        first = capsys.readouterr().out
+        assert spill.read_text(encoding="utf-8").strip()
+
+        assert main(["--seed", "3", "--cache", str(spill), "demo"]) == 0
+        second = capsys.readouterr().out
+        assert "0 misses" in second
+        assert ", 0 tasks published" in second
+        # Replayed answers produce the same query results as the live run.
+        strip = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if not line.startswith("--")
+        ]
+        assert strip(first) == strip(second)
+
+    def test_cache_conflicts_with_no_cache(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--cache", "x.jsonl", "--no-cache", "demo"])
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_unwritable_cache_path_reports_cleanly(self, tmp_path, capsys):
+        blocker = tmp_path / "file.txt"
+        blocker.write_text("not a directory")
+        bad = blocker / "answers.jsonl"
+        assert main(["--cache", str(bad), "demo"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_empty_cache_path_reports_cleanly(self, capsys):
+        assert main(["--cache", "", "demo"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_demo_with_cache_matches_no_cache_output(self, capsys):
+        # Cold cache on a duplicate-light workload: bit-identical rows and
+        # crowd accounting to the cache-off run at the same seed.
+        main(["--seed", "9", "--no-cache", "demo"])
+        plain = capsys.readouterr().out
+        main(["--seed", "9", "demo"])
+        cached = capsys.readouterr().out
+        drop = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if not line.startswith("-- answer cache")
+        ]
+        assert drop(plain) == drop(cached)
+
+
 class TestObservabilityFlags:
     def test_trace_writes_jsonl_with_run_root(self, tmp_path, capsys):
         from repro.obs import build_tree, load_spans

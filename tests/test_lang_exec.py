@@ -260,6 +260,32 @@ class TestExecution:
         )
         assert first.stats.crowd_questions == 3
 
+    def test_crowdequal_pairs_publish_once_within_and_across_statements(self, db):
+        from repro.platform.cache import AnswerCache
+
+        platform = SimulatedPlatform(WorkerPool.uniform(12, 0.95, seed=1), seed=2)
+        platform.attach_cache(AnswerCache())
+        session = CrowdSQLSession(database=db, platform=platform, redundancy=3)
+        session.execute(
+            "CREATE TABLE aliases (alias STRING);"
+            "INSERT INTO aliases VALUES ('rome'), ('rome'), ('oslo')"
+        )
+        query = "SELECT name FROM people CROWDJOIN aliases ON CROWDEQUAL(hometown, alias)"
+
+        first = session.query(query)
+        # 3 hometowns x 3 alias rows = 9 pairs, but only the 6 distinct
+        # value pairs reach the crowd: the duplicated 'rome' alias coalesces
+        # per statement via the executor's verdict memo.
+        assert platform.stats.tasks_published == 6
+        assert sorted(r["name"] for r in first.rows) == ["bob", "bob", "cal"]
+
+        second = session.query(query)
+        # A fresh executor runs the second statement, but every pair is
+        # served from the shared platform cache: nothing new is published.
+        assert platform.stats.tasks_published == 6
+        assert platform.cache.hits > 0
+        assert sorted(r["name"] for r in second.rows) == ["bob", "bob", "cal"]
+
     def test_budget_accounting(self, session):
         result = session.query(
             "SELECT name FROM people WHERE CROWDFILTER(hometown, 'pay?')"
