@@ -1,9 +1,12 @@
 """Truth inference algorithms (quality control, inference side)."""
 
 from repro.quality.truth.base import (
+    EM_BACKENDS,
     InferenceResult,
+    SparseObservations,
     TruthInference,
     answers_from_platform,
+    encode_observations,
     label_space,
     votes_by_task,
     worker_answer_index,
@@ -37,6 +40,7 @@ NUMERIC_METHODS = {
 
 __all__ = [
     "CATEGORICAL_METHODS",
+    "EM_BACKENDS",
     "NUMERIC_METHODS",
     "BayesianVote",
     "CatdAggregator",
@@ -48,10 +52,12 @@ __all__ = [
     "MultiLabelVote",
     "MeanAggregator",
     "MedianAggregator",
+    "SparseObservations",
     "TruthInference",
     "WeightedMajorityVote",
     "ZenCrowd",
     "answers_from_platform",
+    "encode_observations",
     "label_space",
     "set_f1",
     "votes_by_task",

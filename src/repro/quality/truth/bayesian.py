@@ -13,7 +13,8 @@ the property that distinguishes this method from plain weighted MV.
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.errors import InferenceError
 from repro.platform.task import Answer

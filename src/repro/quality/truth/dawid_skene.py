@@ -13,11 +13,18 @@ of all observed answers), applies Laplace smoothing to keep matrices
 non-degenerate, and initializes from majority voting (the standard warm
 start, which also pins the label-permutation ambiguity to the sensible
 solution).
+
+The default ``kernel`` backend accumulates both EM steps with
+``np.bincount`` over precomputed flat indices
+(``worker*K*K + true*K + answered``), avoiding the three dense
+``(n_answers, K)`` ``repeat`` temporaries per iteration that the
+``legacy`` backend (kept for the differential harness) materializes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -28,7 +35,8 @@ from repro.quality.truth.base import (
     TruthInference,
     em_iteration,
     em_span,
-    label_space,
+    encode_observations,
+    resolve_backend,
 )
 
 
@@ -40,6 +48,8 @@ class DawidSkene(TruthInference):
         tolerance: Convergence threshold on the max change of any task
             posterior between iterations.
         smoothing: Laplace pseudo-count added to confusion-matrix cells.
+        backend: ``"kernel"`` (flat-index bincount accumulation) or
+            ``"legacy"`` (dense repeat temporaries + ``np.add.at``).
     """
 
     name = "ds"
@@ -49,12 +59,14 @@ class DawidSkene(TruthInference):
         max_iterations: int = 100,
         tolerance: float = 1e-5,
         smoothing: float = 0.01,
+        backend: str = "kernel",
     ):
         if max_iterations < 1:
             raise InferenceError("max_iterations must be >= 1")
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.smoothing = smoothing
+        self.backend = resolve_backend(backend)
         self._warm_quality: dict[str, float] = {}
         self._last_quality: dict[str, float] = {}
 
@@ -73,36 +85,32 @@ class DawidSkene(TruthInference):
 
     def infer(self, answers_by_task: Mapping[str, Sequence[Answer]]) -> InferenceResult:
         self._validate(answers_by_task)
-        labels = label_space(answers_by_task)
-        n_labels = len(labels)
-        label_index = {label: i for i, label in enumerate(labels)}
-        task_ids = list(answers_by_task)
-        task_index = {t: i for i, t in enumerate(task_ids)}
-        worker_ids = sorted({a.worker_id for ans in answers_by_task.values() for a in ans})
-        worker_index = {w: i for i, w in enumerate(worker_ids)}
-        n_tasks, n_workers = len(task_ids), len(worker_ids)
-
-        # Observation tensor as index lists (sparse): (task, worker, label).
-        obs_task, obs_worker, obs_label = [], [], []
-        for task_id, answers in answers_by_task.items():
-            for a in answers:
-                obs_task.append(task_index[task_id])
-                obs_worker.append(worker_index[a.worker_id])
-                obs_label.append(label_index[a.value])
-        obs_task_arr = np.array(obs_task)
-        obs_worker_arr = np.array(obs_worker)
-        obs_label_arr = np.array(obs_label)
+        obs = encode_observations(answers_by_task)
+        n_tasks, n_labels, n_workers = obs.n_tasks, obs.n_labels, obs.n_workers
+        obs_task, obs_worker, obs_label = obs.obs_task, obs.obs_worker, obs.obs_label
 
         # Initialize posteriors from majority voting; with warm-start state,
         # votes are weighted by the previously estimated worker quality.
-        posteriors = np.full((n_tasks, n_labels), 1.0 / n_labels)
-        for task_id, answers in answers_by_task.items():
-            row = np.zeros(n_labels)
-            for a in answers:
-                row[label_index[a.value]] += self._warm_quality.get(a.worker_id, 1.0)
-            total = row.sum()
-            if total > 0:
-                posteriors[task_index[task_id]] = row / total
+        vote_weight = np.array(
+            [self._warm_quality.get(w, 1.0) for w in obs.worker_ids]
+        )
+        rows = np.bincount(
+            obs.flat_task_label(),
+            weights=vote_weight[obs_worker],
+            minlength=n_tasks * n_labels,
+        ).reshape(n_tasks, n_labels)
+        totals = rows.sum(axis=1, keepdims=True)
+        posteriors = np.where(totals > 0, rows / np.where(totals > 0, totals, 1.0),
+                              1.0 / n_labels)
+
+        if self.backend == "kernel":
+            # Flat index per (answer, hypothesized truth) into the
+            # (n_workers, K, K) confusion tensor: worker*K*K + true*K + answered.
+            conf_flat = (obs_worker * n_labels * n_labels + obs_label)[:, None] + (
+                np.arange(n_labels) * n_labels
+            )[None, :]
+            # Flat index per (answer, hypothesized truth) into (n_tasks, K).
+            ll_flat = obs_task[:, None] * n_labels + np.arange(n_labels)[None, :]
 
         priors = np.full(n_labels, 1.0 / n_labels)
         confusion = np.zeros((n_workers, n_labels, n_labels))
@@ -112,24 +120,38 @@ class DawidSkene(TruthInference):
         span = em_span(self.name, answers_by_task)
         for iterations in range(1, self.max_iterations + 1):
             # ----- M-step: confusion matrices and class priors. -----
-            confusion.fill(self.smoothing)
             # Accumulate posterior mass: confusion[w, true, answered] += p(task=true).
-            np.add.at(
-                confusion,
-                (obs_worker_arr[:, None].repeat(n_labels, axis=1),
-                 np.arange(n_labels)[None, :].repeat(len(obs_task_arr), axis=0),
-                 obs_label_arr[:, None].repeat(n_labels, axis=1)),
-                posteriors[obs_task_arr],
-            )
+            if self.backend == "kernel":
+                confusion = self.smoothing + np.bincount(
+                    conf_flat.ravel(),
+                    weights=posteriors[obs_task].ravel(),
+                    minlength=n_workers * n_labels * n_labels,
+                ).reshape(n_workers, n_labels, n_labels)
+            else:
+                confusion.fill(self.smoothing)
+                np.add.at(
+                    confusion,
+                    (obs_worker[:, None].repeat(n_labels, axis=1),
+                     np.arange(n_labels)[None, :].repeat(len(obs_task), axis=0),
+                     obs_label[:, None].repeat(n_labels, axis=1)),
+                    posteriors[obs_task],
+                )
             confusion /= confusion.sum(axis=2, keepdims=True)
             priors = posteriors.mean(axis=0)
             priors = np.clip(priors, 1e-9, None)
             priors /= priors.sum()
 
             # ----- E-step: task posteriors from log-likelihoods. -----
-            log_like = np.tile(np.log(priors), (n_tasks, 1))
-            contrib = np.log(confusion[obs_worker_arr, :, obs_label_arr])
-            np.add.at(log_like, obs_task_arr, contrib)
+            contrib = np.log(confusion[obs_worker, :, obs_label])
+            if self.backend == "kernel":
+                log_like = np.log(priors)[None, :] + np.bincount(
+                    ll_flat.ravel(),
+                    weights=contrib.ravel(),
+                    minlength=n_tasks * n_labels,
+                ).reshape(n_tasks, n_labels)
+            else:
+                log_like = np.tile(np.log(priors), (n_tasks, 1))
+                np.add.at(log_like, obs_task, contrib)
             log_like -= log_like.max(axis=1, keepdims=True)
             new_posteriors = np.exp(log_like)
             new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
@@ -147,7 +169,8 @@ class DawidSkene(TruthInference):
         truths: dict[str, Any] = {}
         confidences: dict[str, float] = {}
         posterior_maps: dict[str, dict[Any, float]] = {}
-        for task_id, t_idx in task_index.items():
+        labels = obs.labels
+        for t_idx, task_id in enumerate(obs.task_ids):
             best = int(posteriors[t_idx].argmax())
             truths[task_id] = labels[best]
             confidences[task_id] = float(posteriors[t_idx, best])
@@ -155,7 +178,8 @@ class DawidSkene(TruthInference):
                 labels[j]: float(posteriors[t_idx, j]) for j in range(n_labels)
             }
         worker_quality = {
-            w: float(np.trace(confusion[worker_index[w]]) / n_labels) for w in worker_ids
+            w: float(np.trace(confusion[i]) / n_labels)
+            for i, w in enumerate(obs.worker_ids)
         }
         self._last_quality = dict(worker_quality)
         return InferenceResult(

@@ -10,18 +10,34 @@ Where Dawid–Skene spends K^2 parameters per worker, MACE spends K+1 —
 making it the method of choice exactly in the contaminated-pool regime the
 T2 benchmark sweeps: it separates "usually right" from "answers without
 looking" with far less data.
+
+Two execution backends share the model math (see ``EM_BACKENDS``): the
+default ``kernel`` backend is batched numpy over the shared sparse
+observation encoding with log-space likelihoods (no per-answer 1e-300
+clamp, no underflow collapse); ``legacy`` is the original per-answer loop
+kept for the differential harness.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
 
 from repro.errors import InferenceError
 from repro.platform.task import Answer
 from repro.quality.truth.base import (
     InferenceResult,
     TruthInference,
+    em_iteration,
+    em_span,
+    encode_observations,
     label_space,
+    normalize_log_rows,
+    posteriors_to_maps,
+    resolve_backend,
+    select_truths,
     votes_by_task,
 )
 
@@ -34,6 +50,7 @@ class Mace(TruthInference):
         tolerance: Convergence threshold on max posterior change.
         prior_competence: Initial P(not spamming) per worker.
         smoothing: Pseudo-count for spam-distribution estimation.
+        backend: ``"kernel"`` (vectorized, log-space) or ``"legacy"``.
     """
 
     name = "mace"
@@ -44,6 +61,7 @@ class Mace(TruthInference):
         tolerance: float = 1e-6,
         prior_competence: float = 0.8,
         smoothing: float = 0.1,
+        backend: str = "kernel",
     ):
         if not 0.0 < prior_competence < 1.0:
             raise InferenceError("prior_competence must be in (0, 1)")
@@ -53,16 +71,150 @@ class Mace(TruthInference):
         self.tolerance = tolerance
         self.prior_competence = prior_competence
         self.smoothing = smoothing
+        self.backend = resolve_backend(backend)
+        self._warm_competence: dict[str, float] = {}
+        self._warm_spam: dict[str, dict[Any, float]] = {}
+        self._last_competence: dict[str, float] = {}
+        self._last_spam: dict[str, dict[Any, float]] = {}
+
+    def export_state(self) -> dict[str, Any]:
+        """Worker competences and spam distributions from the last run.
+
+        JSON-serializable when the label space is (labels become object
+        keys); checkpoints embed this under ``state["inference"]``.
+        """
+        return {
+            "competence": dict(self._last_competence),
+            "spam_distributions": {
+                w: dict(dist) for w, dist in self._last_spam.items()
+            },
+        }
+
+    def warm_start(self, state: Mapping[str, Any]) -> None:
+        """Initialize the next EM run from exported worker parameters."""
+        self._warm_competence = dict(state.get("competence", {}))
+        self._warm_spam = {
+            w: dict(dist) for w, dist in state.get("spam_distributions", {}).items()
+        }
 
     def infer(self, answers_by_task: Mapping[str, Sequence[Answer]]) -> InferenceResult:
         self._validate(answers_by_task)
+        with em_span(self.name, answers_by_task) as span:
+            if self.backend == "kernel":
+                result = self._infer_kernel(answers_by_task)
+            else:
+                result = self._infer_legacy(answers_by_task)
+            span.set_tag("iterations", result.iterations)
+            span.set_tag("converged", result.converged)
+        return result
+
+    def _initial_spam_row(self, labels: Sequence[Any], worker_id: str) -> list[float]:
+        """Uniform spam preferences, overridden by warm-start state."""
+        n = len(labels)
+        warm = self._warm_spam.get(worker_id)
+        if not warm:
+            return [1.0 / n] * n
+        row = [float(warm.get(label, 1.0 / n)) for label in labels]
+        total = sum(row)
+        return [v / total for v in row] if total > 0 else [1.0 / n] * n
+
+    # ------------------------------------------------------------------ #
+    # Vectorized log-space kernel
+    # ------------------------------------------------------------------ #
+
+    def _infer_kernel(
+        self, answers_by_task: Mapping[str, Sequence[Answer]]
+    ) -> InferenceResult:
+        obs = encode_observations(answers_by_task)
+        n_tasks, n_labels = obs.n_tasks, obs.n_labels
+        n_workers = obs.n_workers
+        competence = np.array(
+            [self._warm_competence.get(w, self.prior_competence) for w in obs.worker_ids]
+        )
+        spam = np.array([self._initial_spam_row(obs.labels, w) for w in obs.worker_ids])
+
+        flat_tl = obs.flat_task_label()
+        flat_wl = obs.flat_worker_label()
+        answer_count = obs.answers_per_worker()
+
+        # Warm start from vote shares over the global label space.
+        posteriors = np.bincount(flat_tl, minlength=n_tasks * n_labels).reshape(
+            n_tasks, n_labels
+        ) / obs.answers_per_task()[:, None]
+
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iterations + 1):
+            # ---- E-step: task posteriors under the mixture likelihood,
+            # accumulated in log space. Each answer contributes
+            # log((1-theta) * spam_p) unless it matches the hypothesized
+            # truth, where the contribution rises to log(theta + miss).
+            theta = competence[obs.obs_worker]
+            miss = np.maximum((1.0 - theta) * spam[obs.obs_worker, obs.obs_label], 1e-300)
+            match = theta + miss
+            log_miss = np.log(miss)
+            base = np.bincount(obs.obs_task, weights=log_miss, minlength=n_tasks)
+            corr = np.log(match) - log_miss
+            log_like = base[:, None] + np.bincount(
+                flat_tl, weights=corr, minlength=n_tasks * n_labels
+            ).reshape(n_tasks, n_labels)
+            new_posteriors = normalize_log_rows(log_like)
+
+            # Per-answer posterior that the worker was competent.
+            p_competent = new_posteriors[obs.obs_task, obs.obs_label] * (theta / match)
+            competent_mass = np.bincount(
+                obs.obs_worker, weights=p_competent, minlength=n_workers
+            )
+            spam_counts = self.smoothing + np.bincount(
+                flat_wl, weights=1.0 - p_competent, minlength=n_workers * n_labels
+            ).reshape(n_workers, n_labels)
+
+            # ---- M-step. ----
+            competence = (competent_mass + 1.0) / (answer_count + 2.0)
+            spam = spam_counts / spam_counts.sum(axis=1, keepdims=True)
+
+            delta = float(np.abs(new_posteriors - posteriors).max())
+            posteriors = new_posteriors
+            em_iteration(self.name, iterations, delta)
+            if delta < self.tolerance:
+                converged = True
+                break
+
+        self._last_competence = {
+            w: float(c) for w, c in zip(obs.worker_ids, competence)
+        }
+        self._last_spam = {
+            w: {label: float(p) for label, p in zip(obs.labels, spam[i])}
+            for i, w in enumerate(obs.worker_ids)
+        }
+        posterior_maps = posteriors_to_maps(obs, posteriors)
+        truths, confidences = select_truths(posterior_maps)
+        return InferenceResult(
+            truths=truths,
+            confidences=confidences,
+            worker_quality=dict(self._last_competence),
+            iterations=iterations,
+            converged=converged,
+            posteriors=posterior_maps,
+            spam_distributions={w: dict(d) for w, d in self._last_spam.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Legacy per-answer loop (linear-space likelihoods)
+    # ------------------------------------------------------------------ #
+
+    def _infer_legacy(
+        self, answers_by_task: Mapping[str, Sequence[Answer]]
+    ) -> InferenceResult:
         labels = label_space(answers_by_task)
         n_labels = len(labels)
         worker_ids = sorted({a.worker_id for ans in answers_by_task.values() for a in ans})
 
-        competence = {w: self.prior_competence for w in worker_ids}
+        competence = {
+            w: self._warm_competence.get(w, self.prior_competence) for w in worker_ids
+        }
         spam_dist: dict[str, dict[Any, float]] = {
-            w: {label: 1.0 / n_labels for label in labels} for w in worker_ids
+            w: dict(zip(labels, self._initial_spam_row(labels, w))) for w in worker_ids
         }
 
         # Warm start from vote shares.
@@ -97,6 +249,9 @@ class Mace(TruthInference):
                             likelihood *= theta + (1 - theta) * spam_p
                         else:
                             likelihood *= (1 - theta) * spam_p
+                        # The per-answer floor that saturates every label's
+                        # score on answer-heavy tasks — the underflow bug
+                        # the kernel backend fixes.
                         likelihood = max(likelihood, 1e-300)
                     scores[true_label] = likelihood
                 total = sum(scores.values())
@@ -139,24 +294,20 @@ class Mace(TruthInference):
                 for label, p in post.items()
             )
             posteriors = new_posteriors
+            em_iteration(self.name, iterations, delta)
             if delta < self.tolerance:
                 converged = True
                 break
 
-        truths: dict[str, Any] = {}
-        confidences: dict[str, float] = {}
-        for task_id, post in posteriors.items():
-            winner = max(post, key=lambda label: (post[label], repr(label)))
-            truths[task_id] = winner
-            confidences[task_id] = post[winner]
-        result = InferenceResult(
+        self._last_competence = dict(competence)
+        self._last_spam = {w: dict(d) for w, d in spam_dist.items()}
+        truths, confidences = select_truths(posteriors)
+        return InferenceResult(
             truths=truths,
             confidences=confidences,
             worker_quality=dict(competence),
             iterations=iterations,
             converged=converged,
             posteriors=posteriors,
+            spam_distributions={w: dict(d) for w, d in spam_dist.items()},
         )
-        # Expose spam preferences for analysis (not part of the interface).
-        result.spam_distributions = spam_dist  # type: ignore[attr-defined]
-        return result

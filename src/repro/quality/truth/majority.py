@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.platform.task import Answer
 from repro.quality.truth.base import InferenceResult, TruthInference, votes_by_task

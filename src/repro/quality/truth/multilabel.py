@@ -9,7 +9,8 @@ option independently: include an option in the inferred set iff more than
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.errors import InferenceError
 from repro.platform.task import Answer

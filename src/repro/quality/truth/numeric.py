@@ -14,7 +14,8 @@ aggregation from categorical labels. The tutorial surveys three levels:
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 import numpy as np
 

@@ -176,6 +176,17 @@ class TestEMFamily:
         quality = ZenCrowd().infer(answers).worker_quality
         assert all(0.0 <= q <= 1.0 for q in quality.values())
 
+    @pytest.mark.parametrize("backend", ["kernel", "legacy"])
+    def test_zencrowd_smoothing_is_beta22_posterior_mean(self, backend):
+        """Reliability smoothing is (mass+1)/(count+2) — the Beta(2,2)
+        (add-one / Laplace) posterior mean, the same form MACE uses for
+        competence. One unanimous answer per worker pins it at exactly
+        (1+1)/(1+2) = 2/3."""
+        evidence = _manual({"t1": [("w1", "a"), ("w2", "a")]})
+        result = ZenCrowd(backend=backend).infer(evidence)
+        assert result.worker_quality["w1"] == pytest.approx(2 / 3)
+        assert result.worker_quality["w2"] == pytest.approx(2 / 3)
+
     def test_zencrowd_handles_heterogeneous_label_sets(self):
         evidence = _manual(
             {
@@ -194,7 +205,7 @@ class TestEMFamily:
         hard = make_choice_tasks(30, seed=2, difficulty=0.85)
         answers = platform.collect(easy + hard, redundancy=5)
         result = Glad(max_iterations=15).infer(answers)
-        difficulty = result.task_difficulty  # type: ignore[attr-defined]
+        difficulty = result.task_difficulty
         easy_mean = np.mean([difficulty[t.task_id] for t in easy])
         hard_mean = np.mean([difficulty[t.task_id] for t in hard])
         assert hard_mean > easy_mean

@@ -66,8 +66,17 @@ class TestMace:
         result = Mace().infer(
             _manual({"t1": [("w1", "a"), ("w2", "b"), ("w3", "a")]})
         )
-        for dist in result.spam_distributions.values():  # type: ignore[attr-defined]
+        # spam_distributions is a declared InferenceResult field now, so no
+        # type: ignore escape hatch is needed to read it.
+        for dist in result.spam_distributions.values():
             assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_spam_distribution_covers_every_worker(self):
+        evidence = _manual(
+            {"t1": [("w1", "a"), ("w2", "b")], "t2": [("w2", "a"), ("w3", "a")]}
+        )
+        result = Mace().infer(evidence)
+        assert set(result.spam_distributions) == {"w1", "w2", "w3"}
 
     def test_biased_spammer_detected(self):
         """A worker who always answers 'a' gets low competence and a spam
@@ -85,5 +94,5 @@ class TestMace:
             ]
         result = Mace().infer(_manual(votes))
         assert result.worker_quality["lazy"] < 0.45
-        spam = result.spam_distributions["lazy"]  # type: ignore[attr-defined]
+        spam = result.spam_distributions["lazy"]
         assert spam["a"] > 0.8
