@@ -60,9 +60,22 @@ def write_csv(table: Table, destination: Path | str | TextIO) -> None:
 
 def _write(table: Table, handle: TextIO) -> None:
     writer = csv.writer(handle)
-    writer.writerow(table.schema.column_names)
-    for row in table:
-        writer.writerow([_serialize(row[name]) for name in table.schema.column_names])
+    names = table.schema.column_names
+    writer.writerow(names)
+    # Columnar export: serialize one column at a time off the arrays, then
+    # transpose, instead of paying a dict materialization per row.
+    columns = []
+    for name in names:
+        vec = table.column_vector(name)
+        columns.append(
+            [
+                CNULL_TOKEN if cn else "" if nu else _serialize(v)
+                for v, nu, cn in zip(
+                    vec.values.tolist(), vec.null.tolist(), vec.cnull.tolist(), strict=True
+                )
+            ]
+        )
+    writer.writerows(zip(*columns, strict=True))
 
 
 def read_csv(source: Path | str | TextIO, name: str, schema: Schema) -> Table:
@@ -87,15 +100,18 @@ def _read(handle: TextIO, name: str, schema: Schema) -> Table:
         raise ValueError(
             f"CSV header {header!r} does not match schema columns {sorted(expected)!r}"
         )
-    table = Table(name, schema)
+    # Columnar import: parse into per-column lists, then one bulk
+    # insert_columns call so validation and array encoding are batched.
+    ctypes = [schema.column(col_name).ctype for col_name in header]
+    columns: list[list[Any]] = [[] for _ in header]
     for line_no, record in enumerate(reader, start=2):
         if len(record) != len(header):
             raise ValueError(f"line {line_no}: expected {len(header)} fields, got {len(record)}")
-        values = {
-            col_name: _parse(text, schema.column(col_name).ctype)
-            for col_name, text in zip(header, record)
-        }
-        table.insert(values)
+        for out, text, ctype in zip(columns, record, ctypes, strict=True):
+            out.append(_parse(text, ctype))
+    table = Table(name, schema)
+    if columns and columns[0]:
+        table.insert_columns(dict(zip(header, columns, strict=True)))
     return table
 
 

@@ -8,7 +8,8 @@ across all tables.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from collections.abc import Iterable, Iterator
+from typing import Any
 
 from repro.data.schema import Schema
 from repro.data.table import Table
@@ -92,7 +93,7 @@ class Database:
         for table in self._tables.values():
             crowd_cols = len(table.schema.crowd_columns)
             totals += len(table) * crowd_cols
-            unresolved += len(table.cnull_cells())
+            unresolved += table.cnull_count()
         if totals == 0:
             return 1.0
         return 1.0 - unresolved / totals

@@ -1,4 +1,4 @@
-"""Expression trees evaluated over rows.
+"""Expression trees evaluated over rows — or vectorized over whole columns.
 
 These expressions power WHERE clauses, projections, and join conditions in
 the CrowdSQL executor, and are also usable directly against
@@ -11,12 +11,24 @@ needed to decide this predicate". Boolean connectives propagate both kinds
 of unknown with standard Kleene rules, treating CROWD_UNKNOWN as the more
 informative of the two (AND(False, crowd-unknown) is False; AND(True,
 crowd-unknown) is crowd-unknown).
+
+Every expression also has a *vectorized* evaluation path
+(:func:`evaluate_vector` / :func:`evaluate_tristate` / :func:`evaluate_mask`)
+that runs over a batch of :class:`~repro.data.columnstore.ColumnVector`
+columns at numpy speed. The tri-state result is carried as three parallel
+boolean masks (truth / NULL / CNULL) with exactly the same propagation rules
+as the row path; machine-side scans, filters, and join pre-passes use this to
+avoid per-row Python dispatch entirely.
 """
 
 from __future__ import annotations
 
+import re
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any
+
+import numpy as np
 
 from repro.data.schema import is_cnull
 from repro.errors import ExpressionError
@@ -305,14 +317,59 @@ class InList(Expression):
 
 
 @dataclass(eq=False)
+class Like(Expression):
+    """SQL ``x LIKE pattern`` — ``%`` matches any run, ``_`` one character.
+
+    Case-sensitive, per the SQL standard default. NULL operands yield NULL;
+    CNULL operands yield :data:`CROWD_UNKNOWN`; non-string operands raise.
+    """
+
+    operand: Expression
+    pattern: str
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        self._regex = re.compile(translate_like(self.pattern), re.DOTALL)
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        val = self.operand.evaluate(row)
+        if is_cnull(val):
+            return CROWD_UNKNOWN
+        if val is None:
+            return None
+        if not isinstance(val, str):
+            raise ExpressionError(f"LIKE requires a string operand, got {val!r}")
+        result = self._regex.match(val) is not None
+        return (not result) if self.negated else result
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} {'NOT ' if self.negated else ''}LIKE {self.pattern!r})"
+
+
+def translate_like(pattern: str) -> str:
+    """Translate a SQL LIKE pattern into an anchored regular expression."""
+    parts = ["\\A"]
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    parts.append("\\Z")
+    return "".join(parts)
+
+
+@dataclass(eq=False)
 class Arithmetic(Expression):
     """Binary arithmetic (+, -, *, /) with NULL/CNULL propagation."""
 
     op: str
     left: Expression
     right: Expression
-
-    _OPS: dict[str, Callable[[Any, Any], Any]] = None  # type: ignore[assignment]
 
     def evaluate(self, row: Mapping[str, Any]) -> Any:
         lhs = self.left.evaluate(row)
@@ -410,6 +467,299 @@ def split_conjuncts(expr: Expression) -> list[Expression]:
     if isinstance(expr, And):
         return split_conjuncts(expr.left) + split_conjuncts(expr.right)
     return [expr]
+
+
+# ---------------------------------------------------------------------- #
+# Vectorized evaluation
+# ---------------------------------------------------------------------- #
+#
+# A batch is a Mapping[str, ColumnVector] (see repro.data.columnstore): for
+# every referenced column, a values array plus parallel NULL/CNULL boolean
+# masks. Evaluation produces a _Vec — values plus the same two masks — with
+# tri-state semantics identical to the row path:
+#
+#   * predicates carry their truth in a boolean ``values`` array, valid only
+#     where both masks are False;
+#   * a True ``cnull`` bit corresponds to the row path's CROWD_UNKNOWN, a
+#     True ``null`` bit to SQL NULL (None);
+#   * AND/OR implement the same asymmetric Kleene rules: definite False
+#     (resp. True) dominates both kinds of unknown, and CNULL dominates NULL.
+
+
+@dataclass
+class _Vec:
+    """One vectorized evaluation result: values + NULL/CNULL masks."""
+
+    values: np.ndarray
+    null: np.ndarray
+    cnull: np.ndarray
+
+    @property
+    def defined(self) -> np.ndarray:
+        return ~(self.null | self.cnull)
+
+
+_NUMPY_COMPARATORS: dict[str, Any] = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def _as_bool_array(result: Any, n: int) -> np.ndarray:
+    """Coerce a ufunc result (possibly object-dtype or scalar) to bool[n]."""
+    arr = np.asarray(result)
+    if arr.dtype != np.bool_:
+        arr = arr.astype(np.bool_)
+    if arr.ndim == 0:
+        return np.full(n, bool(arr), dtype=np.bool_)
+    return arr
+
+
+def _vec_compare(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise comparison mirroring the row path's ``_COMPARATORS``."""
+    try:
+        return _as_bool_array(_NUMPY_COMPARATORS[op](a, b), len(a))
+    except TypeError as exc:
+        if op in ("=", "!="):
+            # Python equality never raises across types (1 == "a" is False);
+            # numpy's ufunc does for some dtype pairs, so fall back.
+            fn = _COMPARATORS[op]
+            return np.fromiter(
+                (fn(x, y) for x, y in zip(a, b, strict=True)), np.bool_, len(a)
+            )
+        raise ExpressionError(f"cannot compare values with {op!r}: {exc}") from None
+
+
+def _literal_vec(value: Any, n: int) -> _Vec:
+    no = np.zeros(n, dtype=np.bool_)
+    if is_cnull(value):
+        return _Vec(np.full(n, None, dtype=object), no, np.ones(n, dtype=np.bool_))
+    if value is None:
+        return _Vec(np.full(n, None, dtype=object), np.ones(n, dtype=np.bool_), no)
+    if isinstance(value, bool):
+        values = np.full(n, value, dtype=np.bool_)
+    elif isinstance(value, int):
+        try:
+            values = np.full(n, value, dtype=np.int64)
+        except OverflowError:
+            values = np.full(n, value, dtype=object)
+    elif isinstance(value, float):
+        values = np.full(n, value, dtype=np.float64)
+    else:
+        values = np.full(n, value, dtype=object)
+    return _Vec(values, no, no)
+
+
+def _masked_pair(left: _Vec, right: _Vec, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CNULL-dominant mask combination shared by comparisons/arithmetic."""
+    cnull = left.cnull | right.cnull
+    null = (left.null | right.null) & ~cnull
+    defined = ~(cnull | null)
+    return cnull, null, defined
+
+
+def evaluate_vector(expr: Expression, batch: Mapping[str, Any], n: int) -> _Vec:
+    """Evaluate *expr* over an *n*-row column batch; returns values + masks.
+
+    Exactly mirrors per-row :meth:`Expression.evaluate` semantics; see the
+    module docstring for the mask conventions.
+    """
+    if isinstance(expr, Literal):
+        return _literal_vec(expr.value, n)
+
+    if isinstance(expr, ColumnRef):
+        try:
+            col = batch[expr.name]
+        except KeyError:
+            raise ExpressionError(f"row has no column {expr.name!r}") from None
+        return _Vec(col.values, col.null, col.cnull)
+
+    if isinstance(expr, Comparison):
+        left = evaluate_vector(expr.left, batch, n)
+        right = evaluate_vector(expr.right, batch, n)
+        cnull, null, defined = _masked_pair(left, right, n)
+        truth = np.zeros(n, dtype=np.bool_)
+        idx = np.flatnonzero(defined)
+        if idx.size:
+            truth[idx] = _vec_compare(expr.op, left.values[idx], right.values[idx])
+        return _Vec(truth, null, cnull)
+
+    if isinstance(expr, And):
+        left = _truth_of(evaluate_vector(expr.left, batch, n))
+        right = _truth_of(evaluate_vector(expr.right, batch, n))
+        false = (left.defined & ~left.values) | (right.defined & ~right.values)
+        cnull = (left.cnull | right.cnull) & ~false
+        null = (left.null | right.null) & ~false & ~cnull
+        return _Vec(~(false | cnull | null), null, cnull)
+
+    if isinstance(expr, Or):
+        left = _truth_of(evaluate_vector(expr.left, batch, n))
+        right = _truth_of(evaluate_vector(expr.right, batch, n))
+        true = (left.defined & left.values) | (right.defined & right.values)
+        cnull = (left.cnull | right.cnull) & ~true
+        null = (left.null | right.null) & ~true & ~cnull
+        return _Vec(true, null, cnull)
+
+    if isinstance(expr, Not):
+        operand = _truth_of(evaluate_vector(expr.operand, batch, n))
+        return _Vec(operand.defined & ~operand.values, operand.null, operand.cnull)
+
+    if isinstance(expr, IsNull):
+        operand = evaluate_vector(expr.operand, batch, n)
+        result = ~operand.null if expr.negated else operand.null.copy()
+        no = np.zeros(n, dtype=np.bool_)
+        return _Vec(result, no, no)
+
+    if isinstance(expr, IsCNull):
+        operand = evaluate_vector(expr.operand, batch, n)
+        result = ~operand.cnull if expr.negated else operand.cnull.copy()
+        no = np.zeros(n, dtype=np.bool_)
+        return _Vec(result, no, no)
+
+    if isinstance(expr, InList):
+        operand = evaluate_vector(expr.operand, batch, n)
+        truth = np.zeros(n, dtype=np.bool_)
+        idx = np.flatnonzero(operand.defined)
+        if idx.size:
+            sub = operand.values[idx]
+            if sub.dtype == object:
+                # Memoize tuple membership per distinct cell value — the row
+                # path's ``val in values`` verbatim, paid once per distinct
+                # value instead of once per row.
+                seen: dict[Any, bool] = {}
+                member = np.empty(idx.size, dtype=np.bool_)
+                in_values = expr.values
+                for k, val in enumerate(sub):
+                    hit = seen.get(val)
+                    if hit is None:
+                        seen[val] = hit = val in in_values
+                    member[k] = hit
+            else:
+                member = np.zeros(idx.size, dtype=np.bool_)
+                for value in expr.values:
+                    still = ~member
+                    if not still.any():
+                        break
+                    rest = sub[still]
+                    try:
+                        hits = _as_bool_array(np.equal(rest, value), rest.size)
+                    except (TypeError, ValueError, OverflowError):
+                        # Cross-type value (e.g. a string against a numeric
+                        # column): python `==` semantics, elementwise.
+                        hits = _vec_compare(
+                            "=", rest, np.full(rest.size, value, dtype=object)
+                        )
+                    member[still] = hits
+            truth[idx] = ~member if expr.negated else member
+        return _Vec(truth, operand.null.copy(), operand.cnull.copy())
+
+    if isinstance(expr, Like):
+        operand = evaluate_vector(expr.operand, batch, n)
+        truth = np.zeros(n, dtype=np.bool_)
+        idx = np.flatnonzero(operand.defined)
+        if idx.size:
+            regex = expr._regex
+            matches = np.empty(idx.size, dtype=np.bool_)
+            # LIKE columns are typically categorical; memoizing the regex
+            # verdict per distinct string turns the per-row match into a
+            # dict hit without changing semantics for high-cardinality data.
+            memo: dict[str, bool] = {}
+            for k, value in enumerate(operand.values[idx]):
+                hit = memo.get(value)
+                if hit is None:
+                    if not isinstance(value, str):
+                        raise ExpressionError(
+                            f"LIKE requires a string operand, got {value!r}"
+                        )
+                    memo[value] = hit = regex.match(value) is not None
+                matches[k] = hit
+            truth[idx] = ~matches if expr.negated else matches
+        return _Vec(truth, operand.null.copy(), operand.cnull.copy())
+
+    if isinstance(expr, Arithmetic):
+        left = evaluate_vector(expr.left, batch, n)
+        right = evaluate_vector(expr.right, batch, n)
+        if expr.op not in ("+", "-", "*", "/"):
+            raise ExpressionError(f"unknown arithmetic operator {expr.op!r}")
+        cnull, null, defined = _masked_pair(left, right, n)
+        null = null.copy()
+        idx = np.flatnonzero(defined)
+        values: np.ndarray = np.zeros(n, dtype=np.float64)
+        if idx.size:
+            a, b = left.values[idx], right.values[idx]
+            # Python semantics for booleans (True + True == 2), not numpy's
+            # saturating bool arithmetic.
+            if a.dtype == np.bool_:
+                a = a.astype(object)
+            if b.dtype == np.bool_:
+                b = b.astype(object)
+            try:
+                if expr.op == "/":
+                    zero = _as_bool_array(np.equal(b, 0), idx.size)
+                    null[idx[zero]] = True
+                    keep = ~zero
+                    idx = idx[keep]
+                    out = np.true_divide(a[keep], b[keep])
+                elif expr.op == "+":
+                    out = np.add(a, b)
+                elif expr.op == "-":
+                    out = np.subtract(a, b)
+                else:
+                    out = np.multiply(a, b)
+            except TypeError as exc:
+                raise ExpressionError(
+                    f"cannot compute {expr.op!r} over columns: {exc}"
+                ) from None
+            out = np.asarray(out)
+            values = np.zeros(n, dtype=out.dtype if out.dtype != np.bool_ else object)
+            if idx.size:
+                values[idx] = out
+        return _Vec(values, null, cnull)
+
+    if isinstance(expr, CrowdPredicate):
+        no = np.zeros(n, dtype=np.bool_)
+        return _Vec(np.zeros(n, dtype=np.bool_), no, np.ones(n, dtype=np.bool_))
+
+    raise ExpressionError(
+        f"no vectorized evaluation for expression {type(expr).__name__}"
+    )
+
+
+def _truth_of(vec: _Vec) -> _Vec:
+    """Reduce a value vector to predicate truth (``is True`` semantics)."""
+    if vec.values.dtype == np.bool_:
+        return vec
+    if vec.values.dtype == object:
+        truth = np.fromiter(
+            (v is True for v in vec.values), np.bool_, len(vec.values)
+        )
+        return _Vec(truth, vec.null, vec.cnull)
+    # Numeric values are never `is True` on the row path.
+    return _Vec(np.zeros(len(vec.values), dtype=np.bool_), vec.null, vec.cnull)
+
+
+def evaluate_tristate(
+    expr: Expression, batch: Mapping[str, Any], n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate a predicate over a batch; returns (true, null, cnull) masks.
+
+    ``true[i]`` corresponds to the row path returning exactly ``True`` for
+    row *i*; ``null[i]`` to ``None``; ``cnull[i]`` to ``CROWD_UNKNOWN``.
+    The masks are mutually exclusive (not necessarily exhaustive: a definite
+    False row has all three bits clear).
+    """
+    vec = _truth_of(evaluate_vector(expr, batch, n))
+    return vec.values & vec.defined, vec.null, vec.cnull
+
+
+def evaluate_mask(expr: Expression, batch: Mapping[str, Any], n: int) -> np.ndarray:
+    """Definite-True mask for *expr* over a batch (what a WHERE keeps)."""
+    true, _null, _cnull = evaluate_tristate(expr, batch, n)
+    return true
 
 
 def conjoin(conjuncts: list[Expression]) -> Expression:

@@ -5,28 +5,47 @@ platform with the configured redundancy and truth-inference method. Ground
 truth for the simulated workers comes from a :class:`CrowdOracle`, which a
 real deployment would simply omit (workers would supply knowledge instead).
 
+Machine-side work is vectorized where the plan shape allows it: scan/filter
+chains over a base table evaluate one fused predicate on the table's column
+arrays, crowd filters pre-drop rows whose machine-decidable prefix is
+definitely False before any crowd question is purchased, and machine
+equi-joins build/probe on column arrays instead of nested-loop row dicts.
+Every fast path produces bit-identical rows, ordering, and crowd purchase
+sequences to the row-at-a-time code it replaces, which stays in place as
+the fallback for plan shapes the vectorizer does not cover.
+
 Per-run accounting (questions, answers, spend) is collected in
 :class:`ExecutionStats` so the T7 benchmark can compare plans.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
+
+import numpy as np
 
 from repro.cost.similarity import jaccard_tokens
+from repro.data.columnstore import ColumnVector
 from repro.data.database import Database
 from repro.data.expressions import (
     And,
+    ColumnRef,
+    Comparison,
     CrowdPredicate,
     Expression,
     Not,
     Or,
+    conjoin,
     contains_crowd_predicate,
+    evaluate_tristate,
     is_crowd_unknown,
+    split_conjuncts,
 )
 from repro.data.schema import Column, ColumnType, Schema, is_cnull
-from repro.errors import ExecutionError
+from repro.data.table import Table
+from repro.errors import ExecutionError, ExpressionError
 from repro.lang.planner import (
     AggregateNode,
     CrowdFilterNode,
@@ -172,13 +191,14 @@ class Executor:
         if isinstance(node, FillNode):
             return self._run_fill(node, stats)
         if isinstance(node, FilterNode):
+            fast = self._vectorized_filter(node)
+            if fast is not None:
+                return fast
             schema, rows = self._run(node.child, stats)
             kept = [r for r in rows if node.predicate.evaluate(r) is True]
             return schema, kept
         if isinstance(node, CrowdFilterNode):
-            schema, rows = self._run(node.child, stats)
-            kept = [r for r in rows if self._eval_crowd(node.predicate, r, stats) is True]
-            return schema, kept
+            return self._run_crowd_filter(node, stats)
         if isinstance(node, JoinNode):
             return self._run_join(node, stats, crowd=False)
         if isinstance(node, CrowdJoinNode):
@@ -225,6 +245,205 @@ class Executor:
         if isinstance(node, AggregateNode):
             return self._run_aggregate(node, stats)
         raise ExecutionError(f"unknown plan node {type(node).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Vectorized machine-side fast paths
+    # ------------------------------------------------------------------ #
+
+    def _columnar_rows(self, node: PlanNode) -> tuple[Table, np.ndarray] | None:
+        """Resolve a machine-only scan/filter subtree to (table, positions).
+
+        Positions index the table's live row order (insertion order). Filters
+        in the chain are applied vectorized, innermost first. Returns None
+        when the subtree is not a pure machine-side scan/filter chain over a
+        base table; callers then fall back to row-at-a-time execution.
+        """
+        if isinstance(node, ScanNode):
+            table = self.database.table(node.table)
+            return table, np.arange(len(table), dtype=np.int64)
+        if isinstance(node, FilterNode) and not contains_crowd_predicate(node.predicate):
+            below = self._columnar_rows(node.child)
+            if below is None:
+                return None
+            table, pos = below
+            if pos.size == 0:
+                return table, pos
+            batch, n = self._batch_for(table, node.predicate, pos)
+            true, _null, _cnull = evaluate_tristate(node.predicate, batch, n)
+            return table, pos[true]
+        return None
+
+    @staticmethod
+    def _batch_for(
+        table: Table, expr: Expression, pos: np.ndarray
+    ) -> tuple[dict[str, ColumnVector], int]:
+        """Column batch for *expr* restricted to live-order positions *pos*.
+
+        Columns the expression references but the table lacks are left out of
+        the batch so the vector evaluator raises the same "row has no column"
+        error the row path does.
+        """
+        full = pos.size == len(table)
+        batch: dict[str, ColumnVector] = {}
+        for name in expr.columns():
+            if name not in table.schema:
+                continue
+            vec = table.column_vector(name)
+            if not full:
+                vec = ColumnVector(vec.values[pos], vec.null[pos], vec.cnull[pos])
+            batch[name] = vec
+        return batch, int(pos.size)
+
+    @staticmethod
+    def _materialize(table: Table, pos: np.ndarray) -> list[dict[str, Any]]:
+        """Row dicts (schema order) for live-order positions *pos*."""
+        store = table.store
+        rowids = table.rowids()
+        return [store.row_dict(int(rowids[p])) for p in pos.tolist()]
+
+    def _vectorized_filter(self, node: FilterNode) -> tuple[Schema, list[dict[str, Any]]] | None:
+        """Fuse a machine filter chain over a scan into one vectorized pass."""
+        try:
+            resolved = self._columnar_rows(node)
+        except ExpressionError:
+            # The row path short-circuits conjunctions per row, so an error
+            # raised vectorized may not be reachable row-at-a-time; re-run
+            # the exact per-row semantics instead of guessing.
+            return None
+        if resolved is None:
+            return None
+        table, pos = resolved
+        return table.schema, self._materialize(table, pos)
+
+    @staticmethod
+    def _machine_prefix(expr: Expression) -> tuple[Expression, Expression] | None:
+        """Split ``And(machine_subtree, crowd_rest)`` off a predicate tree.
+
+        Walks the left spine of the And tree peeling crowd-dependent right
+        arms; the leftmost crowd-free subtree is the machine prefix, exactly
+        the unit :meth:`_eval_crowd` evaluates in one ``Expression.evaluate``
+        call. Returns (prefix, rest) or None when there is no such split.
+        """
+        arms: list[Expression] = []
+        while isinstance(expr, And) and contains_crowd_predicate(expr):
+            arms.append(expr.right)
+            expr = expr.left
+        if not arms or contains_crowd_predicate(expr):
+            return None
+        arms.reverse()
+        return expr, conjoin(arms)
+
+    def _run_crowd_filter(
+        self, node: CrowdFilterNode, stats: ExecutionStats
+    ) -> tuple[Schema, list[dict[str, Any]]]:
+        fast = self._crowd_filter_prepass(node, stats)
+        if fast is not None:
+            return fast
+        schema, rows = self._run(node.child, stats)
+        kept = [r for r in rows if self._eval_crowd(node.predicate, r, stats) is True]
+        return schema, kept
+
+    def _crowd_filter_prepass(
+        self, node: CrowdFilterNode, stats: ExecutionStats
+    ) -> tuple[Schema, list[dict[str, Any]]] | None:
+        """Vectorize the machine-decidable prefix of a crowd filter.
+
+        Only rows whose machine prefix is *definitely False* are dropped
+        before crowd evaluation — rows where the prefix is NULL or
+        CROWD_UNKNOWN still reach the crowd exactly as in the row path, so
+        the sequence of purchased questions (and hence the platform RNG
+        stream and every cache entry) is bit-identical.
+        """
+        if not contains_crowd_predicate(node.predicate):
+            # Degenerate crowd filter over a machine predicate: pure
+            # vectorized filter, no purchases at all.
+            try:
+                resolved = self._columnar_rows(node.child)
+                if resolved is None:
+                    return None
+                table, pos = resolved
+                if pos.size:
+                    batch, n = self._batch_for(table, node.predicate, pos)
+                    true, _null, _cnull = evaluate_tristate(node.predicate, batch, n)
+                    pos = pos[true]
+            except ExpressionError:
+                return None
+            return table.schema, self._materialize(table, pos)
+        split = self._machine_prefix(node.predicate)
+        if split is None:
+            return None
+        prefix, rest = split
+        try:
+            resolved = self._columnar_rows(node.child)
+            if resolved is None:
+                return None
+            table, pos = resolved
+            if pos.size == 0:
+                return table.schema, []
+            batch, n = self._batch_for(table, prefix, pos)
+            true, null, cnull = evaluate_tristate(prefix, batch, n)
+        except ExpressionError:
+            return None
+        # _eval_crowd short-circuits an And only on definite False; a NULL or
+        # CROWD_UNKNOWN prefix still buys the crowd answers, and at the crowd
+        # And level CROWD_UNKNOWN counts as satisfied while NULL poisons the
+        # row. Mirror all three cases exactly.
+        candidate = true | null | cnull
+        satisfied = (true | cnull)[candidate]
+        store = table.store
+        rowids = table.rowids()
+        kept = []
+        for p, ok in zip(pos[candidate].tolist(), satisfied.tolist(), strict=True):
+            row = store.row_dict(int(rowids[p]))
+            if self._eval_crowd(rest, row, stats) is True and ok:
+                kept.append(row)
+        return table.schema, kept
+
+    @staticmethod
+    def _equi_split(
+        condition: Expression, left_schema: Schema, right_schema: Schema
+    ) -> tuple[list[tuple[str, str]], list[Expression]] | None:
+        """Split a join condition into equi-key column pairs + residual.
+
+        Returns ([(left_col, right_col), ...], residual_conjuncts) or None
+        when no cross-schema column equality exists (or the condition needs
+        the crowd), in which case callers use the nested-loop path.
+        """
+        if contains_crowd_predicate(condition):
+            return None
+        keys: list[tuple[str, str]] = []
+        residual: list[Expression] = []
+        for c in split_conjuncts(condition):
+            if (
+                isinstance(c, Comparison)
+                and c.op == "="
+                and isinstance(c.left, ColumnRef)
+                and isinstance(c.right, ColumnRef)
+            ):
+                a, b = c.left.name, c.right.name
+                if a in left_schema and b in right_schema:
+                    keys.append((a, b))
+                    continue
+                if b in left_schema and a in right_schema:
+                    keys.append((b, a))
+                    continue
+            residual.append(c)
+        if not keys:
+            return None
+        return keys, residual
+
+    @staticmethod
+    def _join_key(values: list[Any]) -> tuple[Any, ...] | None:
+        """Hashable key tuple, or None when the row cannot equi-match.
+
+        NULL and CNULL never compare True; NaN fails ``x == x`` under the
+        row path's ``==`` but would collide with itself in a dict, so all
+        three are excluded from the build and probe sides.
+        """
+        for v in values:
+            if v is None or is_cnull(v) or v != v:
+                return None
+        return tuple(values)
 
     # ------------------------------------------------------------------ #
     # Aggregation
@@ -308,7 +527,9 @@ class Executor:
     # Crowd-powered pieces
     # ------------------------------------------------------------------ #
 
-    def _run_fill(self, node: FillNode, stats: ExecutionStats) -> tuple[Schema, list[dict[str, Any]]]:
+    def _run_fill(
+        self, node: FillNode, stats: ExecutionStats
+    ) -> tuple[Schema, list[dict[str, Any]]]:
         table = self.database.table(node.table)
         pending = [c for c in table.cnull_cells() if c[1] in set(node.columns)]
         if pending:
@@ -341,6 +562,10 @@ class Executor:
         stats: ExecutionStats,
         crowd: bool,
     ) -> tuple[Schema, list[dict[str, Any]]]:
+        if not crowd:
+            fast = self._columnar_join(node)
+            if fast is not None:
+                return fast
         left_schema, left_rows = self._run(node.left, stats)
         right_schema, right_rows = self._run(node.right, stats)
         joined_schema = left_schema.join(right_schema, "left", "right")
@@ -362,12 +587,191 @@ class Executor:
                             out.append(merged)
                 span.set_tag("matched", len(out))
         else:
+            out = self._machine_join(
+                left_schema, right_schema, left_rows, right_rows, node.condition
+            )
+        return joined_schema, out
+
+    def _machine_join(
+        self,
+        left_schema: Schema,
+        right_schema: Schema,
+        left_rows: list[dict[str, Any]],
+        right_rows: list[dict[str, Any]],
+        condition: Expression,
+    ) -> list[dict[str, Any]]:
+        """Machine join over materialized rows: hash on equi keys if any."""
+        split = self._equi_split(condition, left_schema, right_schema)
+        if split is None:
+            out = []
             for lrow in left_rows:
                 for rrow in right_rows:
                     merged = {**lrow, **rrow}
-                    if node.condition.evaluate(merged) is True:
+                    if condition.evaluate(merged) is True:
                         out.append(merged)
+            return out
+        keys, residual = split
+        lcols = [a for a, _ in keys]
+        rcols = [b for _, b in keys]
+        index: dict[tuple[Any, ...], list[int]] = {}
+        for i, rrow in enumerate(right_rows):
+            key = self._join_key([rrow[c] for c in rcols])
+            if key is not None:
+                index.setdefault(key, []).append(i)
+        res_expr = conjoin(residual) if residual else None
+        out = []
+        for lrow in left_rows:
+            key = self._join_key([lrow[c] for c in lcols])
+            if key is None:
+                continue
+            for i in index.get(key, ()):
+                merged = {**lrow, **right_rows[i]}
+                if res_expr is None or res_expr.evaluate(merged) is True:
+                    out.append(merged)
+        return out
+
+    def _columnar_join(
+        self, node: JoinNode
+    ) -> tuple[Schema, list[dict[str, Any]]] | None:
+        """Equi-join two machine scan/filter chains on their column arrays.
+
+        Build/probe happens on key arrays before any row dict exists; only
+        matched pairs materialize. Output order is the nested-loop order —
+        left rows in order, each left row's matches in right insertion
+        order — so results are bit-identical to the fallback.
+        """
+        try:
+            lres = self._columnar_rows(node.left)
+            rres = self._columnar_rows(node.right) if lres is not None else None
+        except ExpressionError:
+            return None
+        if lres is None or rres is None:
+            return None
+        ltab, lpos = lres
+        rtab, rpos = rres
+        left_schema, right_schema = ltab.schema, rtab.schema
+        joined_schema = left_schema.join(right_schema, "left", "right")
+        clashes = set(left_schema.column_names) & set(right_schema.column_names)
+        if clashes:
+            raise ExecutionError(
+                f"join inputs share column name(s) {sorted(clashes)}; "
+                "rename columns so names are unique"
+            )
+        split = self._equi_split(node.condition, left_schema, right_schema)
+        if split is None:
+            return None
+        keys, residual = split
+        lcols = [a for a, _ in keys]
+        rcols = [b for _, b in keys]
+        lkeys = self._key_columns(ltab, lpos, lcols)
+        rkeys = self._key_columns(rtab, rpos, rcols)
+        if (
+            len(keys) == 1
+            and lkeys[0][0].dtype == rkeys[0][0].dtype
+            and lkeys[0][0].dtype.kind in "bif"
+        ):
+            lmatch, rmatch = self._probe_sorted(lkeys[0], rkeys[0])
+        else:
+            lmatch, rmatch = self._probe_dict(lkeys, rkeys)
+        res_expr = conjoin(residual) if residual else None
+        lrids = ltab.rowids()[lpos] if lpos.size != len(ltab) else ltab.rowids()
+        rrids = rtab.rowids()[rpos] if rpos.size != len(rtab) else rtab.rowids()
+        lstore, rstore = ltab.store, rtab.store
+        lcache: dict[int, dict[str, Any]] = {}
+        rcache: dict[int, dict[str, Any]] = {}
+        out = []
+        for lp, rp in zip(lmatch.tolist(), rmatch.tolist(), strict=True):
+            lrow = lcache.get(lp)
+            if lrow is None:
+                lrow = lcache[lp] = lstore.row_dict(int(lrids[lp]))
+            rrow = rcache.get(rp)
+            if rrow is None:
+                rrow = rcache[rp] = rstore.row_dict(int(rrids[rp]))
+            merged = {**lrow, **rrow}
+            if res_expr is None or res_expr.evaluate(merged) is True:
+                out.append(merged)
         return joined_schema, out
+
+    @staticmethod
+    def _key_columns(
+        table: Table, pos: np.ndarray, cols: list[str]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(values, usable) per key column, restricted to positions *pos*.
+
+        ``usable`` clears NULL/CNULL cells and float NaNs — cells that can
+        never equi-match under the row path's ``==`` semantics.
+        """
+        out = []
+        full = pos.size == len(table)
+        for name in cols:
+            vec = table.column_vector(name)
+            values = vec.values if full else vec.values[pos]
+            usable = vec.defined if full else vec.defined[pos]
+            if values.dtype.kind == "f":
+                usable = usable & ~np.isnan(values)
+            out.append((values, usable))
+        return out
+
+    @staticmethod
+    def _probe_sorted(
+        lkey: tuple[np.ndarray, np.ndarray], rkey: tuple[np.ndarray, np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Single-key same-dtype build/probe via stable sort + searchsorted.
+
+        Returns parallel (left_position, right_position) match arrays in
+        nested-loop emission order.
+        """
+        lvals, lok = lkey
+        rvals, rok = rkey
+        li = np.flatnonzero(lok)
+        ri = np.flatnonzero(rok)
+        build = rvals[ri]
+        order = np.argsort(build, kind="stable")
+        skeys = build[order]
+        probe = lvals[li]
+        lo = np.searchsorted(skeys, probe, side="left")
+        hi = np.searchsorted(skeys, probe, side="right")
+        counts = hi - lo
+        has = counts > 0
+        counts = counts[has]
+        total = int(counts.sum())
+        starts = np.repeat(lo[has], counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        rmatch = ri[order[starts + offsets]]
+        lmatch = np.repeat(li[has], counts)
+        return lmatch, rmatch
+
+    @staticmethod
+    def _probe_dict(
+        lkeys: list[tuple[np.ndarray, np.ndarray]],
+        rkeys: list[tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Composite/mixed-type build/probe through a Python dict.
+
+        Tuple keys bucket by Python ``==``/``hash``, the same equality the
+        row path's ``=`` comparator uses (so 1 and 1.0 share a bucket).
+        """
+        rok = rkeys[0][1]
+        for _, usable in rkeys[1:]:
+            rok = rok & usable
+        rlists = [values.tolist() for values, _ in rkeys]
+        index: dict[tuple[Any, ...], list[int]] = {}
+        for i in np.flatnonzero(rok).tolist():
+            index.setdefault(tuple(lst[i] for lst in rlists), []).append(i)
+        lok = lkeys[0][1]
+        for _, usable in lkeys[1:]:
+            lok = lok & usable
+        llists = [values.tolist() for values, _ in lkeys]
+        lmatch: list[int] = []
+        rmatch: list[int] = []
+        for i in np.flatnonzero(lok).tolist():
+            bucket = index.get(tuple(lst[i] for lst in llists))
+            if bucket:
+                lmatch.extend([i] * len(bucket))
+                rmatch.extend(bucket)
+        return np.asarray(lmatch, dtype=np.int64), np.asarray(rmatch, dtype=np.int64)
 
     def _run_crowd_order(
         self, node: CrowdOrderNode, stats: ExecutionStats

@@ -8,13 +8,14 @@ scripts of ';'-separated statements.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any
 
 from repro.data.database import Database
+from repro.data.expressions import contains_crowd_predicate
 from repro.data.schema import Column, ColumnType, Schema
 from repro.errors import ExecutionError
-from repro.data.expressions import contains_crowd_predicate
 from repro.lang.ast_nodes import (
     CreateTable,
     Delete,
@@ -236,7 +237,7 @@ class CrowdSQLSession:
                 raise ExecutionError(
                     f"INSERT row has {len(row)} values for {len(columns)} columns"
                 )
-            table.insert(dict(zip(columns, row)))
+            table.insert(dict(zip(columns, row, strict=True)))
             inserted += 1
         return StatementResult(kind="inserted", table=statement.table, row_count=inserted)
 

@@ -8,8 +8,9 @@ quotes with ``''`` as the escape, SQL-style.
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any
 
 from repro.errors import ParseError
 

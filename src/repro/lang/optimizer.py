@@ -189,8 +189,8 @@ def estimate_plan_cost(
             return float(len(database.table(node.table))), 0.0
         if isinstance(node, FillNode):
             card, cost = visit(node.child)
-            cells = len(database.table(node.table).cnull_cells())
-            referenced = [c for c in database.table(node.table).cnull_cells() if c[1] in node.columns]
+            cnull_cells = database.table(node.table).cnull_cells()
+            referenced = [c for c in cnull_cells if c[1] in node.columns]
             cost += len(referenced) * model.redundancy * model.task_price
             return card, cost
         if isinstance(node, FilterNode):

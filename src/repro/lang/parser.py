@@ -196,7 +196,8 @@ class _Parser:
             else:
                 col_name = self.expect_identifier()
                 type_token = self.advance()
-                if type_token.type is not TokenType.KEYWORD or type_token.value not in _TYPE_ALIASES:
+                is_keyword = type_token.type is TokenType.KEYWORD
+                if not is_keyword or type_token.value not in _TYPE_ALIASES:
                     raise ParseError(
                         f"unknown column type {type_token.value!r}",
                         type_token.line,

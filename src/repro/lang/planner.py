@@ -9,8 +9,8 @@ CrowdOrderNode, FillNode), which is what lets the optimizer reason about
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
-from typing import Iterator
 
 from repro.data.database import Database
 from repro.data.expressions import (

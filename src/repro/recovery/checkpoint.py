@@ -72,6 +72,12 @@ def encode_value(value: Any) -> Any:
         return int(value)
     if isinstance(value, np.floating):
         return float(value)
+    # Defensive: columnar cell reads return plain Python scalars, but guard
+    # against numpy bool_/str_ leaking in from user payloads built off arrays.
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.str_):
+        return str(value)
     if isinstance(value, tuple):
         return {"__kind__": "tuple", "items": [encode_value(v) for v in value]}
     if isinstance(value, list):

@@ -33,6 +33,7 @@ EXPERIMENT_BENCHES = {
     "F9": "bench_hybrid.py",
     "F10": "bench_planning.py",
     "B1": "bench_batch_runtime.py",
+    "B3": "bench_columnar.py",
     "C1": "bench_answer_cache.py",
 }
 
