@@ -9,12 +9,15 @@ fault-injected row shows the retry machinery delivering full redundancy
 despite abandonment and timeouts.
 """
 
+import json
+import os
 import time
 
 from conftest import run_once
 
 from repro.experiments.harness import quick_mode, run_trials
 from repro.obs import MetricsRegistry, NullSink, Tracer
+from repro.obs.prom import render_prometheus, validate_exposition
 from repro.platform.batch import BatchConfig
 from repro.platform.platform import SimulatedPlatform
 from repro.platform.task import single_choice
@@ -170,4 +173,75 @@ def test_b1_null_sink_overhead(benchmark, report):
         f"B1 overhead guard: off {values['off_s'] * 1e3:.1f} ms, "
         f"on (null sink) {values['on_s'] * 1e3:.1f} ms, overhead {overhead:+.1%}"
     )
+    assert values["on_s"] <= values["off_s"] * 1.05 + 0.050
+
+
+def _timed_run_scraped(seed: int, repeats: int = 5) -> dict[str, float]:
+    """Enabled registry (labeled families on) + one mid-run scrape per run."""
+    best = float("inf")
+    best_render = 0.0
+    samples = 0
+    for _ in range(repeats):
+        cfg = BatchConfig(batch_size=50, max_parallel=4, seed=seed + 2)
+        registry = MetricsRegistry(enabled=True)
+        platform = _platform(seed, batch=cfg, metrics=registry)
+        tasks = _tasks(N_TASKS)
+        start = time.perf_counter()
+        platform.scheduler.run(tasks, redundancy=REDUNDANCY)
+        render_start = time.perf_counter()
+        body = render_prometheus(registry)
+        render_s = time.perf_counter() - render_start
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            best_render = render_s
+            samples = validate_exposition(body)
+    return {"on_s": best, "render_s": best_render, "samples": float(samples)}
+
+
+def test_b1_labeled_metrics_exporter_overhead(benchmark, report):
+    """Labeled metrics + the Prometheus exporter stay inside the same gate.
+
+    On path = enabled registry recording every labeled family (operator,
+    cache outcome, assignment outcome) plus one full ``render_prometheus``
+    scrape of the run — the serve-metrics steady state. Same guard as the
+    null-sink test: 5% relative overhead plus a 50 ms absolute floor.
+    """
+
+    def measure() -> dict[str, float]:
+        off = _timed_run(seed=13)
+        scraped = _timed_run_scraped(seed=13)
+        return {"off_s": off, **scraped}
+
+    values = run_once(benchmark, measure)
+    overhead = values["on_s"] / values["off_s"] - 1.0
+    report.note(
+        f"B1 exporter guard: off {values['off_s'] * 1e3:.1f} ms, "
+        f"on (labeled metrics + scrape) {values['on_s'] * 1e3:.1f} ms "
+        f"(render {values['render_s'] * 1e3:.2f} ms, "
+        f"{values['samples']:.0f} samples), overhead {overhead:+.1%}"
+    )
+
+    out_path = os.path.join(os.environ.get("CROWDDM_BENCH_DIR", "."), "BENCH_obs.json")
+    with open(out_path, "w") as fh:
+        json.dump(
+            {
+                "workload": {
+                    "tasks": N_TASKS,
+                    "redundancy": REDUNDANCY,
+                    "max_parallel": 4,
+                    "quick": quick_mode(),
+                },
+                "off_s": values["off_s"],
+                "on_s": values["on_s"],
+                "render_s": values["render_s"],
+                "exposition_samples": values["samples"],
+                "overhead_rel": overhead,
+                "gate": "on_s <= off_s * 1.05 + 0.050",
+            },
+            fh,
+            indent=2,
+        )
+
+    assert values["samples"] > 0
     assert values["on_s"] <= values["off_s"] * 1.05 + 0.050

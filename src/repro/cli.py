@@ -13,6 +13,9 @@ Usage::
     python -m repro demo
     python -m repro chaos [--seeds 3] [--intensity 1.0] [--check-resume]
     python -m repro trace-report run.jsonl
+    python -m repro serve-metrics [script.sql] [--port 9109] [--iterations 5]
+                                  [--hold 0]
+    python -m repro profile-report profile.json
 
 Statements are ';'-separated. Queries print aligned tables plus crowd
 accounting. Crowd predicates work out of the box where defaults exist
@@ -23,7 +26,13 @@ the CLI reports a clear error for them instead of guessing.
 ``--trace FILE`` writes a JSONL span trace of the whole run (operators,
 batches, event timeline, EM iterations); ``trace-report`` renders it as
 per-operator time/cost breakdowns, retry hotspots, and slowest spans.
-``--metrics`` prints the metrics registry after the run.
+``--metrics`` prints the metrics registry after the run. ``--profile
+FILE`` writes a per-statement query profile (render it with
+``profile-report``). ``serve-metrics`` runs a script in a loop while a
+live-ops HTTP server exposes ``/metrics`` (Prometheus text exposition),
+``/healthz``, and ``/run`` (JSON run status) — counters advance
+monotonically across iterations because every iteration shares one
+registry.
 
 Identical crowd questions are answered once per run (an in-memory answer
 cache is on by default; ``--no-cache`` disables it). ``--cache FILE``
@@ -84,6 +93,7 @@ def build_session(
     fault_plan: str | None = None,
     cache_enabled: bool = True,
     cache_path: str | None = None,
+    metrics_registry: MetricsRegistry | None = None,
 ) -> CrowdSQLSession:
     """A session over a fresh simulated pool of reasonably diligent workers.
 
@@ -97,6 +107,11 @@ def build_session(
     questions within a run are published once); *cache_path* additionally
     loads/spills it from/to a JSONL file, and ``cache_enabled=False``
     switches caching off entirely.
+
+    *metrics_registry* lets the caller supply an existing (typically
+    enabled) registry instead of a fresh one — ``serve-metrics`` shares
+    one registry across its per-iteration sessions so scraped counters
+    advance monotonically.
     """
     if trace_path is not None and not trace_path:
         raise ConfigurationError("trace path must be a non-empty file name")
@@ -132,7 +147,10 @@ def build_session(
         pool_size, accuracy_low=0.75, accuracy_high=0.97, seed=seed
     )
     tracer = Tracer(JsonlSink(trace_path)) if trace_path else NULL_TRACER
-    metrics = MetricsRegistry(enabled=metrics_enabled)
+    if metrics_registry is not None:
+        metrics = metrics_registry
+    else:
+        metrics = MetricsRegistry(enabled=metrics_enabled)
     platform = SimulatedPlatform(
         pool,
         seed=seed + 1,
@@ -274,6 +292,108 @@ def repl(session: CrowdSQLSession, stdin=None, out=None) -> int:
     return 0
 
 
+def _serve_run_status(state: dict, iterations: int) -> dict:
+    """The ``/run`` payload for serve-metrics (read from the server thread)."""
+    payload: dict = {
+        "iteration": state["iteration"],
+        "iterations": iterations,
+        "current_statement": None,
+    }
+    session = state["session"]
+    if session is None or session.platform is None:
+        return payload
+    stats = session.platform.stats
+    hits, misses = stats.cache_hits, stats.cache_misses
+    requests = hits + misses
+    scheduler = session.platform.scheduler
+    payload.update(
+        current_statement=session.current_statement,
+        budget={"limit": None, "spent": stats.cost_spent, "remaining": None},
+        answers_collected=stats.answers_collected,
+        hits_published=stats.tasks_published,
+        batches_dispatched=stats.batches_dispatched,
+        simulated_clock=(
+            scheduler.simulated_clock if scheduler is not None else 0.0
+        ),
+        cache={
+            "enabled": session.platform.cache is not None,
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": (hits / requests) if requests else 0.0,
+            "answers_reused": stats.cache_answers_reused,
+        },
+        breakers=(
+            [{"name": b.name, "tripped": b.tripped} for b in scheduler.breakers]
+            if scheduler is not None
+            else []
+        ),
+    )
+    return payload
+
+
+def _run_serve_metrics(args) -> int:
+    """``python -m repro serve-metrics``: script loop + live /metrics server.
+
+    One enabled registry is shared by every per-iteration session, so the
+    counters a scraper sees only ever move forward.
+    """
+    import time
+
+    from repro.obs.server import MetricsServer
+
+    sql = DEMO_SCRIPT
+    if args.script is not None:
+        try:
+            with open(args.script, encoding="utf-8") as handle:
+                sql = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.script}: {exc}", file=sys.stderr)
+            return 1
+    registry = MetricsRegistry(enabled=True)
+    state: dict = {"session": None, "iteration": 0}
+    try:
+        server = MetricsServer(
+            registry,
+            run_status=lambda: _serve_run_status(state, args.iterations),
+            port=args.port,
+        )
+        server.start()
+    except CrowdDMError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"-- serving {server.url}/metrics /healthz /run", flush=True)
+    code = 0
+    try:
+        for iteration in range(args.iterations):
+            state["iteration"] = iteration + 1
+            try:
+                session = build_session(
+                    args.seed + iteration,
+                    args.redundancy,
+                    args.pool,
+                    batch_size=args.batch_size,
+                    max_parallel=args.max_parallel,
+                    inference=args.inference,
+                    metrics_registry=registry,
+                )
+            except CrowdDMError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                code = 2
+                break
+            state["session"] = session
+            code = run_script(session, sql)
+            if code != 0:
+                break
+        if args.hold > 0:
+            time.sleep(args.hold)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        deactivate()
+    return code
+
+
 def _run_chaos_command(args) -> int:
     """``python -m repro chaos``: seeded chaos sweep + optional resume check."""
     import tempfile
@@ -341,6 +461,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="print the metrics registry after the run",
     )
     parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help="write a per-statement query profile to FILE (JSON; render "
+        "with the profile-report command)",
+    )
+    parser.add_argument(
         "--failure-policy",
         choices=("fail", "skip", "degrade"),
         default="fail",
@@ -400,6 +527,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace-report", help="summarize a JSONL trace written with --trace"
     )
     report_parser.add_argument("trace_file", help="path to the trace file")
+    serve_parser = commands.add_parser(
+        "serve-metrics",
+        help="run a script in a loop while serving /metrics, /healthz, /run",
+    )
+    serve_parser.add_argument(
+        "script",
+        nargs="?",
+        default=None,
+        help="CrowdSQL file to loop (the built-in demo when omitted)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=9109,
+        help="port to bind on 127.0.0.1 (0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--iterations", type=int, default=5, help="how many times to run the script"
+    )
+    serve_parser.add_argument(
+        "--hold",
+        type=float,
+        default=0.0,
+        help="keep serving this many seconds after the last iteration",
+    )
+    profile_parser = commands.add_parser(
+        "profile-report", help="summarize a profile written with --profile"
+    )
+    profile_parser.add_argument("profile_file", help="path to the profile file")
 
     args = parser.parse_args(argv)
 
@@ -410,6 +566,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         return 0
+
+    if args.command == "profile-report":
+        from repro.obs.profiler import profile_report
+
+        try:
+            print(profile_report(args.profile_file))
+        except CrowdDMError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.command == "serve-metrics":
+        return _run_serve_metrics(args)
 
     if args.command == "chaos":
         return _run_chaos_command(args)
@@ -423,7 +592,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             max_parallel=args.max_parallel,
             inference=args.inference,
             trace_path=args.trace,
-            metrics_enabled=args.metrics,
+            metrics_enabled=args.metrics or args.profile is not None,
             failure_policy=args.failure_policy,
             fault_plan=args.fault_plan,
             cache_enabled=not args.no_cache,
@@ -432,6 +601,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     except CrowdDMError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    profiler = None
+    if args.profile is not None:
+        from repro.obs.profiler import QueryProfiler
+
+        profiler = QueryProfiler(
+            session.platform.metrics, platform=session.platform
+        )
+        session.profiler = profiler
 
     tracer = session.platform.tracer
     metrics = session.platform.metrics
@@ -468,6 +646,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             try:
                 session.platform.cache.save(args.cache)
             except CacheError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                code = 1
+        if profiler is not None:
+            try:
+                profiler.save(args.profile)
+            except CrowdDMError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 code = 1
         tracer.close()

@@ -65,6 +65,17 @@ class EngineConfig:
             a path implies ``cache_enabled``.
         cache_max_entries: LRU capacity of the cache (least-recently-used
             signature evicted past it); None = unbounded.
+        metrics_port: When set, the engine starts a live-ops HTTP server
+            on ``127.0.0.1:<port>`` exposing ``/metrics`` (Prometheus
+            text exposition), ``/healthz``, and ``/run`` (JSON run
+            status). Port 0 binds an ephemeral port (read it back from
+            ``engine.metrics_server.port``). Implies ``metrics_enabled``.
+        profile_path: When set, the engine attaches a
+            :class:`~repro.obs.profiler.QueryProfiler` and writes a
+            per-statement ``profile.json`` here on
+            :meth:`~repro.core.engine.CrowdEngine.close` (render it with
+            ``python -m repro profile-report FILE``). Implies
+            ``metrics_enabled``.
     """
 
     redundancy: int = 3
@@ -90,6 +101,8 @@ class EngineConfig:
     cache_enabled: bool = False
     cache_path: str | None = None
     cache_max_entries: int | None = None
+    metrics_port: int | None = None
+    profile_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.redundancy < 1:
@@ -126,6 +139,15 @@ class EngineConfig:
             raise ConfigurationError(
                 f"cache_max_entries must be >= 1 or None, got {self.cache_max_entries}"
             )
+        if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
+            raise ConfigurationError(
+                f"metrics_port must be in [0, 65535] or None, got {self.metrics_port}"
+            )
+        if self.profile_path is not None and not self.profile_path:
+            raise ConfigurationError("profile_path must be a non-empty path or None")
+        # Both live-ops surfaces read the registry, so they force it on.
+        if self.metrics_port is not None or self.profile_path is not None:
+            self.metrics_enabled = True
         # Batch-runtime knobs share BatchConfig's validation (including
         # failure_policy parsing).
         self.make_batch_config()

@@ -26,7 +26,9 @@ from repro.errors import ConfigurationError
 from repro.lang.executor import CrowdOracle, QueryResult
 from repro.lang.interpreter import CrowdSQLSession, StatementResult
 from repro.obs import NULL_TRACER, JsonlSink, MetricsRegistry, Tracer
+from repro.obs.profiler import QueryProfiler
 from repro.obs.runtime import activate, deactivate
+from repro.obs.server import MetricsServer
 from repro.operators.categorize import CategorizeResult, CrowdCategorize
 from repro.operators.collect import CollectResult, CrowdCollect
 from repro.operators.count import CountResult, CrowdCount
@@ -110,13 +112,25 @@ class CrowdEngine:
         # `is None` check: an empty Database is falsy (it defines __len__).
         self.database = Database() if database is None else database
         self.oracle = oracle or CrowdOracle()
+        self.profiler: QueryProfiler | None = None
+        if self.config.profile_path is not None:
+            self.profiler = QueryProfiler(self.metrics, platform=self.platform)
         self._session = CrowdSQLSession(
             database=self.database,
             platform=self.platform,
             redundancy=self.config.redundancy,
             inference=self.config.make_inference(),
             oracle=self.oracle,
+            profiler=self.profiler,
         )
+        self.metrics_server: MetricsServer | None = None
+        if self.config.metrics_port is not None:
+            self.metrics_server = MetricsServer(
+                self.metrics,
+                run_status=self.run_status,
+                port=self.config.metrics_port,
+            )
+            self.metrics_server.start()
         self._closed = False
         # Truth inference has no platform handle; it reaches the tracer and
         # registry through the process-global obs runtime.
@@ -459,6 +473,56 @@ class CrowdEngine:
         """Human-readable dump of the engine's metrics registry."""
         return self.metrics.report()
 
+    def run_status(self) -> dict[str, Any]:
+        """Live run snapshot: the ``/run`` endpoint's JSON payload.
+
+        Safe to call from the server thread — every field is a scalar
+        read of engine state (the GIL makes each read atomic).
+        """
+        import math
+
+        stats = self.platform.stats
+        budget = self.platform.budget
+        remaining = self.platform.remaining_budget
+        hits = stats.cache_hits
+        misses = stats.cache_misses
+        requests = hits + misses
+        breakers = []
+        scheduler = self.platform.scheduler
+        if scheduler is not None:
+            breakers = [
+                {"name": b.name, "tripped": b.tripped}
+                for b in scheduler.breakers
+            ]
+        return {
+            "current_statement": self._session.current_statement,
+            "budget": {
+                "limit": None if math.isinf(budget) else budget,
+                "spent": stats.cost_spent,
+                "remaining": None if math.isinf(remaining) else remaining,
+            },
+            "answers_collected": stats.answers_collected,
+            "hits_published": stats.tasks_published,
+            "batches_dispatched": stats.batches_dispatched,
+            "open_batches": stats.assignments_dispatched
+            - stats.assignments_timed_out
+            - stats.assignments_abandoned,
+            "simulated_clock": (
+                scheduler.simulated_clock if scheduler is not None else 0.0
+            ),
+            "cache": {
+                "enabled": self.platform.cache is not None,
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": (hits / requests) if requests else 0.0,
+                "answers_reused": stats.cache_answers_reused,
+            },
+            "breakers": breakers,
+            "profiled_statements": (
+                len(self.profiler.statements) if self.profiler is not None else 0
+            ),
+        }
+
     def close(self) -> None:
         """End the root span, flush the trace file, release the obs runtime.
 
@@ -470,6 +534,10 @@ class CrowdEngine:
         if self._closed:
             return
         self._closed = True
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
+        if self.profiler is not None and self.config.profile_path:
+            self.profiler.save(self.config.profile_path)
         if self.platform.cache is not None and self.config.cache_path:
             self.platform.cache.save(self.config.cache_path)
         self.tracer.close()

@@ -50,6 +50,30 @@ class StatementResult:
     row_count: int = 0
 
 
+#: Statement-node class → SQL verb, for profiler/run-status labels.
+_STATEMENT_VERBS = {
+    "CreateTable": "CREATE TABLE",
+    "DropTable": "DROP TABLE",
+    "Insert": "INSERT",
+    "Select": "SELECT",
+    "Update": "UPDATE",
+    "Delete": "DELETE",
+}
+
+
+def describe_statement(statement: Statement) -> str:
+    """Short human label for *statement* (verb + target table).
+
+    The parser does not retain source text, so this is the closest thing
+    to the statement itself the profiler and ``/run`` endpoint can show.
+    """
+    if isinstance(statement, Explain):
+        return "EXPLAIN " + describe_statement(statement.select)
+    verb = _STATEMENT_VERBS.get(type(statement).__name__, type(statement).__name__)
+    target = getattr(statement, "table", None) or getattr(statement, "name", None)
+    return f"{verb} {target}" if target else verb
+
+
 class CrowdSQLSession:
     """Execute CrowdSQL against a database and a crowd platform.
 
@@ -61,6 +85,9 @@ class CrowdSQLSession:
         oracle: Simulation ground truth for crowd answers.
         optimize: Apply the rule-based optimizer (on by default; the T7
             benchmark turns it off to measure the difference).
+        profiler: Optional :class:`~repro.obs.profiler.QueryProfiler`;
+            when set, every executed statement is bracketed and lands in
+            the profile document.
     """
 
     def __init__(
@@ -71,6 +98,7 @@ class CrowdSQLSession:
         inference: TruthInference | None = None,
         oracle: CrowdOracle | None = None,
         optimize: bool = True,
+        profiler: Any | None = None,
     ):
         # `is None` check: an empty Database is falsy (it defines __len__).
         self.database = Database() if database is None else database
@@ -79,6 +107,10 @@ class CrowdSQLSession:
         self.inference = inference
         self.oracle = oracle or CrowdOracle()
         self.optimize = optimize
+        self.profiler = profiler
+        #: Label of the statement currently executing (the /run endpoint
+        #: reads this from the server thread), or None when idle.
+        self.current_statement: str | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -99,7 +131,17 @@ class CrowdSQLSession:
         for index, statement in enumerate(parse(sql).statements):
             if index < skip:
                 continue
-            result = self._execute_statement(statement)
+            label = describe_statement(statement)
+            self.current_statement = label
+            try:
+                if self.profiler is not None:
+                    with self.profiler.statement(index, label) as capture:
+                        result = self._execute_statement(statement)
+                        capture.finish(result)
+                else:
+                    result = self._execute_statement(statement)
+            finally:
+                self.current_statement = None
             results.append(result)
             if on_statement is not None:
                 on_statement(index, result)

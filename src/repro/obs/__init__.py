@@ -11,6 +11,9 @@ quantities, so the pipeline carries a first-class observability layer:
   :class:`~repro.platform.platform.PlatformStats`.
 * Sinks (:mod:`repro.obs.sinks`) and the trace-report renderer
   (:mod:`repro.obs.report`).
+* Prometheus text exposition (:mod:`repro.obs.prom`), a stdlib live-ops
+  HTTP server (:mod:`repro.obs.server`), and a per-statement query
+  profiler (:mod:`repro.obs.profiler`).
 
 Everything defaults to off: :data:`~repro.obs.tracer.NULL_TRACER` and a
 disabled registry keep the instrumented hot path within noise of an
@@ -18,23 +21,55 @@ uninstrumented build (guarded by ``bench_batch_runtime --quick``).
 """
 
 from repro.obs.instrument import operator_span
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    normalize_labels,
+    series_key,
+)
+from repro.obs.profiler import (
+    QueryProfiler,
+    load_profile,
+    profile_report,
+    render_profile,
+)
+from repro.obs.prom import (
+    CONTENT_TYPE,
+    DESCRIPTORS,
+    ExpositionError,
+    MetricDescriptor,
+    parse_exposition,
+    prom_name_for,
+    render_prometheus,
+    validate_exposition,
+)
 from repro.obs.report import build_tree, load_spans, render_report, report_from_file
 from repro.obs.runtime import activate, current_metrics, current_tracer, deactivate
+from repro.obs.server import MetricsServer
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, TraceSink
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_BUCKETS",
+    "DESCRIPTORS",
     "NULL_SPAN",
     "NULL_TRACER",
     "Counter",
+    "ExpositionError",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MemorySink",
+    "MetricDescriptor",
     "MetricsRegistry",
+    "MetricsServer",
     "NullSink",
     "NullTracer",
+    "QueryProfiler",
     "Span",
     "TraceSink",
     "Tracer",
@@ -43,8 +78,17 @@ __all__ = [
     "current_metrics",
     "current_tracer",
     "deactivate",
+    "load_profile",
     "load_spans",
+    "normalize_labels",
     "operator_span",
+    "parse_exposition",
+    "profile_report",
+    "prom_name_for",
+    "render_profile",
+    "render_prometheus",
     "render_report",
     "report_from_file",
+    "series_key",
+    "validate_exposition",
 ]

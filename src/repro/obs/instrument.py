@@ -65,7 +65,19 @@ class operator_span:
         self.span.set_tag("answers", answers)
         self.span.__exit__(exc_type, exc, tb)
         metrics = self.platform.metrics
+        wall = time.perf_counter() - self._wall0
+        # Dotted per-operator names are the documented aliases existing
+        # reports and tests key on; the labeled operator.* families are what
+        # the Prometheus exposition and the query profiler aggregate.
         metrics.inc(f"operator.{self.operator}.runs")
         metrics.inc(f"operator.{self.operator}.cost", cost)
         metrics.inc(f"operator.{self.operator}.answers", answers)
-        metrics.observe(f"operator.{self.operator}.wall", time.perf_counter() - self._wall0)
+        metrics.observe(f"operator.{self.operator}.wall", wall)
+        labels = {"operator": self.operator}
+        metrics.inc("operator.runs", labels=labels)
+        metrics.inc("operator.cost", cost, labels=labels)
+        metrics.inc("operator.answers", answers, labels=labels)
+        items = self.tags.get("items")
+        if items is not None:
+            metrics.inc("operator.items", items, labels=labels)
+        metrics.observe("operator.wall", wall, labels=labels)

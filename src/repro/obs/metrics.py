@@ -8,21 +8,59 @@ convergence deltas, per-operator cost — is recorded through the guarded
 convenience methods (:meth:`MetricsRegistry.inc`,
 :meth:`MetricsRegistry.observe`), which are no-ops when the registry is
 disabled so the hot path stays within noise of an uninstrumented run.
+
+Series may carry **labels** (Prometheus-style dimensions): the same family
+name with different label sets yields independent series, e.g.
+``registry.inc("operator.runs", labels={"operator": "filter"})``. Unlabeled
+calls are untouched — they remain the single-series fast path every
+existing call site uses. Histograms additionally carry fixed bucket
+boundaries (:data:`DEFAULT_BUCKETS` unless overridden at first creation),
+from which :meth:`Histogram.bucket_counts` derives the cumulative
+per-bucket counts the Prometheus exposition format
+(:mod:`repro.obs.prom`) serves as ``_bucket`` series.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
+from collections.abc import Mapping
 from typing import Any
+
+#: Default histogram bucket upper bounds (seconds-flavoured, covering both
+#: sub-second wall timings and multi-minute simulated makespans). Chosen
+#: once and kept fixed so scrapes of a live run are comparable over time.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def normalize_labels(labels: "Mapping[str, Any] | None") -> LabelItems:
+    """Canonical sorted ``((key, value), ...)`` label tuple (values as str)."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def series_key(name: str, labels: LabelItems = ()) -> str:
+    """Registry key for one series: ``name`` or ``name{k="v",...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
     """A monotonically written scalar (ints stay ints, floats stay floats)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
         self.name = name
+        self.labels = labels
         self.value: float = 0
 
     def inc(self, amount: float = 1) -> None:
@@ -33,10 +71,11 @@ class Counter:
 class Gauge:
     """A last-write-wins scalar."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
         self.name = name
+        self.labels = labels
         self.value: float = 0.0
 
     def set(self, value: float) -> None:
@@ -48,13 +87,23 @@ class Histogram:
     """Stores raw observations; percentiles by linear interpolation.
 
     Matches ``numpy.percentile``'s default (linear) method so results are
-    directly comparable with the benchmark analysis code.
+    directly comparable with the benchmark analysis code. Bucket boundaries
+    are fixed at creation (:data:`DEFAULT_BUCKETS` unless overridden);
+    cumulative bucket counts are derived lazily from the raw samples, so
+    the per-observation hot path stays a single ``list.append``.
     """
 
-    __slots__ = ("name", "values", "_sorted")
+    __slots__ = ("name", "labels", "buckets", "values", "_sorted")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        buckets: "tuple[float, ...] | None" = None,
+    ) -> None:
         self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets)) if buckets is not None else DEFAULT_BUCKETS
         self.values: list[float] = []
         self._sorted: list[float] | None = None
 
@@ -75,15 +124,26 @@ class Histogram:
     def mean(self) -> float:
         return self.total / len(self.values) if self.values else 0.0
 
+    def _ranked(self) -> list[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self.values)
+        return self._sorted
+
+    def bucket_counts(self, bounds: "tuple[float, ...] | None" = None) -> list[int]:
+        """Cumulative sample counts per upper bound (``value <= bound``).
+
+        The implicit ``+Inf`` bucket is :attr:`count` and is not included.
+        """
+        ranked = self._ranked()
+        return [bisect_right(ranked, bound) for bound in (bounds or self.buckets)]
+
     def percentile(self, q: float) -> float:
         """The *q*-th percentile (0-100), linearly interpolated."""
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if not self.values:
             return 0.0
-        if self._sorted is None:
-            self._sorted = sorted(self.values)
-        ranked = self._sorted
+        ranked = self._ranked()
         position = (len(ranked) - 1) * q / 100.0
         low = math.floor(position)
         high = math.ceil(position)
@@ -114,6 +174,11 @@ class MetricsRegistry:
             :meth:`counter` / :meth:`gauge` / :meth:`histogram` always
             work — that is how :class:`PlatformStats` keeps its totals here
             even when extra telemetry is off.
+
+    Series are stored keyed by :func:`series_key`: the bare family name for
+    unlabeled series (the historical behaviour, so every existing lookup
+    like ``registry.counters["platform.cost_spent"]`` still works), and
+    ``name{k="v"}`` for labeled ones.
     """
 
     def __init__(self, enabled: bool = True) -> None:
@@ -126,62 +191,111 @@ class MetricsRegistry:
     # Instrument handles (always live)
     # -------------------------------------------------------------- #
 
-    def counter(self, name: str) -> Counter:
-        """The counter registered under *name*, created on first use."""
-        found = self.counters.get(name)
+    def counter(self, name: str, labels: "Mapping[str, Any] | None" = None) -> Counter:
+        """The counter registered under *name* (+ *labels*), created on first use."""
+        if labels is None:
+            key, items = name, ()
+        else:
+            items = normalize_labels(labels)
+            key = series_key(name, items)
+        found = self.counters.get(key)
         if found is None:
-            found = self.counters[name] = Counter(name)
+            found = self.counters[key] = Counter(name, items)
         return found
 
-    def gauge(self, name: str) -> Gauge:
-        """The gauge registered under *name*, created on first use."""
-        found = self.gauges.get(name)
+    def gauge(self, name: str, labels: "Mapping[str, Any] | None" = None) -> Gauge:
+        """The gauge registered under *name* (+ *labels*), created on first use."""
+        if labels is None:
+            key, items = name, ()
+        else:
+            items = normalize_labels(labels)
+            key = series_key(name, items)
+        found = self.gauges.get(key)
         if found is None:
-            found = self.gauges[name] = Gauge(name)
+            found = self.gauges[key] = Gauge(name, items)
         return found
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram registered under *name*, created on first use."""
-        found = self.histograms.get(name)
+    def histogram(
+        self,
+        name: str,
+        labels: "Mapping[str, Any] | None" = None,
+        buckets: "tuple[float, ...] | None" = None,
+    ) -> Histogram:
+        """The histogram registered under *name* (+ *labels*), created on first use.
+
+        *buckets* fixes the boundary set at creation; it is ignored for an
+        already-registered series (boundaries are immutable once chosen).
+        """
+        if labels is None:
+            key, items = name, ()
+        else:
+            items = normalize_labels(labels)
+            key = series_key(name, items)
+        found = self.histograms.get(key)
         if found is None:
-            found = self.histograms[name] = Histogram(name)
+            found = self.histograms[key] = Histogram(name, items, buckets=buckets)
         return found
 
     # -------------------------------------------------------------- #
     # Guarded recorders (no-ops when disabled)
     # -------------------------------------------------------------- #
 
-    def inc(self, name: str, amount: float = 1) -> None:
+    def inc(
+        self,
+        name: str,
+        amount: float = 1,
+        labels: "Mapping[str, Any] | None" = None,
+    ) -> None:
         """Increment counter *name* when the registry is enabled."""
         if self.enabled:
-            self.counter(name).inc(amount)
+            self.counter(name, labels).inc(amount)
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: "Mapping[str, Any] | None" = None,
+    ) -> None:
         """Record a histogram sample when the registry is enabled."""
         if self.enabled:
-            self.histogram(name).observe(value)
+            self.histogram(name, labels).observe(value)
 
-    def set_gauge(self, name: str, value: float) -> None:
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: "Mapping[str, Any] | None" = None,
+    ) -> None:
         """Set gauge *name* when the registry is enabled."""
         if self.enabled:
-            self.gauge(name).set(value)
+            self.gauge(name, labels).set(value)
 
     # -------------------------------------------------------------- #
     # Export
     # -------------------------------------------------------------- #
 
     def snapshot(self) -> dict[str, Any]:
-        """All current values as plain data (counters, gauges, histograms)."""
+        """All current values as plain data (counters, gauges, histograms).
+
+        Keys are series keys (labeled series render as ``name{k="v"}``).
+        Histogram entries carry cumulative ``buckets`` counts keyed by the
+        upper bound, plus ``sum`` — the pieces the Prometheus exposition
+        is assembled from.
+        """
         return {
             "counters": {n: c.value for n, c in sorted(self.counters.items())},
             "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
             "histograms": {
                 n: {
                     "count": h.count,
+                    "sum": h.total,
                     "mean": h.mean,
                     "p50": h.p50,
                     "p95": h.p95,
                     "p99": h.p99,
+                    "buckets": dict(
+                        zip(map(str, h.buckets), h.bucket_counts(), strict=True)
+                    ),
                 }
                 for n, h in sorted(self.histograms.items())
             },

@@ -10,16 +10,24 @@ and how did inference behave (EM iterations and convergence deltas).
 from __future__ import annotations
 
 import json
+import sys
 from collections import defaultdict
-from typing import Any
+from typing import Any, TextIO
 
 from repro.errors import ConfigurationError
 
 SpanDict = dict[str, Any]
 
 
-def load_spans(path: str) -> list[SpanDict]:
-    """Parse a JSONL trace file into span dicts (emission order)."""
+def load_spans(path: str, warn: "TextIO | None" = None) -> list[SpanDict]:
+    """Parse a JSONL trace file into span dicts (emission order).
+
+    Corrupt or truncated lines — a killed run's last write, a partial
+    flush — are **skipped with a one-line warning** on *warn* (stderr by
+    default) rather than raising, so the rest of the trace still renders.
+    Only an unreadable file is an error.
+    """
+    warn = warn if warn is not None else sys.stderr
     spans: list[SpanDict] = []
     try:
         with open(path, encoding="utf-8") as handle:
@@ -30,11 +38,18 @@ def load_spans(path: str) -> list[SpanDict]:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError as exc:
-                    raise ConfigurationError(
-                        f"{path}:{number}: not a JSON span record ({exc.msg})"
-                    ) from exc
+                    print(
+                        f"warning: {path}:{number}: skipping non-JSON trace line "
+                        f"({exc.msg})",
+                        file=warn,
+                    )
+                    continue
                 if not isinstance(record, dict) or "span_id" not in record:
-                    raise ConfigurationError(f"{path}:{number}: not a span record")
+                    print(
+                        f"warning: {path}:{number}: skipping non-span record",
+                        file=warn,
+                    )
+                    continue
                 spans.append(record)
     except OSError as exc:
         raise ConfigurationError(f"cannot read trace file {path!r}: {exc}") from exc

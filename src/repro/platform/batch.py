@@ -421,11 +421,15 @@ class BatchScheduler:
                         )
                         continue
                     metrics.observe("batch.assignment_latency", a.duration)
+                    metrics.inc("batch.assignment_outcomes", labels={"outcome": "ok"})
                 else:
                     if a.fault == "timeout":
                         record.timed_out += 1
                     else:
                         record.abandoned += 1
+                    metrics.inc(
+                        "batch.assignment_outcomes", labels={"outcome": a.fault}
+                    )
                     a.outcomes.append(a.fault)
                     retry_counts[task_id] = retry_counts.get(task_id, 0) + 1
                     if tracer.enabled:

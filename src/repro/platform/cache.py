@@ -219,8 +219,19 @@ class AnswerCache:
     # Counters (always-live handles, like PlatformStats)
     # -------------------------------------------------------------- #
 
+    #: Dotted counter → outcome label on the labeled ``cache.requests``
+    #: family the Prometheus exposition groups lookups under.
+    _OUTCOME_LABELS = {
+        "cache.hits": "hit",
+        "cache.misses": "miss",
+        "cache.coalesced": "inflight",
+    }
+
     def _count(self, name: str, amount: int = 1) -> None:
         self.metrics.counter(name).inc(amount)
+        outcome = self._OUTCOME_LABELS.get(name)
+        if outcome is not None:
+            self.metrics.inc("cache.requests", amount, labels={"outcome": outcome})
 
     @property
     def hits(self) -> int:

@@ -148,7 +148,11 @@ def em_iteration(method: str, iteration: int, delta: float) -> None:
     tracer = current_tracer()
     if tracer.enabled:
         tracer.annotate("em.iteration", method=method, iteration=iteration, delta=delta)
-    current_metrics().observe(f"em.{method}.delta", delta)
+    metrics = current_metrics()
+    # Dotted alias plus the labeled families the exposition/profiler read.
+    metrics.observe(f"em.{method}.delta", delta)
+    metrics.inc("em.iterations", labels={"method": method})
+    metrics.observe("em.delta", delta, labels={"method": method})
 
 
 def answers_from_platform(

@@ -250,6 +250,131 @@ class TestObservabilityFlags:
         assert main(["--trace", "", "demo"]) == 2
         assert "error: trace path must be a non-empty" in capsys.readouterr().err
 
+    def test_trace_report_tolerates_truncated_trace(self, tmp_path, capsys):
+        """A killed run's partial last line degrades to a warning, not a crash."""
+        trace = tmp_path / "run.jsonl"
+        main(["--seed", "3", "--trace", str(trace), "demo"])
+        capsys.readouterr()
+        with open(trace, "a", encoding="utf-8") as handle:
+            handle.write('{"span_id": 99, "name": "trunca')
+        assert main(["trace-report", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert "per-operator breakdown" in captured.out
+        assert "skipping non-JSON trace line" in captured.err
+
+
+class TestProfileFlags:
+    def test_profile_flag_writes_profile_json(self, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        assert main(["--seed", "3", "--profile", str(profile), "demo"]) == 0
+        capsys.readouterr()
+        import json
+
+        document = json.loads(profile.read_text())
+        labels = [s["statement"] for s in document["statements"]]
+        assert "SELECT imports" in labels
+        assert document["totals"]["hits_published"] > 0
+
+    def test_profile_report_renders_tables(self, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        main(["--seed", "3", "--profile", str(profile), "demo"])
+        capsys.readouterr()
+        assert main(["profile-report", str(profile)]) == 0
+        out = capsys.readouterr().out
+        assert "per-statement profile" in out
+        assert "operators" in out
+        assert "totals:" in out
+
+    def test_profile_report_missing_file(self, capsys):
+        assert main(["profile-report", "/nonexistent/profile.json"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_unwritable_profile_path_reports_cleanly(self, capsys):
+        assert main(["--profile", "/nonexistent-dir/p.json", "demo"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot write profile")
+
+
+class TestServeMetricsCommand:
+    def test_serve_metrics_live_scrape(self, tmp_path):
+        """End-to-end: loop the demo, scrape /metrics + /run mid-run, and
+        check counters only move forward across scrapes."""
+        import json
+        import socket
+        import threading
+        import time
+        import urllib.request
+
+        from repro.obs.prom import validate_exposition
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        codes = {}
+        thread = threading.Thread(
+            target=lambda: codes.setdefault(
+                "exit",
+                main(
+                    [
+                        "--seed", "5",
+                        "serve-metrics",
+                        "--port", str(port),
+                        "--iterations", "3",
+                        "--hold", "3",
+                    ]
+                ),
+            ),
+            daemon=True,
+        )
+        thread.start()
+        base = f"http://127.0.0.1:{port}"
+
+        def fetch(path):
+            with urllib.request.urlopen(base + path, timeout=5) as response:
+                return response.read().decode("utf-8")
+
+        deadline = time.monotonic() + 10
+        while True:
+            try:
+                assert fetch("/healthz") == "ok\n"
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+
+        def published(body):
+            for line in body.splitlines():
+                if line.startswith("platform_hits_published_total"):
+                    return float(line.split()[-1])
+            return 0.0
+
+        first = fetch("/metrics")
+        assert validate_exposition(first) > 0
+        status = json.loads(fetch("/run"))
+        assert status["iterations"] == 3
+        assert status["iteration"] >= 1
+        # Wait for the loop to finish, then confirm monotonic advance.
+        deadline = time.monotonic() + 20
+        while json.loads(fetch("/run"))["iteration"] < 3:
+            assert time.monotonic() < deadline
+            time.sleep(0.1)
+        final = fetch("/metrics")
+        assert validate_exposition(final) > 0
+        assert published(final) >= published(first)
+        assert published(final) > 0
+        thread.join(timeout=20)
+        assert not thread.is_alive()
+        assert codes["exit"] == 0
+
+    def test_serve_metrics_missing_script(self, capsys):
+        assert main(["serve-metrics", "/nonexistent/x.sql", "--port", "0"]) == 1
+        assert "error: cannot read" in capsys.readouterr().err
+
+    def test_serve_metrics_invalid_port_is_clean_error(self, capsys):
+        assert main(["serve-metrics", "--port", "70000"]) == 2
+        assert "error: metrics port" in capsys.readouterr().err
+
 
 class TestRobustnessFlags:
     def make_failing_session(self, policy="fail"):

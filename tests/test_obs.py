@@ -140,11 +140,28 @@ class TestJsonlRoundTrip:
         with pytest.raises(ConfigurationError, match="cannot open trace file"):
             JsonlSink(str(tmp_path / "no" / "such" / "dir" / "t.jsonl"))
 
-    def test_load_spans_rejects_non_span_records(self, tmp_path):
+    def test_load_spans_skips_corrupt_lines_with_warning(self, tmp_path):
+        """A killed run's truncated tail must not make the trace unreadable."""
+        import io
+
         path = tmp_path / "bad.jsonl"
-        path.write_text(json.dumps({"not": "a span"}) + "\n")
-        with pytest.raises(ConfigurationError):
-            load_spans(str(path))
+        good = {"span_id": 1, "parent_id": None, "name": "root", "kind": "span"}
+        path.write_text(
+            json.dumps({"not": "a span"}) + "\n"
+            + json.dumps(good) + "\n"
+            + '{"span_id": 2, "truncated by a ki'  # mid-write kill
+        )
+        warnings = io.StringIO()
+        spans = load_spans(str(path), warn=warnings)
+        assert [s["span_id"] for s in spans] == [1]
+        lines = warnings.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "skipping non-span record" in lines[0]
+        assert "skipping non-JSON trace line" in lines[1]
+
+    def test_load_spans_unreadable_file_still_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read trace file"):
+            load_spans(str(tmp_path / "missing.jsonl"))
 
 
 class TestHistogram:
@@ -210,6 +227,126 @@ class TestMetricsRegistry:
         assert snap["histograms"]["lat"]["count"] == 1
         text = registry.report()
         assert "== metrics ==" in text and "runs = 1" in text and "lat:" in text
+
+
+class TestLabeledMetrics:
+    def test_label_sets_are_independent_series(self):
+        registry = MetricsRegistry()
+        registry.inc("op.runs", labels={"operator": "filter"})
+        registry.inc("op.runs", 2, labels={"operator": "join"})
+        registry.inc("op.runs")  # unlabeled sibling stays separate
+        assert registry.counter("op.runs", {"operator": "filter"}).value == 1
+        assert registry.counter("op.runs", {"operator": "join"}).value == 2
+        assert registry.counter("op.runs").value == 1
+        # Bare-name key preserved for unlabeled series (PlatformStats views).
+        assert registry.counters["op.runs"].value == 1
+
+    def test_label_order_does_not_split_series(self):
+        registry = MetricsRegistry()
+        registry.inc("x", labels={"a": "1", "b": "2"})
+        registry.inc("x", labels={"b": "2", "a": "1"})
+        assert registry.counter("x", {"a": "1", "b": "2"}).value == 2
+
+    def test_label_values_coerced_to_str(self):
+        from repro.obs import normalize_labels, series_key
+
+        items = normalize_labels({"retry": 3})
+        assert items == (("retry", "3"),)
+        assert series_key("x", items) == 'x{retry="3"}'
+
+    def test_snapshot_keys_labeled_series(self):
+        registry = MetricsRegistry()
+        registry.inc("x", labels={"k": "v"})
+        registry.observe("h", 1.0, labels={"k": "v"})
+        snap = registry.snapshot()
+        assert snap["counters"] == {'x{k="v"}': 1}
+        assert snap["histograms"]['h{k="v"}']["count"] == 1
+
+    def test_histogram_bucket_counts_cumulative(self):
+        hist = Histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 0.7, 3.0, 20.0):
+            hist.observe(value)
+        assert hist.bucket_counts() == [2, 3, 3]
+        assert hist.count == 4  # the implicit +Inf bucket
+        assert hist.buckets == (1.0, 5.0, 10.0)
+
+    def test_histogram_buckets_fixed_at_creation(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h", buckets=(1.0, 2.0))
+        again = registry.histogram("h", buckets=(9.0,))
+        assert again is first
+        assert first.buckets == (1.0, 2.0)
+
+    def test_snapshot_histogram_includes_sum_and_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.2)
+        registry.observe("lat", 2.0)
+        entry = registry.snapshot()["histograms"]["lat"]
+        assert entry["sum"] == pytest.approx(2.2)
+        assert entry["buckets"]["0.25"] == 1
+        assert entry["buckets"]["5.0"] == 2
+
+    def test_operator_span_records_labeled_families(self):
+        platform, _, _ = traced_platform(metrics_enabled=True)
+        from repro.operators.filter import FixedKFilter
+
+        FixedKFilter(
+            platform, "q?", truth_fn=lambda item: True, redundancy=3
+        ).run(["a", "b"])
+        metrics = platform.metrics
+        labeled = metrics.counter("operator.runs", {"operator": "filter"})
+        assert labeled.value == 1
+        assert metrics.counter("operator.items", {"operator": "filter"}).value == 2
+        # Dotted aliases advance in lockstep.
+        assert metrics.counter("operator.filter.runs").value == 1
+        wall = metrics.histogram("operator.wall", {"operator": "filter"})
+        assert wall.count == 1
+
+    def test_cache_requests_labeled_by_outcome(self):
+        from repro.platform.cache import AnswerCache
+
+        platform, _, _ = traced_platform(metrics_enabled=True)
+        platform.attach_cache(AnswerCache())
+        tasks = make_tasks(4)
+        platform.collect_batch(tasks, redundancy=3)
+        platform.collect_batch(tasks, redundancy=3)
+        metrics = platform.metrics
+        hits = metrics.counter("cache.requests", {"outcome": "hit"}).value
+        misses = metrics.counter("cache.requests", {"outcome": "miss"}).value
+        assert misses == platform.stats.cache_misses == 4
+        assert hits == platform.stats.cache_hits == 4
+
+    def test_batch_assignment_outcomes_labeled(self):
+        platform, _, _ = traced_platform(metrics_enabled=True)
+        platform.collect_batch(make_tasks(6), redundancy=3)
+        ok = platform.metrics.counter(
+            "batch.assignment_outcomes", {"outcome": "ok"}
+        ).value
+        assert ok == platform.stats.assignments_dispatched
+
+    def test_em_iterations_labeled_by_method(self):
+        from repro.quality.truth import CATEGORICAL_METHODS
+
+        from repro.platform.task import Answer
+
+        registry = MetricsRegistry()
+        activate(metrics=registry)
+        try:
+            answers = {
+                f"t{i}": [
+                    Answer(f"t{i}", "w1", "yes"),
+                    Answer(f"t{i}", "w2", "yes"),
+                    Answer(f"t{i}", "w3", "no"),
+                ]
+                for i in range(6)
+            }
+            CATEGORICAL_METHODS["ds"]().infer(answers)
+        finally:
+            deactivate(metrics=registry)
+        iterations = registry.counter("em.iterations", {"method": "ds"}).value
+        assert iterations > 0
+        deltas = registry.histogram("em.delta", {"method": "ds"})
+        assert deltas.count == iterations
 
 
 class TestRuntime:
