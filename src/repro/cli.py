@@ -12,6 +12,7 @@ Usage::
     python -m repro repl
     python -m repro demo
     python -m repro chaos [--seeds 3] [--intensity 1.0] [--check-resume]
+                          [--mitigation hedge]
     python -m repro trace-report run.jsonl
     python -m repro serve-metrics [script.sql] [--port 9109] [--iterations 5]
                                   [--hold 0]
@@ -40,7 +41,9 @@ persists the cache as JSONL across runs, Reprowd-style: a re-run of the
 same script replays every answer and publishes 0 new HITs.
 
 Robustness flags: ``--fault-plan FILE`` injects a declarative fault plan
-(see :mod:`repro.faults`); ``--failure-policy`` picks what happens when a
+(see :mod:`repro.faults`); ``--hedge`` speculatively re-issues in-flight
+straggler assignments (first answer wins, the loser is cancelled and
+refunded); ``--failure-policy`` picks what happens when a
 task cannot complete (``fail``/``skip``/``degrade``); ``--checkpoint DIR``
 snapshots platform + database state after every statement so a killed run
 can continue with ``--resume DIR``. Exit codes: 0 ok, 1 run error, 2
@@ -94,6 +97,7 @@ def build_session(
     cache_enabled: bool = True,
     cache_path: str | None = None,
     metrics_registry: MetricsRegistry | None = None,
+    hedge_enabled: bool = False,
 ) -> CrowdSQLSession:
     """A session over a fresh simulated pool of reasonably diligent workers.
 
@@ -112,6 +116,10 @@ def build_session(
     enabled) registry instead of a fresh one — ``serve-metrics`` shares
     one registry across its per-iteration sessions so scraped counters
     advance monotonically.
+
+    *hedge_enabled* turns on speculative re-issue of in-flight straggler
+    assignments (first answer wins, the losing copy is cancelled and
+    refunded) — see :class:`repro.platform.batch.HedgeState`.
     """
     if trace_path is not None and not trace_path:
         raise ConfigurationError("trace path must be a non-empty file name")
@@ -159,6 +167,7 @@ def build_session(
             max_parallel=max_parallel,
             seed=seed + 2,
             failure_policy=failure_policy,
+            hedge_enabled=hedge_enabled,
         ),
         tracer=tracer,
         metrics=metrics,
@@ -404,16 +413,33 @@ def _run_chaos_command(args) -> int:
     failed = 0
     for seed in seeds:
         try:
-            report = run_chaos(seed, intensity=args.intensity)
+            report = run_chaos(seed, intensity=args.intensity, mitigation=args.mitigation)
         except Exception as exc:  # survival contract: any escape is a failure
             print(f"seed {seed}: FAILED — {type(exc).__name__}: {exc}")
             failed += 1
             continue
         print(report.summary())
+        if args.mitigation != "none":
+            # Same seed, same plan, mitigation off: attribute the deltas.
+            try:
+                baseline = run_chaos(seed, intensity=args.intensity)
+            except Exception as exc:
+                print(f"seed {seed}: baseline FAILED — {type(exc).__name__}: {exc}")
+                failed += 1
+                continue
+            speedup = baseline.makespan / report.makespan if report.makespan else 1.0
+            cost_ratio = report.cost / baseline.cost if baseline.cost else 1.0
+            print(
+                f"seed {seed}: {args.mitigation} vs none — makespan "
+                f"{report.makespan:.0f}s vs {baseline.makespan:.0f}s "
+                f"({speedup:.2f}x), cost {report.cost:.4f} vs "
+                f"{baseline.cost:.4f} ({cost_ratio:.2f}x), "
+                f"{report.hedges} hedge(s)"
+            )
         if args.check_resume:
             with tempfile.TemporaryDirectory() as tmp:
                 identical = verify_kill_resume(
-                    seed, tmp, intensity=args.intensity
+                    seed, tmp, intensity=args.intensity, mitigation=args.mitigation
                 )
             status = "bit-identical" if identical else "DIVERGED"
             print(f"seed {seed}: kill-and-resume {status}")
@@ -466,6 +492,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="write a per-statement query profile to FILE (JSON; render "
         "with the profile-report command)",
+    )
+    parser.add_argument(
+        "--hedge",
+        action="store_true",
+        help="speculatively re-issue in-flight straggler assignments "
+        "(first answer wins; the losing copy is cancelled and refunded)",
     )
     parser.add_argument(
         "--failure-policy",
@@ -522,6 +554,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--check-resume",
         action="store_true",
         help="also verify kill-and-resume bit-identity for each seed",
+    )
+    chaos_parser.add_argument(
+        "--mitigation",
+        choices=("none", "hedge"),
+        default="none",
+        help="straggler mitigation to run each seed under; 'hedge' also "
+        "runs the unmitigated baseline and prints makespan/cost deltas",
     )
     report_parser = commands.add_parser(
         "trace-report", help="summarize a JSONL trace written with --trace"
@@ -597,6 +636,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             fault_plan=args.fault_plan,
             cache_enabled=not args.no_cache,
             cache_path=args.cache,
+            hedge_enabled=args.hedge,
         )
     except CrowdDMError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -51,6 +51,20 @@ class EngineConfig:
             the engine's platform injects, or None (no faults).
         deadline: Simulated-clock deadline; a breaker stops dispatching
             new batches once the scheduler clock reaches it. None = off.
+        adaptive_deadline: Escalate through the recovery ladder as the
+            clock eats into ``deadline`` (hedge harder, then shrink
+            redundancy) instead of only tripping at the wall — installs an
+            :class:`~repro.recovery.breakers.AdaptiveDeadlineBreaker`.
+            Requires ``deadline``.
+        hedge_enabled: Speculatively re-issue in-flight straggler
+            assignments once the batch runtime's per-task-type completion
+            model is warm (first answer wins; losing copy cancelled and
+            refunded). Off by default — hedging off is bit-identical to
+            the pre-hedging runtime.
+        hedge_percentile: Completion-time quantile that flags a running
+            assignment as a straggler.
+        hedge_min_samples: Observations per task type before the fitted
+            model is trusted for hedging.
         budget_reserve: Stop dispatching new batches once remaining
             budget drops to this floor (a budget circuit breaker). 0 = off.
         cache_enabled: Attach a content-addressed
@@ -97,6 +111,10 @@ class EngineConfig:
     failure_policy: str = "fail"
     fault_plan: str | None = None
     deadline: float | None = None
+    adaptive_deadline: bool = False
+    hedge_enabled: bool = False
+    hedge_percentile: float = 0.9
+    hedge_min_samples: int = 20
     budget_reserve: float = 0.0
     cache_enabled: bool = False
     cache_path: str | None = None
@@ -128,6 +146,10 @@ class EngineConfig:
         if self.deadline is not None and self.deadline <= 0:
             raise ConfigurationError(
                 f"deadline must be > 0 or None, got {self.deadline}"
+            )
+        if self.adaptive_deadline and self.deadline is None:
+            raise ConfigurationError(
+                "adaptive_deadline requires a deadline to escalate against"
             )
         if self.budget_reserve < 0:
             raise ConfigurationError(
@@ -167,6 +189,9 @@ class EngineConfig:
             retry_backoff=self.retry_backoff,
             seed=self.seed + 2,
             failure_policy=self.failure_policy,
+            hedge_enabled=self.hedge_enabled,
+            hedge_percentile=self.hedge_percentile,
+            hedge_min_samples=self.hedge_min_samples,
         )
 
     @property

@@ -99,15 +99,24 @@ class CrowdEngine:
         if plan is not None:
             self.platform.attach_faults(plan)
         if self.platform.scheduler is not None:
-            from repro.recovery.breakers import BudgetBreaker, DeadlineBreaker
+            from repro.recovery.breakers import (
+                AdaptiveDeadlineBreaker,
+                BudgetBreaker,
+                DeadlineBreaker,
+            )
 
             if self.config.budget_reserve > 0:
                 self.platform.scheduler.breakers.append(
                     BudgetBreaker(reserve=self.config.budget_reserve)
                 )
             if self.config.deadline is not None:
+                breaker_cls = (
+                    AdaptiveDeadlineBreaker
+                    if self.config.adaptive_deadline
+                    else DeadlineBreaker
+                )
                 self.platform.scheduler.breakers.append(
-                    DeadlineBreaker(deadline=self.config.deadline)
+                    breaker_cls(deadline=self.config.deadline)
                 )
         # `is None` check: an empty Database is falsy (it defines __len__).
         self.database = Database() if database is None else database
@@ -516,6 +525,16 @@ class CrowdEngine:
                 "misses": misses,
                 "hit_ratio": (hits / requests) if requests else 0.0,
                 "answers_reused": stats.cache_answers_reused,
+            },
+            "hedges": {
+                "enabled": (
+                    scheduler is not None and scheduler.hedge_state is not None
+                ),
+                "launched": stats.hedges_launched,
+                "won": stats.hedges_won,
+                "lost": stats.hedges_lost,
+                "cancelled": stats.hedges_cancelled,
+                "refunded": stats.hedge_cost_refunded,
             },
             "breakers": breakers,
             "profiled_statements": (

@@ -17,6 +17,7 @@ from repro.faults.plan import (
     StragglerSpikes,
     WorkerChurn,
     random_plan,
+    straggler_spike_plan,
 )
 
 __all__ = [
@@ -31,5 +32,6 @@ __all__ = [
     "chaos_suite",
     "random_plan",
     "run_chaos",
+    "straggler_spike_plan",
     "verify_kill_resume",
 ]

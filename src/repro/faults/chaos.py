@@ -22,6 +22,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan, random_plan
 from repro.obs.metrics import MetricsRegistry
 from repro.platform.batch import BatchConfig
@@ -47,6 +48,18 @@ _FAULT_METRICS = (
     "recovery.tasks_failed",
 )
 
+#: Mitigation strategies `run_chaos` / `verify_kill_resume` accept.
+MITIGATIONS = ("none", "hedge")
+
+
+def _check_mitigation(mitigation: str) -> bool:
+    """Validate the strategy name; True when hedging should be enabled."""
+    if mitigation not in MITIGATIONS:
+        raise ConfigurationError(
+            f"unknown mitigation {mitigation!r}; available: {MITIGATIONS}"
+        )
+    return mitigation == "hedge"
+
 
 @dataclass
 class ChaosReport:
@@ -58,6 +71,10 @@ class ChaosReport:
     fault_counts: dict[str, int] = field(default_factory=dict)
     checks: list[str] = field(default_factory=list)
     digest: str = ""
+    mitigation: str = "none"
+    makespan: float = 0.0   # simulated seconds across all batches
+    cost: float = 0.0       # budget actually spent
+    hedges: int = 0         # hedge copies launched (0 under mitigation="none")
 
     @property
     def survived(self) -> bool:
@@ -71,10 +88,14 @@ class ChaosReport:
             for name, count in self.fault_counts.items()
             if count
         )
-        return (
+        line = (
             f"seed {self.seed}: {self.result.coverage.summary()}; "
-            f"faults [{active or 'none'}]; digest {self.digest[:12]}"
+            f"faults [{active or 'none'}]; "
+            f"makespan {self.makespan:.0f}s, cost {self.cost:.4f}"
         )
+        if self.mitigation != "none":
+            line += f"; mitigation {self.mitigation} ({self.hedges} hedges)"
+        return line + f"; digest {self.digest[:12]}"
 
 
 def _build_world(seed: int, n_workers: int, budget: float) -> SimulatedPlatform:
@@ -132,12 +153,16 @@ def run_chaos(
     budget: float = 2.5,
     deadline: float = 50_000.0,
     plan: FaultPlan | None = None,
+    mitigation: str = "none",
 ) -> ChaosReport:
     """Run one seeded chaos experiment and verify the survival contract.
 
     Raises ``AssertionError`` if any coherence check fails; any other
     exception escaping means the pipeline did not survive the fault plan.
+    ``mitigation="hedge"`` turns on speculative straggler re-issue, so the
+    suite can report makespan/cost deltas per strategy across seeds.
     """
+    hedge = _check_mitigation(mitigation)
     plan = plan if plan is not None else random_plan(seed, intensity)
     platform = _build_world(seed, n_workers, budget)
     platform.attach_scheduler(
@@ -150,6 +175,7 @@ def run_chaos(
             retry_backoff=1.0,
             seed=seed + 2,
             failure_policy="degrade",
+            hedge_enabled=hedge,
         )
     )
     platform.attach_faults(plan)
@@ -208,6 +234,10 @@ def run_chaos(
         fault_counts=fault_counts,
         checks=checks,
         digest=_digest(result, stats, fault_counts),
+        mitigation=mitigation,
+        makespan=stats.batch_makespan,
+        cost=stats.cost_spent,
+        hedges=stats.hedges_launched,
     )
 
 
@@ -243,6 +273,11 @@ def _digest(result: DegradedResult, stats, fault_counts: dict[str, int]) -> str:
             "assignments_abandoned": stats.assignments_abandoned,
             "batch_makespan": round(stats.batch_makespan, 6),
             "batch_outage_wait": round(stats.batch_outage_wait, 6),
+            "hedges_launched": stats.hedges_launched,
+            "hedges_won": stats.hedges_won,
+            "hedges_lost": stats.hedges_lost,
+            "hedges_cancelled": stats.hedges_cancelled,
+            "hedge_cost_refunded": round(stats.hedge_cost_refunded, 9),
         },
         "faults": fault_counts,
     }
@@ -275,6 +310,11 @@ def _outcome_fingerprint(platform: SimulatedPlatform, outcome) -> str:
             "assignments_abandoned": stats.assignments_abandoned,
             "batch_makespan": round(stats.batch_makespan, 6),
             "batch_outage_wait": round(stats.batch_outage_wait, 6),
+            "hedges_launched": stats.hedges_launched,
+            "hedges_won": stats.hedges_won,
+            "hedges_lost": stats.hedges_lost,
+            "hedges_cancelled": stats.hedges_cancelled,
+            "hedge_cost_refunded": round(stats.hedge_cost_refunded, 9),
         },
     }
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -282,7 +322,7 @@ def _outcome_fingerprint(platform: SimulatedPlatform, outcome) -> str:
 
 
 def _resumable_world(
-    seed: int, n_workers: int, budget: float, plan: FaultPlan
+    seed: int, n_workers: int, budget: float, plan: FaultPlan, hedge: bool = False
 ) -> SimulatedPlatform:
     """A chaos world with a degrade-policy scheduler and faults attached."""
     platform = _build_world(seed, n_workers, budget)
@@ -296,6 +336,7 @@ def _resumable_world(
             retry_backoff=1.0,
             seed=seed + 2,
             failure_policy="degrade",
+            hedge_enabled=hedge,
         )
     )
     platform.attach_faults(plan)
@@ -310,6 +351,7 @@ def verify_kill_resume(
     redundancy: int = 3,
     kill_after: int = 1,
     intensity: float = 1.0,
+    mitigation: str = "none",
 ) -> bool:
     """Prove kill-and-resume bit-identity under a randomized fault plan.
 
@@ -318,31 +360,33 @@ def verify_kill_resume(
     platform (the moral equivalent of a new process) — and returns True
     when both runs produce identical answers, failure records, and
     platform stats (wall-clock excluded). *workdir* holds the two
-    checkpoint directories.
+    checkpoint directories. ``mitigation="hedge"`` verifies the contract
+    with hedging live (the checkpoint then carries the hedge state).
     """
     from pathlib import Path
 
     from repro.errors import SimulatedCrash
     from repro.recovery.runner import CheckpointingRunner
 
+    hedge = _check_mitigation(mitigation)
     plan = random_plan(seed, intensity)
     budget = 50.0
     tasks = _make_tasks(seed, n_tasks)
 
-    baseline_platform = _resumable_world(seed, n_workers, budget, plan)
+    baseline_platform = _resumable_world(seed, n_workers, budget, plan, hedge=hedge)
     baseline = CheckpointingRunner(
         baseline_platform, Path(workdir) / "baseline", redundancy=redundancy
     ).run(tasks)
 
     crash_dir = Path(workdir) / "crashed"
-    crashed_platform = _resumable_world(seed, n_workers, budget, plan)
+    crashed_platform = _resumable_world(seed, n_workers, budget, plan, hedge=hedge)
     try:
         CheckpointingRunner(
             crashed_platform, crash_dir, redundancy=redundancy
         ).run(tasks, kill_after=kill_after)
     except SimulatedCrash:
         pass
-    resumed_platform = _resumable_world(seed, n_workers, budget, plan)
+    resumed_platform = _resumable_world(seed, n_workers, budget, plan, hedge=hedge)
     resumed = CheckpointingRunner(
         resumed_platform, crash_dir, redundancy=redundancy
     ).run(_make_tasks(seed, n_tasks), resume=True)

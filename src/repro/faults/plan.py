@@ -249,6 +249,23 @@ class FaultPlan:
         return cls.from_json(text)
 
 
+def straggler_spike_plan(
+    seed: int, rate: float = 0.25, multiplier: float = 20.0
+) -> FaultPlan:
+    """A plan that injects *only* straggler spikes — the hedging workload.
+
+    A quarter of assignments running 20× over their sampled service time
+    is the tail-at-scale regime the hedging benchmark gates against: no
+    churn, outages, or delivery noise, so makespan/cost deltas are
+    attributable to the mitigation strategy alone.
+    """
+    return FaultPlan(
+        seed=seed,
+        stragglers=StragglerSpikes(rate=rate, multiplier=multiplier),
+        name=f"straggler-spike-{seed}",
+    )
+
+
 def random_plan(seed: int, intensity: float = 1.0) -> FaultPlan:
     """A randomized but fully seed-determined plan for chaos runs.
 

@@ -12,6 +12,13 @@ mitigations implemented here:
 * :class:`RetainerPool` — model of pre-recruited on-call workers
   (retainer pattern) that removes recruitment latency entirely for a flat
   standby fee.
+
+These are *offline* timeline experiments over pre-collected answers. The
+live equivalent — speculative re-issue of in-flight stragglers inside the
+batch runtime, with first-answer-wins and cancellation refunds — is
+:class:`repro.platform.batch.HedgeState` /
+``BatchConfig(hedge_enabled=True)``, which fits the same lognormal models
+online via :func:`~repro.latency.statistical.fit_completion_model`.
 """
 
 from __future__ import annotations

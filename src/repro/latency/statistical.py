@@ -75,21 +75,55 @@ def _phi(z: float) -> float:
     return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
 
 
-def fit_completion_model(durations: Sequence[float]) -> CompletionModel:
-    """Fit the lognormal by moments of log-durations."""
-    cleaned = [d for d in durations if d > 0]
+def fit_completion_model(
+    durations: Sequence[float], robust: bool = False
+) -> CompletionModel:
+    """Fit the lognormal to observed durations.
+
+    Non-positive and non-finite durations are dropped before fitting;
+    fewer than two usable samples raise a clean
+    :class:`~repro.errors.ConfigurationError` instead of surfacing numpy
+    degrees-of-freedom warnings or NaN parameters.
+
+    ``robust=True`` fits by median/MAD of log-durations instead of
+    mean/std. A contaminated sample — e.g. completion times that include a
+    straggler-spiked tail — inflates the moment estimates enough that the
+    fitted upper quantiles chase the outliers; the median/MAD fit tracks
+    the clean body of the distribution, which is what the live hedging
+    runtime (:class:`repro.platform.batch.BatchScheduler`) needs to
+    recognize the outliers as stragglers at all.
+    """
+    cleaned = [d for d in durations if math.isfinite(d) and d > 0]
     if len(cleaned) < 2:
-        raise ConfigurationError("need at least two positive durations to fit")
+        raise ConfigurationError(
+            "need at least two positive, finite durations to fit "
+            f"(got {len(cleaned)} usable of {len(durations)})"
+        )
     logs = np.log(np.asarray(cleaned, dtype=float))
-    return CompletionModel(
-        mu=float(logs.mean()),
-        sigma=float(logs.std(ddof=1)),
-        n_observations=len(cleaned),
-    )
+    if robust:
+        mu = float(np.median(logs))
+        # 1.4826 * MAD estimates sigma consistently for a normal body.
+        sigma = 1.4826 * float(np.median(np.abs(logs - mu)))
+        if sigma <= 0.0:  # degenerate MAD (over half the sample identical)
+            sigma = float(logs.std(ddof=1))
+    else:
+        mu = float(logs.mean())
+        sigma = float(logs.std(ddof=1))
+    return CompletionModel(mu=mu, sigma=sigma, n_observations=len(cleaned))
 
 
 def straggler_threshold(model: CompletionModel, percentile: float = 0.9) -> float:
     """Duration beyond which a task counts as a straggler."""
+    if model.n_observations < 2:
+        raise ConfigurationError(
+            "straggler threshold needs a model fitted on at least two "
+            f"durations, got {model.n_observations}"
+        )
+    if not (math.isfinite(model.mu) and math.isfinite(model.sigma)):
+        raise ConfigurationError(
+            f"completion model parameters must be finite, got "
+            f"mu={model.mu!r} sigma={model.sigma!r}"
+        )
     return model.quantile(percentile)
 
 

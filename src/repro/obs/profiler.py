@@ -37,6 +37,8 @@ _STATEMENT_COUNTERS = {
     "answers_reused": "cache.answers_reused",
     "cache_hits": "cache.hits",
     "cache_misses": "cache.misses",
+    "hedges": "batch.hedges_launched",
+    "hedges_won": "batch.hedges_won",
 }
 
 
@@ -211,6 +213,8 @@ class QueryProfiler:
             "answers": sum(s["answers"] for s in self.statements),
             "hits_published": sum(s["hits_published"] for s in self.statements),
             "answers_reused": sum(s["answers_reused"] for s in self.statements),
+            "hedges": sum(s["hedges"] for s in self.statements),
+            "hedges_won": sum(s["hedges_won"] for s in self.statements),
             "em_iterations": sum(
                 sum(s["em_iterations"].values()) for s in self.statements
             ),
@@ -268,6 +272,8 @@ def render_profile(document: dict[str, Any]) -> str:
             "rows": s["rows_out"] if s["rows_out"] is not None else "-",
             "hits": s["hits_published"],
             "reused": s["answers_reused"],
+            # .get(): profiles written before hedging existed lack the field
+            "hedges": s.get("hedges", 0),
             "cost": s["cost"],
             "em_iters": sum(s.get("em_iterations", {}).values()),
         }
@@ -299,13 +305,16 @@ def render_profile(document: dict[str, Any]) -> str:
         )
     totals = document.get("totals")
     if totals:
-        sections.append(
+        line = (
             "totals: "
             f"{totals['statements']} statements, {totals['wall_s']:.3f}s wall, "
             f"{totals['sim_s']:.1f}s simulated, {totals['hits_published']} HITs published, "
             f"{totals['answers_reused']} answers reused, spend {totals['cost']:.4f}, "
             f"{totals['em_iterations']} EM iterations"
         )
+        if totals.get("hedges"):
+            line += f", {totals['hedges']} hedges ({totals.get('hedges_won', 0)} won)"
+        sections.append(line)
     return "\n\n".join(sections)
 
 

@@ -114,6 +114,30 @@ DESCRIPTORS: tuple[MetricDescriptor, ...] = (
         "Simulated seconds batches stalled waiting out platform outages.",
     ),
     MetricDescriptor(
+        "batch.hedges", "batch_hedges_total", "counter",
+        "Hedge copies by outcome label (won|lost|cancelled).",
+    ),
+    MetricDescriptor(
+        "batch.hedges_launched", "batch_hedges_launched_total", "counter",
+        "Speculative hedge copies launched against in-flight stragglers.",
+    ),
+    MetricDescriptor(
+        "batch.hedges_won", "batch_hedges_won_total", "counter",
+        "Hedge copies that answered before their straggling primary.",
+    ),
+    MetricDescriptor(
+        "batch.hedges_lost", "batch_hedges_lost_total", "counter",
+        "Hedge copies cancelled because the primary answered first.",
+    ),
+    MetricDescriptor(
+        "batch.hedges_cancelled", "batch_hedges_cancelled_total", "counter",
+        "Hedge copies that faulted in flight (distinct from abandonment).",
+    ),
+    MetricDescriptor(
+        "batch.hedge_cost_refunded", "batch_hedge_cost_refunded_dollars_total", "counter",
+        "Spend refunded by cancelling the losing copy of a hedge pair.",
+    ),
+    MetricDescriptor(
         "batch.assignment_latency", "batch_assignment_latency_seconds", "histogram",
         "Simulated service time of committed assignments.",
     ),
@@ -190,6 +214,10 @@ DESCRIPTORS: tuple[MetricDescriptor, ...] = (
     MetricDescriptor(
         "recovery.tasks_failed", "recovery_tasks_failed_total", "counter",
         "Tasks recorded as failed under skip/degrade policies.",
+    ),
+    MetricDescriptor(
+        "recovery.deadline_escalations", "recovery_deadline_escalations_total", "counter",
+        "Stage advances of adaptive deadline breakers (hedge|shrink).",
     ),
     MetricDescriptor(
         "faults.outage_delays", "faults_outage_delays_total", "counter",

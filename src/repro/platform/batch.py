@@ -24,12 +24,26 @@ to :meth:`SimulatedPlatform.collect`. With ``max_parallel>1`` every
 assignment gets its own RNG derived from ``(seed, assignment index)``, so
 results are reproducible regardless of thread interleaving — just a
 different (equally valid) random stream than the sequential one.
+
+Tail-latency control (``hedge_enabled``): the scheduler fits per-task-type
+lognormal completion-time models online (:class:`HedgeState`, built on
+:mod:`repro.latency.statistical`) and, when a completed attempt ran past
+the fitted straggler threshold, speculatively re-issues the task on a
+fresh worker ("hedging"). First answer wins — the losing copy is
+*cancelled* (its cost refunded, counted separately from abandonment).
+Hedge decisions are derived purely from the deterministic observation
+stream and the pool RNG, so a seed replay — or a kill-and-resume whose
+checkpoint carries :meth:`HedgeState.export_state` — reproduces the exact
+same hedges, winners, and stats. With ``hedge_enabled=False`` (default)
+every code path and RNG draw is bit-identical to the pre-hedging runtime.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
@@ -73,6 +87,12 @@ class BatchConfig:
             raises, ``"skip"`` drops the task from the answers,
             ``"degrade"`` keeps partial answers and records failures (see
             :class:`~repro.recovery.degrade.FailurePolicy`).
+        hedge_enabled: Speculatively re-issue in-flight stragglers once a
+            per-task-type completion model is warm (see module docstring).
+        hedge_percentile: Completion-time quantile beyond which a running
+            attempt counts as a straggler and gets hedged.
+        hedge_min_samples: Observations per task type required before the
+            model is trusted; colder types never hedge.
     """
 
     batch_size: int = 32
@@ -83,6 +103,9 @@ class BatchConfig:
     retry_backoff: float = 1.0
     seed: int | None = None
     failure_policy: str = "fail"
+    hedge_enabled: bool = False
+    hedge_percentile: float = 0.9
+    hedge_min_samples: int = 20
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -100,6 +123,14 @@ class BatchConfig:
         if self.retry_backoff < 0:
             raise ConfigurationError(
                 f"retry_backoff must be non-negative, got {self.retry_backoff}"
+            )
+        if not 0.0 < self.hedge_percentile < 1.0:
+            raise ConfigurationError(
+                f"hedge_percentile must be in (0, 1), got {self.hedge_percentile}"
+            )
+        if self.hedge_min_samples < 2:
+            raise ConfigurationError(
+                f"hedge_min_samples must be >= 2, got {self.hedge_min_samples}"
             )
         FailurePolicy.parse(self.failure_policy)  # raises ConfigurationError if unknown
 
@@ -126,6 +157,11 @@ class BatchRecord:
     makespan: float = 0.0     # simulated seconds (lane model)
     wall_clock: float = 0.0   # real seconds spent dispatching
     outage_wait: float = 0.0  # simulated seconds stalled by a platform outage
+    hedged: int = 0           # speculative hedge copies launched
+    hedges_won: int = 0       # hedge copy answered first (primary cancelled)
+    hedges_lost: int = 0      # primary answered first (hedge copy cancelled)
+    hedges_cancelled: int = 0  # hedge copy faulted in flight; primary kept
+    hedge_refund: float = 0.0  # cost refunded by cancelling losing copies
     batch_id: int = field(default_factory=_BATCH_IDS.__next__)
 
 
@@ -168,6 +204,98 @@ class _Assignment:
     straggled: bool = False   # duration inflated by an injected straggler spike
     # outcome history of this retry chain, shared across its assignments
     outcomes: list[str] = field(default_factory=list)
+    # speculative hedge copy racing this attempt, if any
+    hedge: "_Assignment | None" = None
+    hedge_detect: float = 0.0  # simulated offset at which the hedge launched
+
+
+class HedgeState:
+    """Online per-task-type completion models driving hedge decisions.
+
+    Effective task durations are recorded in commit order (deterministic at
+    any parallelism); thresholds come from a *robust* lognormal fit
+    (:func:`repro.latency.statistical.fit_completion_model` with
+    ``robust=True``) so an already-contaminated observation window still
+    recognizes stragglers instead of chasing them. Under deadline pressure
+    the escalation ladder lowers the detection percentile via
+    :meth:`set_pressure`; pressure is *not* part of the exported state — it
+    is recomputed from the simulated clock on every batch, which keeps
+    kill-and-resume runs bit-identical.
+    """
+
+    def __init__(
+        self,
+        percentile: float = 0.9,
+        min_samples: int = 20,
+        window: int = 256,
+    ):
+        # Imported lazily: repro.latency's package __init__ pulls in the
+        # offline mitigation module, which imports the platform package —
+        # a module-level import here would complete that cycle.
+        from repro.latency.statistical import fit_completion_model, straggler_threshold
+
+        self._fit = fit_completion_model
+        self._quantile = straggler_threshold
+        self.percentile = percentile
+        self.min_samples = min_samples
+        self.window = window
+        self._observations: dict[str, deque[float]] = {}
+        self._pressure: float | None = None
+        self._version = 0
+        self._cache: dict[str, tuple[int, float]] = {}
+
+    @property
+    def effective_percentile(self) -> float:
+        """The detection percentile currently in force (pressure-aware)."""
+        return self._pressure if self._pressure is not None else self.percentile
+
+    def set_pressure(self, active: bool, percentile: float) -> None:
+        """Lower (or restore) the detection percentile under deadline pressure."""
+        pressure = percentile if active else None
+        if pressure != self._pressure:
+            self._pressure = pressure
+            self._version += 1
+
+    def observe(self, task_type: str, duration: float) -> None:
+        """Record one effective task duration for *task_type*."""
+        if not math.isfinite(duration) or duration <= 0.0:
+            return
+        window = self._observations.get(task_type)
+        if window is None:
+            window = deque(maxlen=self.window)
+            self._observations[task_type] = window
+        window.append(float(duration))
+        self._version += 1
+
+    def threshold(self, task_type: str) -> float | None:
+        """Straggler cutoff for *task_type*, or None while the model is cold."""
+        window = self._observations.get(task_type)
+        if window is None or len(window) < self.min_samples:
+            return None
+        cached = self._cache.get(task_type)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        model = self._fit(list(window), robust=True)
+        value = self._quantile(model, percentile=self.effective_percentile)
+        self._cache[task_type] = (self._version, value)
+        return value
+
+    def export_state(self) -> dict:
+        """JSON-serializable snapshot of the observation windows."""
+        return {
+            "observations": {
+                kind: list(window) for kind, window in self._observations.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore observation windows captured by :meth:`export_state`."""
+        self._observations = {
+            kind: deque((float(d) for d in window), maxlen=self.window)
+            for kind, window in state.get("observations", {}).items()
+        }
+        self._cache.clear()
+        self._version += 1
 
 
 class BatchScheduler:
@@ -188,6 +316,16 @@ class BatchScheduler:
         self._run_base = 0.0  # clock value when the current run() started
         self._streams = 0     # per-assignment RNG stream counter
         self._budget_exhausted = False
+        self.hedge_state: HedgeState | None = (
+            HedgeState(
+                percentile=self.config.hedge_percentile,
+                min_samples=self.config.hedge_min_samples,
+            )
+            if self.config.hedge_enabled
+            else None
+        )
+        self._shrink_redundancy = False
+        self._deadline_stage = "normal"  # advanced by AdaptiveDeadlineBreaker
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -202,6 +340,27 @@ class BatchScheduler:
     def simulated_clock(self) -> float:
         """Total simulated seconds consumed by every batch dispatched so far."""
         return self._clock
+
+    def apply_deadline_pressure(
+        self, *, hedge: bool, shrink: bool, percentile: float
+    ) -> None:
+        """Escalation hook for adaptive deadline breakers.
+
+        Idempotent, and derived by the caller purely from the simulated
+        clock — safe to re-apply every batch, including the first batch
+        after a checkpoint resume. ``hedge`` turns hedging on (creating a
+        cold :class:`HedgeState` when the config left it off) and lowers
+        the detection percentile to *percentile*; ``shrink`` additionally
+        halves the effective redundancy of subsequent batches.
+        """
+        self._shrink_redundancy = shrink
+        if hedge and self.hedge_state is None:
+            self.hedge_state = HedgeState(
+                percentile=self.config.hedge_percentile,
+                min_samples=self.config.hedge_min_samples,
+            )
+        if self.hedge_state is not None:
+            self.hedge_state.set_pressure(hedge, percentile)
 
     def run(
         self,
@@ -258,9 +417,24 @@ class BatchScheduler:
                 for task in batch:
                     self._record_failure(result, FailureInfo(task.task_id, reason=halted))
                 continue
+            # Advisory escalation pass (all policies): adaptive breakers may
+            # tighten hedging or shrink redundancy *before* tripping. Plain
+            # breakers inherit a no-op escalate(), so this is RNG-silent and
+            # bit-identical for legacy configurations.
+            for breaker in self.breakers:
+                stage = breaker.escalate(self.platform, self)
+                if stage is not None:
+                    self.platform.metrics.inc("recovery.deadline_escalations")
+                    if tracer.enabled:
+                        tracer.annotate(
+                            "breaker.escalate", breaker=breaker.name, stage=stage
+                        )
+            eff_redundancy = (
+                max(1, -(-redundancy // 2)) if self._shrink_redundancy else redundancy
+            )
             if injector is not None:
                 for event in injector.on_batch_start(
-                    self.batches_run, self.platform, redundancy
+                    self.batches_run, self.platform, eff_redundancy
                 ):
                     if tracer.enabled:
                         tracer.annotate("fault.injected", batch=self.batches_run, event=event)
@@ -272,11 +446,13 @@ class BatchScheduler:
                 batch_id=record.batch_id,
                 tasks=len(batch),
             ) as span:
-                self._run_batch(batch, redundancy, record, result, complete, policy)
+                self._run_batch(batch, eff_redundancy, record, result, complete, policy)
                 span.set_tag("dispatched", record.dispatched)
                 span.set_tag("retried", record.retried)
                 span.set_tag("timed_out", record.timed_out)
                 span.set_tag("abandoned", record.abandoned)
+                if record.hedged:
+                    span.set_tag("hedged", record.hedged)
                 span.set_tag("makespan", record.makespan)
                 if record.outage_wait:
                     span.set_tag("outage_wait", record.outage_wait)
@@ -389,6 +565,13 @@ class BatchScheduler:
         retry_counts: dict[str, int] = {}
         while wave:
             self._execute_wave(wave)
+            # Hedge planning happens on the caller's thread in wave order
+            # (pool RNG determinism), then the hedge copies run as one
+            # mini-wave after their primaries.
+            if self.hedge_state is not None:
+                hedges = self._plan_hedges(wave, attempted)
+                if hedges:
+                    self._execute_wave(hedges)
             retries: list[_Assignment] = []
             for a in wave:
                 task_id = a.task.task_id
@@ -401,9 +584,14 @@ class BatchScheduler:
                 backoff = (
                     self.config.retry_backoff * 2 ** (a.attempt - 1) if a.attempt else 0.0
                 )
+                winner, effective, outcome = a, a.duration, None
+                if a.hedge is not None:
+                    winner, effective, outcome = self._resolve_hedge(a)
                 lane = min(range(len(lanes)), key=lanes.__getitem__)
-                finished = lanes[lane] + backoff + a.duration
+                finished = lanes[lane] + backoff + effective
                 lanes[lane] = finished
+                if outcome is not None:
+                    self._account_hedge(a, outcome, effective, record, attempted, lanes)
                 if a.fault is None:
                     if self._budget_exhausted:
                         self._record_failure(
@@ -411,7 +599,7 @@ class BatchScheduler:
                         )
                         continue
                     try:
-                        self._commit(a, result, finished)
+                        self._commit(winner, result, finished)
                     except BudgetExceededError:
                         if policy is FailurePolicy.FAIL:
                             raise
@@ -420,7 +608,9 @@ class BatchScheduler:
                             result, FailureInfo(task_id, reason="budget_exhausted")
                         )
                         continue
-                    metrics.observe("batch.assignment_latency", a.duration)
+                    if self.hedge_state is not None:
+                        self.hedge_state.observe(a.task.task_type.value, effective)
+                    metrics.observe("batch.assignment_latency", winner.duration)
                     metrics.inc("batch.assignment_outcomes", labels={"outcome": "ok"})
                 else:
                     if a.fault == "timeout":
@@ -511,6 +701,104 @@ class BatchScheduler:
             )
             return []
         return pool.sample(len(eligible), exclude=answered)
+
+    # ------------------------------------------------------------------ #
+    # Hedging (speculative straggler re-issue)
+    # ------------------------------------------------------------------ #
+
+    def _plan_hedges(
+        self, wave: list[_Assignment], attempted: dict[str, set[str]]
+    ) -> list[_Assignment]:
+        """Attach a speculative copy to each straggling successful attempt.
+
+        Runs on the caller's thread in wave order, so the pool RNG stream
+        is identical at any parallelism. Faulted attempts are left to the
+        retry path; a pool with no spare eligible worker skips the hedge
+        without consuming RNG (``pool.sample`` raises before drawing).
+        """
+        state = self.hedge_state
+        wave_workers: dict[str, set[str]] = {}
+        for a in wave:
+            wave_workers.setdefault(a.task.task_id, set()).add(a.worker.worker_id)
+        hedges: list[_Assignment] = []
+        for a in wave:
+            if a.fault is not None:
+                continue
+            threshold = state.threshold(a.task.task_type.value)
+            if threshold is None or a.duration <= threshold:
+                continue
+            task_id = a.task.task_id
+            answered = {
+                ans.worker_id for ans in self.platform._answers_by_task[task_id]
+            }
+            exclude = attempted[task_id] | wave_workers[task_id] | answered
+            try:
+                worker = self.platform.pool.sample(1, exclude=exclude)[0]
+            except NoWorkersAvailableError:
+                continue
+            hedge = self._assignment(a.task, worker, a.order, attempt=a.attempt)
+            a.hedge = hedge
+            a.hedge_detect = threshold
+            hedges.append(hedge)
+        return hedges
+
+    def _resolve_hedge(
+        self, a: _Assignment
+    ) -> "tuple[_Assignment, float, str]":
+        """First answer wins: pick the surviving copy of a hedged attempt.
+
+        Returns ``(winner, effective_duration, outcome)`` where *outcome*
+        labels the fate of the hedge copy: ``"won"`` (hedge answered first,
+        primary cancelled), ``"lost"`` (primary answered first, hedge
+        cancelled), or ``"cancelled"`` (hedge faulted in flight — never
+        counted as a timeout/abandonment, never retried).
+        """
+        hedge = a.hedge
+        if hedge.fault is not None:
+            return a, a.duration, "cancelled"
+        if a.hedge_detect + hedge.duration < a.duration:
+            return hedge, a.hedge_detect + hedge.duration, "won"
+        return a, a.duration, "lost"
+
+    def _account_hedge(
+        self,
+        a: _Assignment,
+        outcome: str,
+        effective: float,
+        record: BatchRecord,
+        attempted: dict[str, set[str]],
+        lanes: list[float],
+    ) -> None:
+        """Fold one resolved hedge into counters, metrics, and the lane model."""
+        hedge = a.hedge
+        metrics = self.platform.metrics
+        record.dispatched += 1
+        record.hedged += 1
+        if outcome == "won":
+            record.hedges_won += 1
+            record.hedge_refund += a.task.reward  # the cancelled primary
+        elif outcome == "lost":
+            record.hedges_lost += 1
+            record.hedge_refund += a.task.reward  # the cancelled hedge copy
+        else:
+            record.hedges_cancelled += 1  # faulted copy: nothing to refund
+        if hedge.straggled:
+            metrics.inc("faults.stragglers")
+        attempted[a.task.task_id].add(hedge.worker.worker_id)
+        metrics.inc("batch.hedges", labels={"outcome": outcome})
+        if self.platform.tracer.enabled:
+            self.platform.tracer.annotate(
+                "batch.hedge",
+                task_id=a.task.task_id,
+                outcome=outcome,
+                detect=a.hedge_detect,
+                primary=a.duration,
+                hedge=hedge.duration,
+            )
+        # The losing copy occupied a lane from detection until it finished
+        # or was cancelled at the winner's completion, whichever came first.
+        lane = min(range(len(lanes)), key=lanes.__getitem__)
+        lanes[lane] += min(hedge.duration, max(0.0, effective - a.hedge_detect))
 
     def _assignment(self, task: Task, worker: "Worker", order: int, attempt: int = 0) -> _Assignment:
         stream = self._streams

@@ -56,6 +56,11 @@ _STAT_METRICS = {
     "batch_makespan": "batch.makespan",
     "batch_wall_clock": "batch.wall_clock",
     "batch_outage_wait": "batch.outage_wait",
+    "hedges_launched": "batch.hedges_launched",
+    "hedges_won": "batch.hedges_won",
+    "hedges_lost": "batch.hedges_lost",
+    "hedges_cancelled": "batch.hedges_cancelled",
+    "hedge_cost_refunded": "batch.hedge_cost_refunded",
     "cache_hits": "cache.hits",
     "cache_misses": "cache.misses",
     "cache_coalesced": "cache.coalesced",
@@ -99,12 +104,17 @@ class PlatformStats:
         self.batch_makespan += record.makespan
         self.batch_wall_clock += record.wall_clock
         self.batch_outage_wait += getattr(record, "outage_wait", 0.0)
+        self.hedges_launched += getattr(record, "hedged", 0)
+        self.hedges_won += getattr(record, "hedges_won", 0)
+        self.hedges_lost += getattr(record, "hedges_lost", 0)
+        self.hedges_cancelled += getattr(record, "hedges_cancelled", 0)
+        self.hedge_cost_refunded += getattr(record, "hedge_refund", 0.0)
 
     def batch_summary(self) -> str:
         """One-line human-readable batch accounting (empty if unused)."""
         if not self.batches_dispatched:
             return ""
-        return (
+        summary = (
             f"{self.batches_dispatched} batches, "
             f"{self.assignments_dispatched} assignments "
             f"({self.assignments_retried} retried, "
@@ -112,6 +122,14 @@ class PlatformStats:
             f"{self.assignments_abandoned} abandoned), "
             f"simulated makespan {self.batch_makespan:.1f}s"
         )
+        if self.hedges_launched:
+            summary += (
+                f", {self.hedges_launched} hedges "
+                f"({self.hedges_won} won, {self.hedges_lost} lost, "
+                f"{self.hedges_cancelled} cancelled, "
+                f"refunded {self.hedge_cost_refunded:.4f})"
+            )
+        return summary
 
     def cache_summary(self) -> str:
         """One-line answer-cache accounting (empty when the cache saw no traffic)."""

@@ -10,7 +10,12 @@
   the kill-and-resume harness.
 """
 
-from repro.recovery.breakers import BudgetBreaker, CircuitBreaker, DeadlineBreaker
+from repro.recovery.breakers import (
+    AdaptiveDeadlineBreaker,
+    BudgetBreaker,
+    CircuitBreaker,
+    DeadlineBreaker,
+)
 from repro.recovery.checkpoint import Checkpoint
 from repro.recovery.degrade import (
     CoverageReport,
@@ -21,6 +26,7 @@ from repro.recovery.degrade import (
 from repro.recovery.runner import CheckpointingRunner, RunOutcome
 
 __all__ = [
+    "AdaptiveDeadlineBreaker",
     "BudgetBreaker",
     "Checkpoint",
     "CheckpointingRunner",

@@ -339,12 +339,23 @@ def restore_platform(platform: "SimulatedPlatform", state: dict) -> None:
 
 
 def snapshot_scheduler(scheduler: "BatchScheduler") -> dict:
-    """Serialize the scheduler's simulated clock and stream/batch counters."""
-    return {
+    """Serialize the scheduler's simulated clock and stream/batch counters.
+
+    When hedging is live, the per-task-type observation windows ride along
+    so a resumed run re-fits the exact same completion models (and hence
+    makes the exact same hedge decisions). Deadline pressure itself is
+    *not* persisted — it is a pure function of the restored clock and is
+    re-derived on the first post-resume batch.
+    """
+    state = {
         "clock": scheduler._clock,
         "streams": scheduler._streams,
         "batches_run": scheduler.batches_run,
+        "deadline_stage": scheduler._deadline_stage,
     }
+    if scheduler.hedge_state is not None:
+        state["hedge"] = scheduler.hedge_state.export_state()
+    return state
 
 
 def restore_scheduler(scheduler: "BatchScheduler", state: dict) -> None:
@@ -352,6 +363,17 @@ def restore_scheduler(scheduler: "BatchScheduler", state: dict) -> None:
     scheduler._clock = state["clock"]
     scheduler._streams = state["streams"]
     scheduler.batches_run = state["batches_run"]
+    scheduler._deadline_stage = state.get("deadline_stage", "normal")
+    hedge = state.get("hedge")
+    if hedge is not None:
+        if scheduler.hedge_state is None:
+            from repro.platform.batch import HedgeState
+
+            scheduler.hedge_state = HedgeState(
+                percentile=scheduler.config.hedge_percentile,
+                min_samples=scheduler.config.hedge_min_samples,
+            )
+        scheduler.hedge_state.restore_state(hedge)
 
 
 # ---------------------------------------------------------------------- #

@@ -115,9 +115,51 @@ class TestStatisticalModel:
         model = fit_completion_model([30.0, 40.0, 25.0, 35.0])
         assert model.expected_makespan(100, 10) > model.expected_makespan(10, 10)
 
+    def test_fit_rejects_tiny_samples_cleanly(self):
+        # The guard must fire before numpy sees the data: no degrees-of-
+        # freedom RuntimeWarnings, no NaN parameters — a clean error.
+        import warnings
+
+        for bad in ([], [5.0], [float("nan"), float("inf")], [-1.0, 0.0]):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                with pytest.raises(ConfigurationError, match="at least two"):
+                    fit_completion_model(bad)
+
+    def test_fit_drops_nonfinite(self):
+        model = fit_completion_model([10.0, 20.0, float("nan"), float("inf")])
+        assert model.n_observations == 2
+
+    def test_robust_fit_tracks_the_clean_body(self):
+        # 25% of observations spiked 20x: the moment fit chases the tail
+        # (its p95 lands near the straggler duration, so stragglers are
+        # never "slow"), the median/MAD fit stays with the clean body.
+        rng = np.random.default_rng(7)
+        clean = list(rng.lognormal(mean=np.log(30.0), sigma=0.5, size=90))
+        contaminated = clean + [600.0] * 30
+        plain = fit_completion_model(contaminated)
+        robust = fit_completion_model(contaminated, robust=True)
+        assert straggler_threshold(robust, 0.95) < 150.0
+        assert straggler_threshold(plain, 0.95) > 300.0
+
+    def test_robust_fit_degenerate_mad_falls_back(self):
+        # Over half the sample identical: MAD is 0, fall back to std.
+        model = fit_completion_model([10.0, 10.0, 10.0, 20.0], robust=True)
+        assert model.sigma > 0.0
+
     def test_straggler_threshold_above_median(self):
         model = fit_completion_model([10.0, 20.0, 30.0, 40.0])
         assert straggler_threshold(model, 0.9) > model.median
+
+    def test_straggler_threshold_guards_degenerate_models(self):
+        from repro.latency.statistical import CompletionModel
+
+        with pytest.raises(ConfigurationError, match="at least two"):
+            straggler_threshold(CompletionModel(mu=1.0, sigma=0.5, n_observations=1))
+        with pytest.raises(ConfigurationError, match="finite"):
+            straggler_threshold(
+                CompletionModel(mu=float("nan"), sigma=0.5, n_observations=5)
+            )
 
     def test_speedup_prediction_monotone(self):
         model = fit_completion_model([10.0, 20.0])

@@ -34,6 +34,7 @@ EXPERIMENT_BENCHES = {
     "F10": "bench_planning.py",
     "B1": "bench_batch_runtime.py",
     "B3": "bench_columnar.py",
+    "B8": "bench_hedging.py",
     "C1": "bench_answer_cache.py",
 }
 
