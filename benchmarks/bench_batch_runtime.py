@@ -13,7 +13,7 @@ import json
 import os
 import time
 
-from conftest import run_once
+from conftest import bench_artifact, run_once
 
 from repro.experiments.harness import quick_mode, run_trials
 from repro.obs import MetricsRegistry, NullSink, Tracer
@@ -222,7 +222,7 @@ def test_b1_labeled_metrics_exporter_overhead(benchmark, report):
         f"{values['samples']:.0f} samples), overhead {overhead:+.1%}"
     )
 
-    out_path = os.path.join(os.environ.get("CROWDDM_BENCH_DIR", "."), "BENCH_obs.json")
+    out_path = bench_artifact("BENCH_obs.json")
     with open(out_path, "w") as fh:
         json.dump(
             {

@@ -14,7 +14,7 @@ import os
 import time
 
 import numpy as np
-from conftest import run_once
+from conftest import bench_artifact, run_once
 
 from repro.data.database import Database
 from repro.data.expressions import (
@@ -214,7 +214,7 @@ def test_b3_columnar_scan_filter_join(benchmark, report):
         f"vs walk {result['cnull']['walk_s'] * 1e3:.0f}ms"
     )
 
-    out_path = os.path.join(os.environ.get("CROWDDM_BENCH_DIR", "."), "BENCH_columnar.json")
+    out_path = bench_artifact("BENCH_columnar.json")
     with open(out_path, "w") as fh:
         json.dump(
             {

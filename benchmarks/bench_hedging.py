@@ -24,7 +24,7 @@ import json
 import os
 
 import numpy as np
-from conftest import run_once
+from conftest import bench_artifact, run_once
 
 from repro.experiments.harness import quick_mode
 from repro.faults import straggler_spike_plan
@@ -135,9 +135,7 @@ def test_b8_hedging_tail_latency(benchmark, report):
         f"{hedged['hedges_won'] + hedged['hedges_lost']} cancelled copies"
     )
 
-    out_path = os.path.join(
-        os.environ.get("CROWDDM_BENCH_DIR", "."), "BENCH_hedging.json"
-    )
+    out_path = bench_artifact("BENCH_hedging.json")
     with open(out_path, "w") as fh:
         json.dump(
             {

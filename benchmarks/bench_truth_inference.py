@@ -17,7 +17,7 @@ import json
 import os
 import time
 
-from conftest import run_once
+from conftest import bench_artifact, run_once
 
 from repro.experiments.calibration import expected_calibration_error
 from repro.experiments.harness import PoolSpec, make_platform, quick_mode, run_trials
@@ -151,9 +151,7 @@ def test_b2_kernel_scaling_sweep(benchmark, report):
         title=f"B2: EM kernel vs legacy backend ({meta['n_answers']} answers)",
     )
 
-    out_path = os.path.join(
-        os.environ.get("CROWDDM_BENCH_DIR", "."), "BENCH_truth_inference.json"
-    )
+    out_path = bench_artifact("BENCH_truth_inference.json")
     with open(out_path, "w") as fh:
         json.dump({"workload": meta, "speedup_floor": floor, "methods": rows}, fh, indent=2)
     report.note(f"wrote {out_path}")

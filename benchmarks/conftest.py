@@ -14,6 +14,20 @@ import pytest
 
 from repro.experiments.report import format_series, format_table
 
+#: Repo root — the one documented home for BENCH_*.json artifacts, so CI
+#: upload paths never depend on pytest's working directory.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def bench_artifact(filename: str) -> str:
+    """Path a benchmark artifact is written to.
+
+    All suites emit their ``BENCH_*.json`` at the repo root (override with
+    ``CROWDDM_BENCH_DIR``); ``test_repo_consistency.py`` asserts every
+    bench routes through this helper.
+    """
+    return os.path.join(os.environ.get("CROWDDM_BENCH_DIR") or REPO_ROOT, filename)
+
 
 def pytest_addoption(parser):
     parser.addoption(

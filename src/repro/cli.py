@@ -40,6 +40,11 @@ cache is on by default; ``--no-cache`` disables it). ``--cache FILE``
 persists the cache as JSONL across runs, Reprowd-style: a re-run of the
 same script replays every answer and publishes 0 new HITs.
 
+``--pipeline`` streams SELECTs through the pipelined executor: every
+crowd question of a statement is planned up front, waves of answers flow
+downstream as batches land, and TOP-K/LIMIT cancels still-pending
+upstream HITs (the saving shows up in the crowd accounting line).
+
 Robustness flags: ``--fault-plan FILE`` injects a declarative fault plan
 (see :mod:`repro.faults`); ``--hedge`` speculatively re-issues in-flight
 straggler assignments (first answer wins, the loser is cancelled and
@@ -98,6 +103,7 @@ def build_session(
     cache_path: str | None = None,
     metrics_registry: MetricsRegistry | None = None,
     hedge_enabled: bool = False,
+    pipeline: bool = False,
 ) -> CrowdSQLSession:
     """A session over a fresh simulated pool of reasonably diligent workers.
 
@@ -120,6 +126,10 @@ def build_session(
     *hedge_enabled* turns on speculative re-issue of in-flight straggler
     assignments (first answer wins, the losing copy is cancelled and
     refunded) — see :class:`repro.platform.batch.HedgeState`.
+
+    *pipeline* streams SELECTs through the pipelined executor (crowd
+    waves overlap across operators; TOP-K/LIMIT cancels pending HITs) —
+    see :class:`repro.lang.streaming.StreamingExecutor`.
     """
     if trace_path is not None and not trace_path:
         raise ConfigurationError("trace path must be a non-empty file name")
@@ -182,6 +192,7 @@ def build_session(
         platform=platform,
         redundancy=redundancy,
         inference=CATEGORICAL_METHODS[inference](),
+        pipeline=pipeline,
     )
 
 
@@ -194,11 +205,17 @@ def render(result: QueryResult | StatementResult) -> str:
     lines = [format_table(result.rows, columns=list(result.columns))]
     stats = result.stats
     if stats.crowd_questions or stats.cells_filled:
-        lines.append(
+        line = (
             f"-- crowd: {stats.crowd_questions} questions, "
             f"{stats.crowd_answers} answers, {stats.cells_filled} cells filled, "
             f"spend {stats.crowd_cost:.4f}"
         )
+        if stats.tasks_cancelled:
+            line += (
+                f", {stats.tasks_cancelled} HITs cancelled "
+                f"(saved {stats.cost_avoided:.4f})"
+            )
+        lines.append(line)
     lines.append(f"-- {len(result.rows)} row(s)")
     return "\n".join(lines)
 
@@ -500,6 +517,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "(first answer wins; the losing copy is cancelled and refunded)",
     )
     parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="stream SELECTs through the pipelined executor: crowd waves "
+        "overlap across operators and TOP-K/LIMIT cancels pending HITs",
+    )
+    parser.add_argument(
         "--failure-policy",
         choices=("fail", "skip", "degrade"),
         default="fail",
@@ -637,6 +660,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             cache_enabled=not args.no_cache,
             cache_path=args.cache,
             hedge_enabled=args.hedge,
+            pipeline=args.pipeline,
         )
     except CrowdDMError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -90,6 +90,12 @@ class EngineConfig:
             :meth:`~repro.core.engine.CrowdEngine.close` (render it with
             ``python -m repro profile-report FILE``). Implies
             ``metrics_enabled``.
+        pipeline: Execute SELECTs through the streaming pipelined
+            executor (:class:`~repro.lang.streaming.StreamingExecutor`):
+            crowd waves saturate the batch lanes, answers flow downstream
+            as they land, and TOP-K/LIMIT cancels still-pending upstream
+            HITs. Off by default — the barrier path is bit-identical to
+            previous releases.
     """
 
     redundancy: int = 3
@@ -121,6 +127,7 @@ class EngineConfig:
     cache_max_entries: int | None = None
     metrics_port: int | None = None
     profile_path: str | None = None
+    pipeline: bool = False
 
     def __post_init__(self) -> None:
         if self.redundancy < 1:

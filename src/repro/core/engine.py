@@ -131,6 +131,7 @@ class CrowdEngine:
             inference=self.config.make_inference(),
             oracle=self.oracle,
             profiler=self.profiler,
+            pipeline=self.config.pipeline,
         )
         self.metrics_server: MetricsServer | None = None
         if self.config.metrics_port is not None:

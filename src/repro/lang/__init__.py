@@ -26,6 +26,7 @@ from repro.lang.planner import (
     build_plan,
     count_crowd_operators,
 )
+from repro.lang.streaming import StreamingExecutor
 
 __all__ = [
     "ColumnDef",
@@ -46,6 +47,7 @@ __all__ = [
     "QueryResult",
     "Select",
     "StatementResult",
+    "StreamingExecutor",
     "Token",
     "TokenType",
     "build_plan",

@@ -112,6 +112,8 @@ class ExecutionStats:
     crowd_cost: float = 0.0
     cells_filled: int = 0
     pairs_pruned: int = 0
+    tasks_cancelled: int = 0   # pending HITs cancelled by early termination
+    cost_avoided: float = 0.0  # spend avoided by those cancellations
 
 
 @dataclass
@@ -223,20 +225,7 @@ class Executor:
             for column, _ascending in node.keys:
                 if column not in schema:
                     raise ExecutionError(f"ORDER BY unknown column {column!r}")
-            # Stable multi-key sort: apply keys minor-to-major; NULL/CNULL
-            # always sorts last regardless of direction.
-            ordered = list(rows)
-            for column, ascending in reversed(node.keys):
-
-                def missing(row: dict[str, Any], column=column) -> bool:
-                    value = row[column]
-                    return value is None or is_cnull(value)
-
-                present = [r for r in ordered if not missing(r)]
-                absent = [r for r in ordered if missing(r)]
-                present.sort(key=lambda r: r[column], reverse=not ascending)
-                ordered = present + absent
-            return schema, ordered
+            return schema, self._apply_order(rows, node.keys)
         if isinstance(node, CrowdOrderNode):
             return self._run_crowd_order(node, stats)
         if isinstance(node, LimitNode):
@@ -300,6 +289,25 @@ class Executor:
         store = table.store
         rowids = table.rowids()
         return [store.row_dict(int(rowids[p])) for p in pos.tolist()]
+
+    @staticmethod
+    def _apply_order(
+        rows: list[dict[str, Any]], keys: tuple[tuple[str, bool], ...]
+    ) -> list[dict[str, Any]]:
+        """Stable multi-key sort: apply keys minor-to-major; NULL/CNULL
+        always sorts last regardless of direction."""
+        ordered = list(rows)
+        for column, ascending in reversed(keys):
+
+            def missing(row: dict[str, Any], column=column) -> bool:
+                value = row[column]
+                return value is None or is_cnull(value)
+
+            present = [r for r in ordered if not missing(r)]
+            absent = [r for r in ordered if missing(r)]
+            present.sort(key=lambda r: r[column], reverse=not ascending)
+            ordered = present + absent
+        return ordered
 
     def _vectorized_filter(self, node: FilterNode) -> tuple[Schema, list[dict[str, Any]]] | None:
         """Fuse a machine filter chain over a scan into one vectorized pass."""
@@ -846,9 +854,10 @@ class Executor:
             f"{type(expr).__name__}"
         )
 
-    def _resolve_predicate(
-        self, predicate: CrowdPredicate, row: dict[str, Any], stats: ExecutionStats
-    ) -> bool:
+    def _crowd_question(
+        self, predicate: CrowdPredicate, row: dict[str, Any]
+    ) -> tuple[str, tuple[Any, ...]]:
+        """Render *predicate* against *row* into the HIT question text."""
         values = predicate.operand_values(row)
         if predicate.kind == "equal":
             if len(values) != 2:
@@ -864,10 +873,16 @@ class Executor:
             question = f"Does A rank at least as high as B? A: {values[0]} | B: {values[1]}"
         else:
             raise ExecutionError(f"unknown crowd predicate kind {predicate.kind!r}")
-        signature = signature_of(TaskType.SINGLE_CHOICE, question, (YES, NO))
-        if signature in self._verdicts:
-            return self._verdicts[signature]
+        return question, values
 
+    def _plan_task(
+        self,
+        predicate: CrowdPredicate,
+        question: str,
+        values: tuple[Any, ...],
+        stats: ExecutionStats,
+    ) -> Task | None:
+        """Build the yes/no task for *predicate*, or None when pruned."""
         if predicate.kind == "equal":
             a, b = values
             prune = self.oracle.equal_similarity_prune
@@ -878,8 +893,7 @@ class Executor:
                 and jaccard_tokens(a, b) < prune
             ):
                 stats.pairs_pruned += 1
-                self._verdicts[signature] = False
-                return False
+                return None
             truth = self.oracle.equal_fn(a, b)
         elif predicate.kind == "filter":
             if self.oracle.filter_fn is None:
@@ -892,22 +906,38 @@ class Executor:
                 lambda v: float(v) if isinstance(v, (int, float)) else 0.0
             )
             truth = score(values[0]) >= score(values[1])
-
-        before = self.platform.stats.cost_spent
-        task = Task(
+        return Task(
             TaskType.SINGLE_CHOICE,
             question=question,
             options=(YES, NO),
             truth=YES if truth else NO,
         )
+
+    def _verdict_from(self, task: Task, answers: list[Any]) -> bool:
+        """Infer the yes/no verdict for *task* from its collected votes."""
+        if answers:
+            return self.inference.infer({task.task_id: answers}).truths[task.task_id] == YES
+        # Skip/degrade failure policy: no votes came back — conservatively
+        # treat the predicate as not satisfied rather than crashing.
+        return False
+
+    def _resolve_predicate(
+        self, predicate: CrowdPredicate, row: dict[str, Any], stats: ExecutionStats
+    ) -> bool:
+        question, values = self._crowd_question(predicate, row)
+        signature = signature_of(TaskType.SINGLE_CHOICE, question, (YES, NO))
+        if signature in self._verdicts:
+            return self._verdicts[signature]
+
+        task = self._plan_task(predicate, question, values, stats)
+        if task is None:
+            self._verdicts[signature] = False
+            return False
+
+        before = self.platform.stats.cost_spent
         collected = self.platform.collect_batch([task], redundancy=self.redundancy)
         answers = collected.get(task.task_id, [])
-        if answers:
-            verdict = self.inference.infer({task.task_id: answers}).truths[task.task_id] == YES
-        else:
-            # Skip/degrade failure policy: no votes came back — conservatively
-            # treat the predicate as not satisfied rather than crashing.
-            verdict = False
+        verdict = self._verdict_from(task, answers)
         stats.crowd_questions += 1
         stats.crowd_answers += len(answers)
         stats.crowd_cost += self.platform.stats.cost_spent - before

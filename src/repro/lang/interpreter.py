@@ -30,6 +30,7 @@ from repro.lang.executor import CrowdOracle, Executor, QueryResult
 from repro.lang.optimizer import CostModel, Optimizer, estimate_plan_cost
 from repro.lang.parser import parse
 from repro.lang.planner import build_plan
+from repro.lang.streaming import StreamingExecutor
 from repro.platform.platform import SimulatedPlatform
 from repro.quality.truth import TruthInference
 
@@ -88,6 +89,10 @@ class CrowdSQLSession:
         profiler: Optional :class:`~repro.obs.profiler.QueryProfiler`;
             when set, every executed statement is bracketed and lands in
             the profile document.
+        pipeline: Stream SELECTs through the
+            :class:`~repro.lang.streaming.StreamingExecutor` (pipelined
+            waves + upstream cancellation). Off by default — the barrier
+            path stays bit-identical to previous releases.
     """
 
     def __init__(
@@ -99,6 +104,7 @@ class CrowdSQLSession:
         oracle: CrowdOracle | None = None,
         optimize: bool = True,
         profiler: Any | None = None,
+        pipeline: bool = False,
     ):
         # `is None` check: an empty Database is falsy (it defines __len__).
         self.database = Database() if database is None else database
@@ -108,6 +114,7 @@ class CrowdSQLSession:
         self.oracle = oracle or CrowdOracle()
         self.optimize = optimize
         self.profiler = profiler
+        self.pipeline = pipeline
         #: Label of the statement currently executing (the /run endpoint
         #: reads this from the server thread), or None when idle.
         self.current_statement: str | None = None
@@ -290,7 +297,10 @@ class CrowdSQLSession:
         platform = self.platform
         if platform is None:
             platform = _require_no_crowd(plan)
-        executor = Executor(
+        executor_cls = (
+            StreamingExecutor if self.pipeline and self.platform is not None else Executor
+        )
+        executor = executor_cls(
             self.database,
             platform,
             redundancy=self.redundancy,

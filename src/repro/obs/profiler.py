@@ -39,6 +39,8 @@ _STATEMENT_COUNTERS = {
     "cache_misses": "cache.misses",
     "hedges": "batch.hedges_launched",
     "hedges_won": "batch.hedges_won",
+    "cancelled": "batch.tasks_cancelled",
+    "cancel_refunded": "batch.cancel_cost_refunded",
 }
 
 
@@ -215,6 +217,8 @@ class QueryProfiler:
             "answers_reused": sum(s["answers_reused"] for s in self.statements),
             "hedges": sum(s["hedges"] for s in self.statements),
             "hedges_won": sum(s["hedges_won"] for s in self.statements),
+            "cancelled": sum(s["cancelled"] for s in self.statements),
+            "cancel_refunded": sum(s["cancel_refunded"] for s in self.statements),
             "em_iterations": sum(
                 sum(s["em_iterations"].values()) for s in self.statements
             ),
@@ -274,6 +278,8 @@ def render_profile(document: dict[str, Any]) -> str:
             "reused": s["answers_reused"],
             # .get(): profiles written before hedging existed lack the field
             "hedges": s.get("hedges", 0),
+            # .get(): profiles written before cancellation existed lack it
+            "cancelled": s.get("cancelled", 0),
             "cost": s["cost"],
             "em_iters": sum(s.get("em_iterations", {}).values()),
         }
@@ -314,6 +320,11 @@ def render_profile(document: dict[str, Any]) -> str:
         )
         if totals.get("hedges"):
             line += f", {totals['hedges']} hedges ({totals.get('hedges_won', 0)} won)"
+        if totals.get("cancelled"):
+            line += (
+                f", {int(totals['cancelled'])} HITs cancelled "
+                f"(saved {totals.get('cancel_refunded', 0):.4f})"
+            )
         sections.append(line)
     return "\n\n".join(sections)
 

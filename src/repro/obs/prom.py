@@ -138,6 +138,23 @@ DESCRIPTORS: tuple[MetricDescriptor, ...] = (
         "Spend refunded by cancelling the losing copy of a hedge pair.",
     ),
     MetricDescriptor(
+        "batch.cancellations", "batch_cancellations_total", "counter",
+        "Pending HITs cancelled at a batch boundary, by reason label "
+        "(early_termination).",
+    ),
+    MetricDescriptor(
+        "batch.tasks_cancelled", "batch_tasks_cancelled_total", "counter",
+        "Pending HITs dropped before publication by upstream cancellation.",
+    ),
+    MetricDescriptor(
+        "batch.cancel_cost_refunded", "batch_cancel_cost_refunded_dollars_total", "counter",
+        "Spend avoided by cancelling not-yet-published HITs.",
+    ),
+    MetricDescriptor(
+        "operators.in_flight", "operators_in_flight", "gauge",
+        "Crowd tasks currently in flight, by streaming operator label.",
+    ),
+    MetricDescriptor(
         "batch.assignment_latency", "batch_assignment_latency_seconds", "histogram",
         "Simulated service time of committed assignments.",
     ),

@@ -46,7 +46,7 @@ import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -367,6 +367,9 @@ class BatchScheduler:
         tasks: Sequence[Task],
         redundancy: int = 3,
         complete: bool = True,
+        *,
+        cancel: Callable[[Task], str | None] | None = None,
+        on_batch: Callable[[list[Task], BatchRunResult], None] | None = None,
     ) -> BatchRunResult:
         """Gather *redundancy* answers per task, batch by batch.
 
@@ -374,6 +377,16 @@ class BatchScheduler:
         same shape as :meth:`SimulatedPlatform.collect`. Tasks are completed
         afterwards unless *complete* is False (round-structured callers keep
         them open for further answers).
+
+        *cancel*, consulted for every still-pending task at each batch
+        boundary, returns a reason string to drop the task before it is
+        ever published (its would-be spend is refunded and counted in
+        ``stats.tasks_cancelled`` / ``stats.cancel_cost_refunded``) or
+        None to keep it queued. *on_batch* is invoked after each
+        successfully dispatched batch with the batch's tasks and the
+        running result, letting streaming callers consume answers
+        wave-by-wave. Neither hook fires when left as None, keeping the
+        default path bit-identical to the hook-free runtime.
 
         Failure behaviour follows ``config.failure_policy``: under
         ``"fail"`` an assignment that cannot be completed raises
@@ -407,8 +420,20 @@ class BatchScheduler:
         resolution = self.platform.cache_resolve(tasks, redundancy, complete=complete)
         run_tasks = list(tasks) if resolution is None else resolution.misses
         halted: str | None = None
-        for start in range(0, len(run_tasks), size):
-            batch = list(run_tasks[start : start + size])
+        pending = deque(run_tasks)
+        while pending:
+            if cancel is not None:
+                kept: list[Task] = []
+                for task in pending:
+                    reason = cancel(task)
+                    if reason is None:
+                        kept.append(task)
+                    else:
+                        self._cancel_task(task, reason, redundancy)
+                pending = deque(kept)
+                if not pending:
+                    break
+            batch = [pending.popleft() for _ in range(min(size, len(pending)))]
             if halted is None and self._budget_exhausted:
                 halted = "budget_exhausted"
             if halted is None and policy is not FailurePolicy.FAIL:
@@ -461,6 +486,8 @@ class BatchScheduler:
             self.batches_run += 1
             self.platform.stats.record_batch(record)
             self._clock += record.makespan
+            if on_batch is not None:
+                on_batch(batch, result)
         result.makespan = sum(r.makespan for r in result.records)
         if resolution is not None:
             self.platform.cache_finish(resolution, result.answers, complete=complete)
@@ -512,6 +539,24 @@ class BatchScheduler:
         if self.platform.tracer.enabled:
             self.platform.tracer.annotate(
                 "task.failed", task_id=info.task_id, reason=info.reason
+            )
+
+    def _cancel_task(self, task: Task, reason: str, redundancy: int) -> None:
+        """Drop a still-pending *task* before publication and book the saving.
+
+        The task was never published, priced, or charged, so the "refund" is
+        spend *avoided*: the price the task would have cost at the requested
+        redundancy. Counted in stats/metrics so early termination shows up
+        in batch summaries, the profiler, and Prometheus scrapes.
+        """
+        platform = self.platform
+        refund = platform.pricing.price(task) * redundancy
+        platform.stats.tasks_cancelled += 1
+        platform.stats.cancel_cost_refunded += refund
+        platform.metrics.inc("batch.cancellations", labels={"reason": reason})
+        if platform.tracer.enabled:
+            platform.tracer.annotate(
+                "batch.cancel", task_id=task.task_id, reason=reason
             )
 
     # ------------------------------------------------------------------ #

@@ -61,6 +61,8 @@ _STAT_METRICS = {
     "hedges_lost": "batch.hedges_lost",
     "hedges_cancelled": "batch.hedges_cancelled",
     "hedge_cost_refunded": "batch.hedge_cost_refunded",
+    "tasks_cancelled": "batch.tasks_cancelled",
+    "cancel_cost_refunded": "batch.cancel_cost_refunded",
     "cache_hits": "cache.hits",
     "cache_misses": "cache.misses",
     "cache_coalesced": "cache.coalesced",
@@ -128,6 +130,11 @@ class PlatformStats:
                 f"({self.hedges_won} won, {self.hedges_lost} lost, "
                 f"{self.hedges_cancelled} cancelled, "
                 f"refunded {self.hedge_cost_refunded:.4f})"
+            )
+        if self.tasks_cancelled:
+            summary += (
+                f", {int(self.tasks_cancelled)} HITs cancelled "
+                f"(saved {self.cancel_cost_refunded:.4f})"
             )
         return summary
 

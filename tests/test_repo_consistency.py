@@ -35,6 +35,7 @@ EXPERIMENT_BENCHES = {
     "B1": "bench_batch_runtime.py",
     "B3": "bench_columnar.py",
     "B8": "bench_hedging.py",
+    "B9": "bench_streaming.py",
     "C1": "bench_answer_cache.py",
 }
 
@@ -59,6 +60,52 @@ class TestExperimentInventory:
         text = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
         for experiment in EXPERIMENT_BENCHES:
             assert f"## {experiment} —" in text, experiment
+
+
+class TestRepositoryHygiene:
+    """Build products stay out of the tree and artifacts land in one place."""
+
+    def _tracked_files(self):
+        import subprocess
+
+        try:
+            out = subprocess.run(
+                ["git", "ls-files"],
+                cwd=REPO,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout
+        except (OSError, subprocess.CalledProcessError):
+            pytest.skip("not a git checkout")
+        return out.splitlines()
+
+    def test_no_tracked_bytecode_or_artifacts(self):
+        offenders = [
+            f
+            for f in self._tracked_files()
+            if f.endswith(".pyc")
+            or "__pycache__" in f
+            or (f.rsplit("/", 1)[-1].startswith("BENCH_") and f.endswith(".json"))
+        ]
+        assert not offenders, offenders
+
+    def test_gitignore_covers_build_products(self):
+        ignored = (REPO / ".gitignore").read_text(encoding="utf-8").splitlines()
+        for pattern in ("__pycache__/", "*.pyc", "BENCH_*.json"):
+            assert pattern in ignored, pattern
+
+    def test_benches_write_artifacts_via_helper(self):
+        """Every artifact-writing bench routes through bench_artifact()."""
+        for bench in (REPO / "benchmarks").glob("bench_*.py"):
+            text = bench.read_text(encoding="utf-8")
+            if "BENCH_" not in text:
+                continue
+            assert "bench_artifact(" in text, bench.name
+            assert 'CROWDDM_BENCH_DIR", "."' not in text, bench.name
+
+    def test_no_stray_artifacts_in_benchmarks_dir(self):
+        assert not list((REPO / "benchmarks").glob("BENCH_*.json"))
 
 
 class TestRegistries:

@@ -1,0 +1,475 @@
+"""Streaming pipelined executor: determinism, cancellation, and recovery.
+
+The contract under test (DESIGN.md §12): with ``pipeline=on`` and no early
+termination, rows *and* stats are bit-identical to the barrier executor at
+the same seed; TOP-K/LIMIT cancels still-pending HITs through the
+scheduler's cancel seam without double-counting spend or poisoning the
+answer cache; unsupported plan shapes fall back to the barrier path.
+"""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.expressions import And, Comparison, CrowdPredicate, col, lit
+from repro.data.persistence import load_database, save_database
+from repro.data.schema import SchemaBuilder
+from repro.lang.executor import CrowdOracle, Executor
+from repro.lang.interpreter import CrowdSQLSession
+from repro.lang.planner import (
+    CrowdFilterNode,
+    JoinNode,
+    LimitNode,
+    LogicalPlan,
+    OrderNode,
+    ScanNode,
+)
+from repro.lang.streaming import StreamingExecutor, _Unsupported
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import QueryProfiler
+from repro.obs.prom import render_prometheus
+from repro.platform.batch import BatchConfig
+from repro.platform.cache import AnswerCache
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import Task, TaskType
+from repro.recovery import Checkpoint
+from repro.workers.pool import WorkerPool
+
+N_ITEMS = 60
+
+FILTER_SQL = (
+    "SELECT name, price FROM items "
+    "WHERE price > 10 AND CROWDFILTER(name, 'is it in stock?')"
+)
+TOPK_SQL = (
+    "SELECT name, price FROM items "
+    "WHERE CROWDFILTER(name, 'is it in stock?') "
+    "ORDER BY price DESC LIMIT 5"
+)
+
+
+def make_database() -> Database:
+    database = Database()
+    items = (
+        SchemaBuilder().integer("id").string("name").integer("cat").integer("price").build()
+    )
+    database.create_table(
+        "items",
+        items,
+        rows=[
+            {"id": i, "name": f"item {i}", "cat": i % 7, "price": (i * 37) % 100}
+            for i in range(N_ITEMS)
+        ],
+    )
+    labels = SchemaBuilder().integer("ref").string("label").build()
+    database.create_table(
+        "labels", labels, rows=[{"ref": r, "label": f"group {r}"} for r in range(7)]
+    )
+    return database
+
+
+def make_platform(
+    accuracy: float | None = None,
+    seed: int = 5,
+    metrics: MetricsRegistry | None = None,
+) -> SimulatedPlatform:
+    """8 lanes so pipelining has parallelism to exploit."""
+    if accuracy is None:
+        pool = WorkerPool.heterogeneous(
+            12, accuracy_low=0.75, accuracy_high=0.97, seed=seed
+        )
+    else:
+        pool = WorkerPool.uniform(12, accuracy, seed=seed)
+    return SimulatedPlatform(
+        pool,
+        seed=seed + 1,
+        batch=BatchConfig(batch_size=16, max_parallel=8, seed=seed + 2),
+        metrics=metrics,
+    )
+
+
+def make_oracle() -> CrowdOracle:
+    return CrowdOracle(
+        filter_fn=lambda value, _q: int(str(value).split()[-1]) % 3 == 0
+    )
+
+
+def make_session(
+    pipeline: bool,
+    accuracy: float | None = None,
+    seed: int = 5,
+    metrics: MetricsRegistry | None = None,
+    profiler: QueryProfiler | None = None,
+) -> CrowdSQLSession:
+    return CrowdSQLSession(
+        database=make_database(),
+        platform=make_platform(accuracy, seed, metrics),
+        oracle=make_oracle(),
+        redundancy=3,
+        pipeline=pipeline,
+        profiler=profiler,
+    )
+
+
+def crowd_filter(question: str = "is it in stock?") -> CrowdPredicate:
+    return CrowdPredicate("filter", (col("name"),), question=question)
+
+
+def join_plan() -> LogicalPlan:
+    predicate = And(Comparison(">", col("price"), lit(10)), crowd_filter())
+    root = JoinNode(
+        CrowdFilterNode(ScanNode("items"), predicate),
+        ScanNode("labels"),
+        Comparison("=", col("cat"), col("ref")),
+    )
+    return LogicalPlan(root=root)
+
+
+def topk_plan(limit: int = 5) -> LogicalPlan:
+    root = LimitNode(
+        OrderNode(
+            CrowdFilterNode(ScanNode("items"), crowd_filter()),
+            (("price", False), ("id", True)),
+        ),
+        limit,
+    )
+    return LogicalPlan(root=root)
+
+
+def run_plan(plan: LogicalPlan, pipelined: bool, accuracy: float | None = None):
+    """One fresh platform per run; returns (query result, platform)."""
+    platform = make_platform(accuracy)
+    executor_cls = StreamingExecutor if pipelined else Executor
+    executor = executor_cls(make_database(), platform, redundancy=3, oracle=make_oracle())
+    return executor.execute(plan), platform
+
+
+class TestStreamingEquivalence:
+    """pipeline=on is bit-identical to barrier when nothing terminates early."""
+
+    def test_sql_filter_rows_and_stats_match_barrier(self):
+        barrier = make_session(pipeline=False)
+        piped = make_session(pipeline=True)
+        expected = barrier.query(FILTER_SQL)
+        got = piped.query(FILTER_SQL)
+        assert got.rows == expected.rows
+        assert got.stats == expected.stats
+        assert (
+            piped.platform.stats.cost_spent == barrier.platform.stats.cost_spent
+        )
+        # The whole point: one scheduler run saturates the 8 lanes instead
+        # of a one-task run per row.
+        assert (
+            piped.platform.scheduler.simulated_clock
+            < barrier.platform.scheduler.simulated_clock
+        )
+
+    def test_programmatic_filter_join_matches_barrier(self):
+        expected, barrier_platform = run_plan(join_plan(), pipelined=False)
+        got, piped_platform = run_plan(join_plan(), pipelined=True)
+        assert got.rows == expected.rows
+        assert got.stats == expected.stats
+        assert piped_platform.stats.cost_spent == barrier_platform.stats.cost_spent
+        assert (
+            piped_platform.scheduler.simulated_clock
+            < barrier_platform.scheduler.simulated_clock
+        )
+
+    def test_order_without_limit_drains_and_matches_barrier(self):
+        sql = (
+            "SELECT name, price FROM items "
+            "WHERE CROWDFILTER(name, 'is it in stock?') ORDER BY price DESC"
+        )
+        expected = make_session(pipeline=False).query(sql)
+        got = make_session(pipeline=True).query(sql)
+        assert got.rows == expected.rows
+        assert got.stats == expected.stats
+
+    def test_pipelined_replay_is_bit_identical(self):
+        first = make_session(pipeline=True).query(FILTER_SQL)
+        second = make_session(pipeline=True).query(FILTER_SQL)
+        assert first.rows == second.rows
+        assert first.stats == second.stats
+
+
+class TestEarlyTermination:
+    """TOP-K cancels pending HITs upstream; accounting stays consistent."""
+
+    def test_topk_cancels_pending_hits(self):
+        barrier = make_session(pipeline=False, accuracy=1.0)
+        piped = make_session(pipeline=True, accuracy=1.0)
+        expected = barrier.query(TOPK_SQL)
+        got = piped.query(TOPK_SQL)
+        assert got.rows == expected.rows
+        assert expected.stats.tasks_cancelled == 0
+        assert got.stats.tasks_cancelled > 0
+        assert got.stats.cost_avoided > 0
+        assert (
+            piped.platform.stats.tasks_published
+            < barrier.platform.stats.tasks_published
+        )
+        # ExecutionStats and PlatformStats agree on what was cancelled.
+        assert piped.platform.stats.tasks_cancelled == got.stats.tasks_cancelled
+        assert piped.platform.stats.cancel_cost_refunded == pytest.approx(
+            got.stats.cost_avoided
+        )
+
+    def test_cancelled_spend_never_double_counted(self):
+        # Same task set, same per-task price: the pipelined spend plus the
+        # avoided spend must reconstruct the barrier spend exactly.
+        barrier = make_session(pipeline=False, accuracy=1.0)
+        piped = make_session(pipeline=True, accuracy=1.0)
+        barrier.query(TOPK_SQL)
+        result = piped.query(TOPK_SQL)
+        assert piped.platform.stats.cost_spent + result.stats.cost_avoided == (
+            pytest.approx(barrier.platform.stats.cost_spent)
+        )
+        assert result.stats.crowd_cost == pytest.approx(
+            piped.platform.stats.cost_spent
+        )
+
+    def test_limit_zero_publishes_nothing(self):
+        expected, _ = run_plan(topk_plan(limit=0), pipelined=False, accuracy=1.0)
+        got, platform = run_plan(topk_plan(limit=0), pipelined=True, accuracy=1.0)
+        assert expected.rows == []
+        assert got.rows == []
+        assert platform.stats.tasks_published == 0
+        assert got.stats.tasks_cancelled == N_ITEMS
+        assert got.stats.crowd_cost == 0.0
+
+    def test_batch_summary_reports_cancellations(self):
+        piped = make_session(pipeline=True, accuracy=1.0)
+        piped.query(TOPK_SQL)
+        summary = piped.platform.stats.batch_summary()
+        assert "HITs cancelled" in summary
+
+
+class TestCancellationAccounting:
+    """Cancelled tasks leave no trace in the cache and zero the gauge."""
+
+    def test_cancelled_tasks_do_not_poison_cache(self):
+        cache = AnswerCache()
+        piped = make_session(pipeline=True, accuracy=1.0)
+        piped.platform.attach_cache(cache)
+        result = piped.query(TOPK_SQL)
+        # One cache entry per *published* question — cancelled HITs never
+        # produce answers, so they must not be stored.
+        assert len(cache) == piped.platform.stats.tasks_published
+        assert len(cache) < N_ITEMS
+        # A barrier run over the same cache reaches the same rows: a
+        # poisoned (empty-answer) entry would flip its verdict to False.
+        barrier = make_session(pipeline=False, accuracy=1.0)
+        barrier.platform.attach_cache(cache)
+        assert barrier.query(TOPK_SQL).rows == result.rows
+
+    def test_in_flight_gauge_returns_to_zero(self):
+        registry = MetricsRegistry(enabled=True)
+        piped = make_session(pipeline=True, metrics=registry)
+        piped.query(FILTER_SQL)
+        gauge = registry.gauge("operators.in_flight", labels={"operator": "crowd_filter"})
+        assert gauge.value == 0.0
+
+    def test_cancellation_counter_labeled_by_reason(self):
+        registry = MetricsRegistry(enabled=True)
+        piped = make_session(pipeline=True, accuracy=1.0, metrics=registry)
+        piped.query(TOPK_SQL)
+        counter = registry.counter(
+            "batch.cancellations", labels={"reason": "early_termination"}
+        )
+        assert counter.value > 0
+        exposition = render_prometheus(registry)
+        assert "batch_cancellations_total" in exposition
+        assert "operators_in_flight" in exposition
+
+    def test_profiler_surfaces_cancellations(self):
+        registry = MetricsRegistry(enabled=True)
+        platform = make_platform(accuracy=1.0, metrics=registry)
+        profiler = QueryProfiler(registry, platform)
+        session = CrowdSQLSession(
+            database=make_database(),
+            platform=platform,
+            oracle=make_oracle(),
+            redundancy=3,
+            pipeline=True,
+            profiler=profiler,
+        )
+        session.query(TOPK_SQL)
+        profile = profiler.profile()
+        assert profile["totals"]["cancelled"] > 0
+        assert profile["totals"]["cancel_refunded"] > 0
+
+
+class TestCheckpointResume:
+    """A run killed between statements resumes bit-identically."""
+
+    SCRIPT_HEAD = "SELECT name FROM items WHERE CROWDFILTER(name, 'first pass?')"
+    SCRIPT_TAIL = (
+        "SELECT name, price FROM items "
+        "WHERE price > 10 AND CROWDFILTER(name, 'second pass?')"
+    )
+
+    def test_killed_mid_script_resumes_bit_identically(self, tmp_path):
+        seed = 11
+        reference = make_session(pipeline=True, seed=seed)
+        results = reference.execute(f"{self.SCRIPT_HEAD}; {self.SCRIPT_TAIL}")
+
+        # Interrupted run: statement 1 lands, then the process dies. The
+        # checkpoint (statement granularity) holds the RNG/bookkeeping
+        # state the streamed statement 2 must replay from.
+        interrupted = make_session(pipeline=True, seed=seed)
+        head = interrupted.execute(self.SCRIPT_HEAD)
+        assert head[0].rows == results[0].rows
+        Checkpoint.capture(
+            interrupted.platform, scheduler=interrupted.platform.scheduler
+        ).save(tmp_path)
+        save_database(interrupted.database, tmp_path / "db")
+
+        resumed_platform = make_platform(seed=seed)
+        resumed = CrowdSQLSession(
+            database=load_database(tmp_path / "db"),
+            platform=resumed_platform,
+            oracle=make_oracle(),
+            redundancy=3,
+            pipeline=True,
+        )
+        Checkpoint.load(tmp_path).restore(
+            resumed_platform, scheduler=resumed_platform.scheduler
+        )
+        tail = resumed.execute(self.SCRIPT_TAIL)
+        assert tail[0].rows == results[1].rows
+        assert tail[0].stats == results[1].stats
+
+
+class TestFallback:
+    """Unsupported shapes run through the inherited barrier path unchanged."""
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT COUNT(*) FROM items WHERE CROWDFILTER(name, 'in stock?')",
+            "SELECT name FROM items "
+            "WHERE CROWDFILTER(name, 'a?') AND CROWDFILTER(name, 'b?')",
+            "SELECT name FROM items WHERE price > 80 CROWDORDER BY price",
+            "SELECT name FROM items WHERE price > 50",
+        ],
+    )
+    def test_fallback_shapes_match_barrier(self, sql):
+        expected = make_session(pipeline=False).query(sql)
+        got = make_session(pipeline=True).query(sql)
+        assert got.rows == expected.rows
+        assert got.stats == expected.stats
+
+    def test_compiler_rejects_non_streamable_shapes(self):
+        executor = StreamingExecutor(
+            make_database(), make_platform(), redundancy=3, oracle=make_oracle()
+        )
+        # Crowd condition in the join itself.
+        crowd_join = JoinNode(
+            CrowdFilterNode(ScanNode("items"), crowd_filter()),
+            ScanNode("labels"),
+            CrowdPredicate("equal", (col("cat"), col("ref"))),
+        )
+        # Two crowd conjuncts keep the barrier's short-circuit order.
+        two_conjuncts = CrowdFilterNode(
+            ScanNode("items"), And(crowd_filter("a?"), crowd_filter("b?"))
+        )
+        # Machine-only predicate: nothing to stream.
+        machine = CrowdFilterNode(
+            ScanNode("items"), Comparison(">", col("price"), lit(10))
+        )
+        for root in (crowd_join, two_conjuncts, machine):
+            with pytest.raises(_Unsupported):
+                executor._compile(root)
+
+
+class TestWiring:
+    """The pipeline knob defaults off and reaches the session everywhere."""
+
+    def test_session_default_is_barrier(self):
+        assert CrowdSQLSession().pipeline is False
+
+    def test_engine_config_reaches_session(self):
+        from repro.core.config import EngineConfig
+        from repro.core.engine import CrowdEngine
+
+        assert EngineConfig().pipeline is False
+        engine = CrowdEngine(EngineConfig(seed=3, pipeline=True))
+        assert engine._session.pipeline is True
+
+    def test_cli_build_session_passes_pipeline(self):
+        from repro.cli import build_session
+
+        session = build_session(1, 3, 8, pipeline=True)
+        assert session.pipeline is True
+        assert build_session(1, 3, 8).pipeline is False
+
+    def test_cli_run_accepts_pipeline_flag(self, tmp_path):
+        from repro.cli import main
+
+        script = tmp_path / "q.sql"
+        script.write_text(
+            "CREATE TABLE t (a STRING); INSERT INTO t VALUES ('x'); "
+            "SELECT a FROM t;",
+            encoding="utf-8",
+        )
+        assert main(["--pipeline", "run", str(script)]) == 0
+
+
+class TestSchedulerCancelSeam:
+    """Unit coverage for the cancel/on_batch hooks on BatchScheduler.run."""
+
+    @staticmethod
+    def _tasks(n: int) -> list:
+        # Explicit ids: answers are keyed by task_id, and the bit-identical
+        # comparison below spans two separately built task lists.
+        return [
+            Task(
+                TaskType.SINGLE_CHOICE,
+                question=f"seam q{i}",
+                options=("yes", "no"),
+                truth="yes",
+                task_id=f"seam-t{i}",
+            )
+            for i in range(n)
+        ]
+
+    def test_cancel_before_first_batch_cancels_everything(self):
+        platform = make_platform()
+        result = platform.scheduler.run(
+            self._tasks(10), redundancy=2, cancel=lambda task: "early_termination"
+        )
+        assert result.answers == {}
+        assert platform.stats.tasks_published == 0
+        assert platform.stats.tasks_cancelled == 10
+        assert platform.stats.cancel_cost_refunded > 0
+
+    def test_on_batch_fires_per_dispatched_batch(self):
+        platform = make_platform()
+        sizes = []
+        platform.scheduler.run(
+            self._tasks(34),
+            redundancy=2,
+            on_batch=lambda batch, run: sizes.append(len(batch)),
+        )
+        assert sizes == [16, 16, 2]
+
+    def test_noop_hooks_leave_run_bit_identical(self):
+        plain = make_platform()
+        hooked = make_platform()
+        baseline = plain.scheduler.run(self._tasks(12), redundancy=3)
+        observed = hooked.scheduler.run(
+            self._tasks(12),
+            redundancy=3,
+            cancel=lambda task: None,
+            on_batch=lambda batch, run: None,
+        )
+        # Worker ids are allocated globally across pools; compare the run
+        # dynamics (values, timings, payments) rather than the w-names.
+        def fingerprint(result):
+            return {
+                tid: [(a.value, a.submitted_at, a.duration, a.reward_paid) for a in answers]
+                for tid, answers in result.answers.items()
+            }
+
+        assert fingerprint(observed) == fingerprint(baseline)
+        assert plain.stats.cost_spent == hooked.stats.cost_spent
+        assert plain.scheduler.simulated_clock == hooked.scheduler.simulated_clock
