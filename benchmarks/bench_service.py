@@ -1,0 +1,297 @@
+"""B10 — multi-tenant service: throughput, fairness, and bit-identity.
+
+Load-generates against :class:`repro.service.CrowdService` — N requester
+tenants sharing one simulated platform — and gates the ISSUE 10 SLOs:
+
+* **throughput scales with lanes**: the same multi-tenant offered load
+  finishes in proportionally less simulated time at 8 batch lanes than
+  at 2 (the fair-share dispatcher must not serialize away the batch
+  scheduler's parallelism);
+* **fairness under skew**: with a 10:1 offered-load skew and a platform
+  budget covering only part of it, the max/min tenant completion-rate
+  ratio stays <= 2 — deficit round-robin lets the light tenant finish
+  everything while the heavy tenant absorbs the budget shortfall;
+* **hundreds of concurrent sessions**: asyncio drives CrowdSQL sessions
+  (full mode: 200) through ``aexecute`` on one service; every session
+  completes and tenant ledgers sum exactly to the platform's spend;
+* **single-tenant bit-identity**: one tenant through the service equals
+  the plain engine path at the same seed — rows, cost, votes.
+"""
+
+import asyncio
+import json
+import time
+
+from conftest import bench_artifact, run_once
+
+from repro.data.database import Database
+from repro.errors import BudgetExceededError
+from repro.experiments.harness import quick_mode
+from repro.lang.interpreter import CrowdSQLSession
+from repro.platform.batch import BatchConfig
+from repro.platform.platform import SimulatedPlatform
+from repro.platform.task import Task, TaskType
+from repro.service import CrowdService, TenantSpec
+from repro.workers.pool import WorkerPool
+
+SEED = 53
+POOL_SIZE = 24
+REDUNDANCY = 2
+UNIT_TASKS = 32  # tasks per work unit: enough to occupy all 8 lanes
+THROUGHPUT_UNITS = 4 if quick_mode() else 16  # per tenant, 4 tenants
+SKEW = 10  # heavy tenant offers SKEW x the light tenant's units
+LIGHT_UNITS = 2 if quick_mode() else 5
+N_SESSIONS = 40 if quick_mode() else 200
+THROUGHPUT_FLOOR = 1.5  # x improvement going 2 -> 8 lanes
+FAIRNESS_CEILING = 2.0  # max/min tenant completion-rate ratio
+
+SCRIPT = """
+CREATE TABLE films (title STRING NOT NULL, score FLOAT, PRIMARY KEY (title));
+INSERT INTO films VALUES ('a', 1.0), ('b', 2.0), ('c', 3.0);
+CREATE TABLE imports (listing STRING NOT NULL, PRIMARY KEY (listing));
+INSERT INTO imports VALUES ('a'), ('b');
+SELECT listing, title FROM imports CROWDJOIN films ON CROWDEQUAL(listing, title);
+SELECT title FROM films CROWDORDER BY score LIMIT 2;
+"""
+
+
+def _platform(max_parallel: int, budget: float = float("inf")) -> SimulatedPlatform:
+    pool = WorkerPool.uniform(POOL_SIZE, 0.9, seed=SEED)
+    return SimulatedPlatform(
+        pool,
+        budget=budget,
+        seed=SEED + 1,
+        batch=BatchConfig(batch_size=8, max_parallel=max_parallel, seed=SEED + 2),
+    )
+
+
+def _unit(tag: str, n: int = UNIT_TASKS) -> list:
+    return [
+        Task(TaskType.SINGLE_CHOICE, question=f"{tag} q{i}?", options=("yes", "no"))
+        for i in range(n)
+    ]
+
+
+async def _offer(service, offers):
+    """Enqueue every (tenant, tag) unit concurrently; return outcomes."""
+    jobs = [
+        service.asubmit(tenant, _unit(tag), redundancy=REDUNDANCY)
+        for tenant, tag in offers
+    ]
+    return await asyncio.gather(*jobs, return_exceptions=True)
+
+
+def _throughput(max_parallel: int) -> dict:
+    """Drive 4 equal tenants; simulated task throughput at *max_parallel*."""
+    platform = _platform(max_parallel)
+    with CrowdService(platform) as service:
+        tenants = [service.register(f"t{i}") for i in range(4)]
+        offers = [
+            (tenant, f"p{max_parallel} {tenant.name} u{u}")
+            for u in range(THROUGHPUT_UNITS)
+            for tenant in tenants
+        ]
+        asyncio.run(_offer(service, offers))
+        makespan = platform.scheduler.simulated_clock
+        tasks = sum(t.tasks_dispatched for t in tenants)
+    return {
+        "lanes": max_parallel,
+        "units": len(offers),
+        "tasks": tasks,
+        "makespan": makespan,
+        "throughput": tasks / makespan,
+    }
+
+
+def _fairness() -> dict:
+    """10:1 offered-load skew under a budget covering ~60% of it."""
+    heavy_units = LIGHT_UNITS * SKEW
+    offered_cost = (heavy_units + LIGHT_UNITS) * UNIT_TASKS * REDUNDANCY * 0.01
+    platform = _platform(max_parallel=8, budget=0.6 * offered_cost)
+    with CrowdService(platform) as service:
+        heavy = service.register("heavy")
+        light = service.register("light")
+        offers = [(heavy, f"h{u}") for u in range(heavy_units)]
+        offers += [(light, f"l{u}") for u in range(LIGHT_UNITS)]
+        outcomes = asyncio.run(_offer(service, offers))
+        rejected = sum(1 for o in outcomes if isinstance(o, BudgetExceededError))
+        rates = {
+            "heavy": heavy.units_completed / heavy_units,
+            "light": light.units_completed / LIGHT_UNITS,
+        }
+        return {
+            "offered": {"heavy": heavy_units, "light": LIGHT_UNITS},
+            "completed": {
+                "heavy": heavy.units_completed,
+                "light": light.units_completed,
+            },
+            "rejected_or_failed": rejected,
+            "completion_rates": rates,
+            "ratio": max(rates.values()) / max(min(rates.values()), 1e-12),
+            "spent": platform.stats.cost_spent,
+            "budget": platform.budget,
+        }
+
+
+def _session_script(i: int) -> str:
+    # Session-unique values so no two sessions share crowd questions —
+    # the offered load is real, not a cache replay.
+    return SCRIPT.replace("'a'", f"'a{i}'").replace("'b'", f"'b{i}'").replace(
+        "'c'", f"'c{i}'"
+    )
+
+
+def _concurrent_sessions() -> dict:
+    """Hundreds of CrowdSQL sessions through one service via asyncio."""
+    platform = _platform(max_parallel=8)
+
+    async def drive(service) -> int:
+        tenants = [
+            service.register(TenantSpec(f"org{i}", weight=float(i + 1)))
+            for i in range(4)
+        ]
+        sessions = [
+            service.session(
+                tenants[i % len(tenants)], database=Database(), redundancy=REDUNDANCY
+            )
+            for i in range(N_SESSIONS)
+        ]
+        results = await asyncio.gather(
+            *(
+                service.aexecute(session, _session_script(i))
+                for i, session in enumerate(sessions)
+            )
+        )
+        ok = sum(
+            1 for r in results if any(hasattr(stmt, "rows") for stmt in r)
+        )
+        return ok
+
+    start = time.perf_counter()
+    with CrowdService(platform, max_sessions=64) as service:
+        ok = asyncio.run(drive(service))
+        ledger_total = sum(t.account.spent for t in service.tenants)
+    wall = time.perf_counter() - start
+    return {
+        "sessions": N_SESSIONS,
+        "succeeded": ok,
+        "wall_s": wall,
+        "sessions_per_s": N_SESSIONS / wall,
+        "spent": platform.stats.cost_spent,
+        "ledger_total": ledger_total,
+        "ledger_matches": abs(ledger_total - platform.stats.cost_spent) < 1e-9,
+    }
+
+
+def _engine_run(via_service: bool) -> dict:
+    platform = _platform(max_parallel=4)
+    if via_service:
+        with CrowdService(platform) as service:
+            tenant = service.register("solo")
+            session = service.session(
+                tenant, database=Database(), redundancy=3
+            )
+            results = session.execute(SCRIPT)
+    else:
+        session = CrowdSQLSession(
+            database=Database(), platform=platform, redundancy=3
+        )
+        results = session.execute(SCRIPT)
+    return {
+        "rows": [r.rows for r in results if hasattr(r, "rows")],
+        "cost": platform.stats.cost_spent,
+        "answers": platform.stats.answers_collected,
+        "published": platform.stats.tasks_published,
+        "values": [a.value for a in platform.answers],
+    }
+
+
+def test_b10_service_load(benchmark, report):
+    def measure() -> dict:
+        return {
+            "narrow": _throughput(max_parallel=2),
+            "wide": _throughput(max_parallel=8),
+            "fairness": _fairness(),
+            "sessions": _concurrent_sessions(),
+            "plain": _engine_run(via_service=False),
+            "service": _engine_run(via_service=True),
+        }
+
+    values = run_once(benchmark, measure)
+    narrow, wide = values["narrow"], values["wide"]
+    fairness = values["fairness"]
+    sessions = values["sessions"]
+    scaling = wide["throughput"] / narrow["throughput"]
+    identical = values["service"] == values["plain"]
+
+    report.table(
+        [
+            {
+                "lanes": r["lanes"],
+                "units": r["units"],
+                "tasks": r["tasks"],
+                "makespan_s": r["makespan"],
+                "tasks_per_sim_s": r["throughput"],
+            }
+            for r in (narrow, wide)
+        ],
+        title=(
+            f"B10: service throughput vs lanes "
+            f"(4 tenants x {THROUGHPUT_UNITS} units, {UNIT_TASKS} tasks/unit, "
+            f"redundancy {REDUNDANCY})"
+        ),
+    )
+    report.note(
+        f"lane scaling {scaling:.2f}x (floor {THROUGHPUT_FLOOR}x); "
+        f"fairness ratio {fairness['ratio']:.2f} under {SKEW}:1 skew "
+        f"(heavy {fairness['completion_rates']['heavy']:.0%}, "
+        f"light {fairness['completion_rates']['light']:.0%}); "
+        f"{sessions['succeeded']}/{sessions['sessions']} concurrent sessions in "
+        f"{sessions['wall_s']:.1f}s ({sessions['sessions_per_s']:.0f}/s); "
+        f"single-tenant bit-identity: {identical}"
+    )
+
+    gates = {
+        f"lane_scaling >= {THROUGHPUT_FLOOR}": scaling >= THROUGHPUT_FLOOR,
+        f"fairness_ratio <= {FAIRNESS_CEILING}": fairness["ratio"]
+        <= FAIRNESS_CEILING,
+        "light_tenant_completes_fully": fairness["completion_rates"]["light"]
+        == 1.0,
+        "all_sessions_succeed": sessions["succeeded"] == sessions["sessions"],
+        "ledgers_sum_to_platform_spend": sessions["ledger_matches"],
+        "single_tenant_bit_identical": identical,
+    }
+    out_path = bench_artifact("BENCH_service.json")
+    with open(out_path, "w") as fh:
+        json.dump(
+            {
+                "workload": {
+                    "tenants": 4,
+                    "units_per_tenant": THROUGHPUT_UNITS,
+                    "unit_tasks": UNIT_TASKS,
+                    "redundancy": REDUNDANCY,
+                    "skew": SKEW,
+                    "sessions": N_SESSIONS,
+                    "pool": POOL_SIZE,
+                    "quick": quick_mode(),
+                },
+                "throughput": {"narrow": narrow, "wide": wide, "scaling": scaling},
+                "fairness": fairness,
+                "sessions": sessions,
+                "bit_identity": {
+                    "identical": identical,
+                    "cost": values["plain"]["cost"],
+                    "answers": values["plain"]["answers"],
+                },
+                "gates": gates,
+            },
+            fh,
+            indent=2,
+        )
+
+    assert scaling >= THROUGHPUT_FLOOR, f"lane scaling {scaling:.2f}x"
+    assert fairness["ratio"] <= FAIRNESS_CEILING, f"ratio {fairness['ratio']:.2f}"
+    assert fairness["completion_rates"]["light"] == 1.0
+    assert sessions["succeeded"] == sessions["sessions"]
+    assert sessions["ledger_matches"]
+    assert identical, "single-tenant service run diverged from the plain engine"

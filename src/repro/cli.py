@@ -16,6 +16,8 @@ Usage::
     python -m repro trace-report run.jsonl
     python -m repro serve-metrics [script.sql] [--port 9109] [--iterations 5]
                                   [--hold 0]
+    python -m repro serve [tenants.json] [--port 9110] [--rounds 2]
+                          [--quantum 8] [--hold 0]
     python -m repro profile-report profile.json
 
 Statements are ';'-separated. Queries print aligned tables plus crowd
@@ -33,7 +35,10 @@ FILE`` writes a per-statement query profile (render it with
 live-ops HTTP server exposes ``/metrics`` (Prometheus text exposition),
 ``/healthz``, and ``/run`` (JSON run status) — counters advance
 monotonically across iterations because every iteration shares one
-registry.
+registry. ``serve`` runs the multi-tenant service: concurrent tenant
+sessions (budgets, fair-share weights, per-tenant scripts from a JSON
+spec) share one platform and worker pool, with per-tenant labeled
+metrics and a tenant view on ``/run``.
 
 Identical crowd questions are answered once per run (an in-memory answer
 cache is on by default; ``--no-cache`` disables it). ``--cache FILE``
@@ -420,6 +425,186 @@ def _run_serve_metrics(args) -> int:
     return code
 
 
+def _load_tenant_spec(path: str | None):
+    """Parse a ``serve`` tenant-spec file into (specs, sessions, scripts, budget).
+
+    The file is JSON: either a bare list of tenant objects or
+    ``{"platform_budget": ..., "tenants": [...]}``. Each tenant object:
+    ``{"name": ..., "budget": ..., "weight": ..., "sessions": ...,
+    "script": ...}`` — everything but ``name`` optional. With no file at
+    all, two demo tenants (weights 2 and 1) share the platform.
+    """
+    import json
+
+    from repro.service import TenantSpec
+
+    if path is None:
+        data: dict = {"tenants": [
+            {"name": "alice", "weight": 2.0},
+            {"name": "bob", "weight": 1.0},
+        ]}
+    else:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(f"cannot read tenant spec {path}: {exc}") from exc
+        if isinstance(data, list):
+            data = {"tenants": data}
+    entries = data.get("tenants")
+    if not isinstance(entries, list) or not entries:
+        raise ConfigurationError("tenant spec must define a non-empty 'tenants' list")
+    specs, sessions, scripts = [], {}, {}
+    for entry in entries:
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ConfigurationError("each tenant needs at least a 'name'")
+        name = str(entry["name"])
+        spec = TenantSpec(
+            name=name,
+            budget=float(entry.get("budget", float("inf"))),
+            weight=float(entry.get("weight", 1.0)),
+        )
+        specs.append(spec)
+        sessions[name] = int(entry.get("sessions", 1))
+        if sessions[name] < 1:
+            raise ConfigurationError(f"tenant {name!r}: sessions must be >= 1")
+        script = entry.get("script")
+        if script is not None:
+            try:
+                with open(script, encoding="utf-8") as handle:
+                    scripts[name] = handle.read()
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"tenant {name!r}: cannot read script {script}: {exc}"
+                ) from exc
+    budget = data.get("platform_budget")
+    return specs, sessions, scripts, (float(budget) if budget is not None else None)
+
+
+def _run_serve(args) -> int:
+    """``python -m repro serve``: N tenants share one platform, live-scraped.
+
+    Builds one shared platform + worker pool, registers the tenants from
+    the spec file, and drives every tenant session concurrently on the
+    asyncio loop (session threads multiplex through the service's
+    bounded pool; all crowd work serializes through the fair-share
+    dispatcher). ``/metrics`` and ``/run`` serve live per-tenant state
+    throughout.
+    """
+    import asyncio
+    import math
+    import time
+
+    from repro.data.database import Database
+    from repro.obs.server import MetricsServer
+    from repro.service import CrowdService
+    from repro.workers.pool import WorkerPool
+
+    try:
+        specs, sessions_per, scripts, platform_budget = _load_tenant_spec(args.tenants)
+    except CrowdDMError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    registry = MetricsRegistry(enabled=True)
+    pool = WorkerPool.heterogeneous(
+        args.pool, accuracy_low=0.75, accuracy_high=0.97, seed=args.seed
+    )
+    platform = SimulatedPlatform(
+        pool,
+        budget=platform_budget if platform_budget is not None else math.inf,
+        seed=args.seed + 1,
+        batch=BatchConfig(
+            batch_size=args.batch_size,
+            max_parallel=args.max_parallel,
+            seed=args.seed + 2,
+        ),
+        metrics=registry,
+    )
+    if not args.no_cache:
+        from repro.platform.cache import AnswerCache
+
+        # One shared cache: a question any tenant already paid for replays
+        # free for everyone (hits are never charged to anyone's ledger).
+        platform.attach_cache(AnswerCache())
+    service = CrowdService(platform, quantum_tasks=args.quantum)
+    for spec in specs:
+        service.register(spec)
+    try:
+        server = MetricsServer(
+            registry, run_status=service.run_status, port=args.port
+        ).start()
+    except CrowdDMError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"-- serving {server.url}/metrics /healthz /run", flush=True)
+    code = 0
+
+    async def tenant_session(name: str) -> "tuple[bool, str] | None":
+        from repro.errors import AdmissionRejectedError, BudgetExceededError
+
+        sql = scripts.get(name, DEMO_SCRIPT)
+        try:
+            for _ in range(args.rounds):
+                # Fresh catalog per round (the script CREATEs its tables);
+                # the platform, cache, and tenant ledger persist across
+                # rounds, so repeated questions replay from the cache.
+                session = service.session(
+                    name,
+                    database=Database(),
+                    redundancy=args.redundancy,
+                    inference=CATEGORICAL_METHODS[args.inference](),
+                    pipeline=args.pipeline,
+                )
+                await service.aexecute(session, sql)
+        except (BudgetExceededError, AdmissionRejectedError) as exc:
+            # Quota enforcement working as designed, not a server failure.
+            return (False, f"{type(exc).__name__}: {exc}")
+        except CrowdDMError as exc:
+            return (True, f"{type(exc).__name__}: {exc}")
+        return None
+
+    async def drive() -> int:
+        jobs = [
+            tenant_session(spec.name)
+            for spec in specs
+            for _ in range(sessions_per[spec.name])
+        ]
+        failures = 0
+        for spec_name, outcome in zip(
+            [s.name for s in specs for _ in range(sessions_per[s.name])],
+            await asyncio.gather(*jobs),
+        ):
+            if outcome is not None:
+                fatal, message = outcome
+                print(f"-- tenant {spec_name}: {message}")
+                failures += 1 if fatal else 0
+        return failures
+
+    try:
+        with service:
+            failures = asyncio.run(drive())
+            for name, view in service.run_status()["tenants"].items():
+                budget = view["budget"]
+                budget_text = f"{budget:.4f}" if budget is not None else "inf"
+                print(
+                    f"-- tenant {name}: spent {view['spent']:.4f} of {budget_text}, "
+                    f"{view['tasks_dispatched']} tasks over "
+                    f"{view['units_completed']} unit(s), "
+                    f"{view['units_rejected']} rejected, "
+                    f"weight {view['weight']:g}"
+                )
+            if failures:
+                code = 1
+            if args.hold > 0:
+                time.sleep(args.hold)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        deactivate()
+    return code
+
+
 def _run_chaos_command(args) -> int:
     """``python -m repro chaos``: seeded chaos sweep + optional resume check."""
     import tempfile
@@ -614,6 +799,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=0.0,
         help="keep serving this many seconds after the last iteration",
     )
+    serve_svc_parser = commands.add_parser(
+        "serve",
+        help="run N tenants concurrently against one shared platform "
+        "while serving /metrics, /healthz, /run (tenant view)",
+    )
+    serve_svc_parser.add_argument(
+        "tenants",
+        nargs="?",
+        default=None,
+        help="tenant spec JSON ({'tenants': [{'name', 'budget', 'weight', "
+        "'sessions', 'script'}, ...]}); two demo tenants when omitted",
+    )
+    serve_svc_parser.add_argument(
+        "--port",
+        type=int,
+        default=9110,
+        help="port to bind on 127.0.0.1 (0 picks an ephemeral port)",
+    )
+    serve_svc_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="how many times each tenant session runs its script",
+    )
+    serve_svc_parser.add_argument(
+        "--quantum",
+        type=int,
+        default=8,
+        help="deficit-round-robin quantum (assignment credit per turn)",
+    )
+    serve_svc_parser.add_argument(
+        "--hold",
+        type=float,
+        default=0.0,
+        help="keep serving this many seconds after the last session",
+    )
     profile_parser = commands.add_parser(
         "profile-report", help="summarize a profile written with --profile"
     )
@@ -641,6 +862,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "serve-metrics":
         return _run_serve_metrics(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "chaos":
         return _run_chaos_command(args)

@@ -155,3 +155,21 @@ class DeductionError(CrowdDMError):
 
 class ConfigurationError(CrowdDMError):
     """Engine or component configuration is invalid."""
+
+
+class ServiceError(CrowdDMError):
+    """The multi-tenant service layer rejected an operation."""
+
+
+class AdmissionRejectedError(ServiceError):
+    """Admission control refused a work unit (breaker open, quota spent).
+
+    Attributes:
+        tenant: Name of the tenant whose unit was refused.
+        reason: Short machine-readable reason (breaker name or quota tag).
+    """
+
+    def __init__(self, tenant: str, reason: str):
+        super().__init__(f"tenant {tenant!r}: work unit rejected ({reason})")
+        self.tenant = tenant
+        self.reason = reason

@@ -23,6 +23,7 @@ per-bucket counts the Prometheus exposition format
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_right
 from collections.abc import Mapping
 from typing import Any
@@ -179,6 +180,14 @@ class MetricsRegistry:
     unlabeled series (the historical behaviour, so every existing lookup
     like ``registry.counters["platform.cost_spent"]`` still works), and
     ``name{k="v"}`` for labeled ones.
+
+    Thread safety: series *creation* (the first use of a new name/label
+    combination) and :meth:`series_snapshot` share a lock, so a scraper
+    iterating the registry while another thread mints new labeled series
+    can never hit ``RuntimeError: dictionary changed size during
+    iteration``. Reads and writes of existing series stay lock-free — a
+    scrape may observe a half-advanced *set* of values, never a torn
+    individual value or a torn dict.
     """
 
     def __init__(self, enabled: bool = True) -> None:
@@ -186,6 +195,7 @@ class MetricsRegistry:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -------------------------------------------------------------- #
     # Instrument handles (always live)
@@ -200,7 +210,10 @@ class MetricsRegistry:
             key = series_key(name, items)
         found = self.counters.get(key)
         if found is None:
-            found = self.counters[key] = Counter(name, items)
+            with self._lock:
+                found = self.counters.get(key)
+                if found is None:
+                    found = self.counters[key] = Counter(name, items)
         return found
 
     def gauge(self, name: str, labels: "Mapping[str, Any] | None" = None) -> Gauge:
@@ -212,7 +225,10 @@ class MetricsRegistry:
             key = series_key(name, items)
         found = self.gauges.get(key)
         if found is None:
-            found = self.gauges[key] = Gauge(name, items)
+            with self._lock:
+                found = self.gauges.get(key)
+                if found is None:
+                    found = self.gauges[key] = Gauge(name, items)
         return found
 
     def histogram(
@@ -233,7 +249,12 @@ class MetricsRegistry:
             key = series_key(name, items)
         found = self.histograms.get(key)
         if found is None:
-            found = self.histograms[key] = Histogram(name, items, buckets=buckets)
+            with self._lock:
+                found = self.histograms.get(key)
+                if found is None:
+                    found = self.histograms[key] = Histogram(
+                        name, items, buckets=buckets
+                    )
         return found
 
     # -------------------------------------------------------------- #
@@ -274,6 +295,20 @@ class MetricsRegistry:
     # Export
     # -------------------------------------------------------------- #
 
+    def series_snapshot(
+        self,
+    ) -> "tuple[dict[str, Counter], dict[str, Gauge], dict[str, Histogram]]":
+        """Point-in-time shallow copies of the three series dicts.
+
+        Taken under the creation lock, so every exporter iterating the
+        result is immune to concurrent first-use series creation (the
+        ``dictionary changed size during iteration`` race). The series
+        objects themselves are shared, not copied — values keep advancing
+        after the snapshot, which is fine for a scrape.
+        """
+        with self._lock:
+            return dict(self.counters), dict(self.gauges), dict(self.histograms)
+
     def snapshot(self) -> dict[str, Any]:
         """All current values as plain data (counters, gauges, histograms).
 
@@ -282,9 +317,10 @@ class MetricsRegistry:
         upper bound, plus ``sum`` — the pieces the Prometheus exposition
         is assembled from.
         """
+        counters, gauges, histograms = self.series_snapshot()
         return {
-            "counters": {n: c.value for n, c in sorted(self.counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
             "histograms": {
                 n: {
                     "count": h.count,
@@ -297,22 +333,23 @@ class MetricsRegistry:
                         zip(map(str, h.buckets), h.bucket_counts(), strict=True)
                     ),
                 }
-                for n, h in sorted(self.histograms.items())
+                for n, h in sorted(histograms.items())
             },
         }
 
     def report(self) -> str:
         """Human-readable run report: counters then histogram percentiles."""
+        counters, gauges, histograms = self.series_snapshot()
         lines = ["== metrics =="]
-        for name, counter in sorted(self.counters.items()):
+        for name, counter in sorted(counters.items()):
             value = counter.value
             rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
             lines.append(f"  {name} = {rendered}")
-        for name, gauge in sorted(self.gauges.items()):
+        for name, gauge in sorted(gauges.items()):
             lines.append(f"  {name} = {gauge.value:.4f}")
-        if self.histograms:
+        if histograms:
             lines.append("  -- histograms (count / mean / p50 / p95 / p99) --")
-            for name, hist in sorted(self.histograms.items()):
+            for name, hist in sorted(histograms.items()):
                 lines.append(
                     f"  {name}: {hist.count} / {hist.mean:.4f} / "
                     f"{hist.p50:.4f} / {hist.p95:.4f} / {hist.p99:.4f}"

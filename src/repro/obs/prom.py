@@ -253,6 +253,28 @@ DESCRIPTORS: tuple[MetricDescriptor, ...] = (
         "round.duration", "round_sim_duration_seconds", "histogram",
         "Simulated makespan of each retainer/round timeline.",
     ),
+    # multi-tenant service
+    MetricDescriptor(
+        "service.tasks_dispatched", "service_tasks_dispatched_total", "counter",
+        "Crowd tasks dispatched to the shared platform, labeled by tenant.",
+    ),
+    MetricDescriptor(
+        "service.units_admitted", "service_units_admitted_total", "counter",
+        "Work units admitted past admission control, labeled by tenant.",
+    ),
+    MetricDescriptor(
+        "service.units_rejected", "service_units_rejected_total", "counter",
+        "Work units rejected by admission control, labeled by tenant+reason.",
+    ),
+    MetricDescriptor(
+        "service.queue_depth", "service_queue_depth", "gauge",
+        "Work units waiting in each tenant's queue.",
+    ),
+    MetricDescriptor(
+        "service.queue_wait", "service_queue_wait_units", "histogram",
+        "Dispatcher turns a work unit waited in its tenant queue.",
+        buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+    ),
 )
 
 DESCRIPTOR_INDEX: dict[str, MetricDescriptor] = {d.name: d for d in DESCRIPTORS}
@@ -340,11 +362,15 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         )
         return entry
 
-    for counter in registry.counters.values():
+    # Iterate copies taken under the registry's creation lock: the service
+    # run loop mints new labeled series concurrently with scrapes, and
+    # iterating the live dicts would race their first-use inserts.
+    counters, gauges, histograms = registry.series_snapshot()
+    for counter in counters.values():
         family(counter.name, "counter")["series"].append(counter)
-    for gauge in registry.gauges.values():
+    for gauge in gauges.values():
         family(gauge.name, "gauge")["series"].append(gauge)
-    for hist in registry.histograms.values():
+    for hist in histograms.values():
         family(hist.name, "histogram")["series"].append(hist)
 
     lines: list[str] = []

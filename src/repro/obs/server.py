@@ -21,6 +21,7 @@ mutating counters concurrently (a scrape may observe a half-advanced
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from collections.abc import Callable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -31,6 +32,72 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.prom import CONTENT_TYPE, render_prometheus
 
 RunStatusProvider = Callable[[], "dict[str, Any]"]
+
+
+class _ThreadingHTTPServerV6(ThreadingHTTPServer):
+    address_family = socket.AF_INET6
+
+
+def _make_handler(server: "MetricsServer") -> type[BaseHTTPRequestHandler]:
+    """Request handler class bound to one :class:`MetricsServer`.
+
+    A factory (rather than a closure inside :meth:`MetricsServer.start`)
+    so the error paths are unit-testable without a live socket.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, fmt: str, *args: Any) -> None:  # noqa: ARG002
+            pass  # ops endpoint: no per-request stderr chatter
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+            path = self.path.split("?", 1)[0]
+            self._headers_sent = False
+            try:
+                if path == "/metrics":
+                    body = render_prometheus(server.registry).encode("utf-8")
+                    self._reply(200, CONTENT_TYPE, body)
+                elif path == "/healthz":
+                    self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+                elif path == "/run":
+                    status = (
+                        server.run_status() if server.run_status is not None else {}
+                    )
+                    body = json.dumps(status, default=str).encode("utf-8")
+                    self._reply(200, "application/json; charset=utf-8", body)
+                else:
+                    self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+            except Exception as exc:  # never kill the serving thread
+                # Two hazards in this fallback: (a) the failure may *be* a
+                # dead socket (scraper disconnected mid-response), so the
+                # recovery write can raise again and the stdlib dumps a
+                # traceback; (b) if the status line already went out, a
+                # second send_response would emit malformed HTTP. Only
+                # reply when no headers were sent, and swallow socket
+                # errors — there is nobody left to talk to.
+                if self._headers_sent:
+                    self.close_connection = True
+                    return
+                try:
+                    self._reply(
+                        500,
+                        "text/plain; charset=utf-8",
+                        f"error: {exc}\n".encode(),
+                    )
+                except OSError:
+                    self.close_connection = True
+
+        def _reply(self, code: int, content_type: str, body: bytes) -> None:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            # Headers are buffered until end_headers() flushes them; once
+            # that flush is attempted the status line is (possibly
+            # partially) on the wire and must never be re-sent.
+            self._headers_sent = True
+            self.end_headers()
+            self.wfile.write(body)
+
+    return Handler
 
 
 class MetricsServer:
@@ -68,47 +135,12 @@ class MetricsServer:
         """Bind and begin serving on a daemon thread (idempotent)."""
         if self._httpd is not None:
             return self
-        server = self
-
-        class Handler(BaseHTTPRequestHandler):
-            def log_message(self, fmt: str, *args: Any) -> None:  # noqa: ARG002
-                pass  # ops endpoint: no per-request stderr chatter
-
-            def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
-                path = self.path.split("?", 1)[0]
-                try:
-                    if path == "/metrics":
-                        body = render_prometheus(server.registry).encode("utf-8")
-                        self._reply(200, CONTENT_TYPE, body)
-                    elif path == "/healthz":
-                        self._reply(200, "text/plain; charset=utf-8", b"ok\n")
-                    elif path == "/run":
-                        status = (
-                            server.run_status() if server.run_status is not None else {}
-                        )
-                        body = json.dumps(status, default=str).encode("utf-8")
-                        self._reply(200, "application/json; charset=utf-8", body)
-                    else:
-                        self._reply(
-                            404, "text/plain; charset=utf-8", b"not found\n"
-                        )
-                except Exception as exc:  # never kill the serving thread
-                    self._reply(
-                        500,
-                        "text/plain; charset=utf-8",
-                        f"error: {exc}\n".encode(),
-                    )
-
-            def _reply(self, code: int, content_type: str, body: bytes) -> None:
-                self.send_response(code)
-                self.send_header("Content-Type", content_type)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
-
+        server_cls = ThreadingHTTPServer
+        if ":" in self.host:  # IPv6 literal; the stdlib default is AF_INET
+            server_cls = _ThreadingHTTPServerV6
         try:
-            self._httpd = ThreadingHTTPServer(
-                (self.host, self._requested_port), Handler
+            self._httpd = server_cls(
+                (self.host, self._requested_port), _make_handler(self)
             )
         except OSError as exc:
             raise ConfigurationError(
@@ -136,8 +168,9 @@ class MetricsServer:
 
     @property
     def url(self) -> str:
-        """Base URL of the running server."""
-        return f"http://{self.host}:{self.port}"
+        """Base URL of the running server (IPv6 hosts are bracketed)."""
+        host = f"[{self.host}]" if ":" in self.host else self.host
+        return f"http://{host}:{self.port}"
 
     def stop(self) -> None:
         """Shut down the server and join the serving thread (idempotent)."""

@@ -20,7 +20,9 @@ Two usage modes mirror how real requesters interact with platforms:
 from __future__ import annotations
 
 import math
+import threading
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Sequence
 
@@ -226,6 +228,12 @@ class SimulatedPlatform:
         self.scheduler: "BatchScheduler | None" = None
         self.faults: "FaultInjector | None" = None
         self.cache: "AnswerCache | None" = None
+        # Multi-tenant service seam: when a tenant account is active, every
+        # charge is additionally checked and booked against it, atomically
+        # with the global budget check (the lock is what makes two tenants
+        # unable to jointly overspend a shared platform).
+        self._charge_lock = threading.Lock()
+        self._active_account: "object | None" = None
         if batch is not None:
             self.attach_scheduler(batch)
 
@@ -295,13 +303,42 @@ class SimulatedPlatform:
     def remaining_budget(self) -> float:
         return self.budget - self.stats.cost_spent
 
+    @contextmanager
+    def charging_account(self, account: "object | None") -> Iterator[None]:
+        """Attribute every charge in the block to *account* (a tenant).
+
+        *account* duck-types two methods: ``check(amount)`` (raise
+        :class:`~repro.errors.BudgetExceededError` without mutating when
+        the tenant budget cannot cover *amount*) and ``add(amount)``
+        (book the spend). The multi-tenant service wraps each work unit
+        in this; single-requester callers never enter it, so the plain
+        path is untouched.
+        """
+        previous = self._active_account
+        self._active_account = account
+        try:
+            yield
+        finally:
+            self._active_account = previous
+
     def _charge(self, amount: float) -> None:
-        if self.stats.cost_spent + amount > self.budget + 1e-12:
-            raise BudgetExceededError(
-                f"budget {self.budget:.4f} exhausted "
-                f"(spent {self.stats.cost_spent:.4f}, need {amount:.4f} more)"
-            )
-        self.stats.cost_spent += amount
+        # Serialized check-then-spend: without the lock two concurrent
+        # charges could both pass the budget test and jointly overspend.
+        # Both ledgers (global and tenant) are checked before either is
+        # mutated, so a failed charge leaves no partial booking.
+        with self._charge_lock:
+            if self.stats.cost_spent + amount > self.budget + 1e-12:
+                raise BudgetExceededError(
+                    f"budget {self.budget:.4f} exhausted "
+                    f"(spent {self.stats.cost_spent:.4f}, need {amount:.4f} more)"
+                )
+            account = self._active_account
+            if account is not None:
+                account.check(amount)
+                self.stats.cost_spent += amount
+                account.add(amount)
+            else:
+                self.stats.cost_spent += amount
 
     # ------------------------------------------------------------------ #
     # Answer cache seam (shared by collect() and the batch scheduler)
@@ -345,6 +382,9 @@ class SimulatedPlatform:
             for dup in dups:
                 saved += self.pricing.price(dup) * len(answers.get(dup.task_id, ()))
         self.stats.cache_cost_saved += saved
+        account = self._active_account
+        if account is not None:
+            account.credit_saved(saved)
         if self.tracer.enabled:
             with self.tracer.span(
                 "answer_cache",

@@ -1,0 +1,187 @@
+"""Regression tests for obs/server concurrency hardening (ISSUE 10).
+
+Three bugs pinned here:
+
+* the ``/metrics`` handler's 500 fallback used to re-write to the socket
+  that had just failed (scraper disconnecting mid-response), raising a
+  second time out of ``do_GET`` — and, when the status line was already
+  out, appending a second status line (malformed HTTP);
+* :attr:`MetricsServer.url` rendered ``http://::1:port`` for IPv6 binds;
+* registry snapshot/render iterated the live series dicts, so a scrape
+  racing first-use labeled-series creation could die with
+  ``RuntimeError: dictionary changed size during iteration``.
+"""
+
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import render_prometheus
+from repro.obs.server import MetricsServer, _make_handler
+
+
+class FlakyWFile:
+    """File-like that starts raising ``BrokenPipeError`` at write *fail_from*."""
+
+    def __init__(self, fail_from: int) -> None:
+        self.writes: list[bytes] = []
+        self.attempts = 0
+        self.fail_from = fail_from
+
+    def write(self, data: bytes) -> int:
+        index = self.attempts
+        self.attempts += 1
+        if index >= self.fail_from:
+            raise BrokenPipeError(32, "Broken pipe")
+        self.writes.append(bytes(data))
+        return len(data)
+
+    def flush(self) -> None:
+        pass
+
+
+def make_handler(path: str, wfile: FlakyWFile, run_status=None):
+    """A handler instance wired to a fake socket (no network)."""
+    server = MetricsServer(MetricsRegistry(), run_status=run_status)
+    handler_cls = _make_handler(server)
+    handler = handler_cls.__new__(handler_cls)
+    handler.path = path
+    handler.command = "GET"
+    handler.request_version = "HTTP/1.1"
+    handler.requestline = f"GET {path} HTTP/1.1"
+    handler.client_address = ("127.0.0.1", 55555)
+    handler.close_connection = False
+    handler.wfile = wfile
+    return handler
+
+
+def status_lines(wfile: FlakyWFile) -> int:
+    return b"".join(wfile.writes).count(b"HTTP/1.")
+
+
+class TestDisconnectFallback:
+    def test_body_write_broken_pipe_does_not_raise(self):
+        # Headers flush (write 0) succeeds; the body write (write 1) hits
+        # a dead socket. The old fallback re-replied on the same socket:
+        # a second status line *and* a second BrokenPipeError out of
+        # do_GET, which the stdlib logs as an unhandled traceback.
+        wfile = FlakyWFile(fail_from=1)
+        handler = make_handler("/healthz", wfile)
+        handler.do_GET()  # must not raise
+        assert handler.close_connection is True
+        assert status_lines(wfile) == 1  # no second status line attempted
+
+    def test_header_flush_broken_pipe_does_not_raise(self):
+        # The very first socket write (the header flush) fails: nothing is
+        # on the wire from our side, but the peer is gone — the fallback
+        # must not try to write a 500 to the same dead socket.
+        wfile = FlakyWFile(fail_from=0)
+        handler = make_handler("/healthz", wfile)
+        handler.do_GET()  # must not raise
+        assert handler.close_connection is True
+        assert wfile.attempts == 1  # exactly one write attempt, no retry
+
+    def test_provider_error_with_healthy_socket_gets_clean_500(self):
+        # A genuine handler error on a live socket still produces exactly
+        # one well-formed 500 response.
+        def boom():
+            raise RuntimeError("status provider exploded")
+
+        wfile = FlakyWFile(fail_from=10_000)
+        handler = make_handler("/run", wfile, run_status=boom)
+        handler.do_GET()
+        joined = b"".join(wfile.writes)
+        assert status_lines(wfile) == 1
+        assert b" 500 " in joined
+        assert b"status provider exploded" in joined
+
+    def test_live_mid_response_disconnect_keeps_serving(self):
+        # End-to-end: a scraper that closes its socket mid-response must
+        # not take the serving thread down for later scrapers.
+        registry = MetricsRegistry()
+        for i in range(2000):
+            registry.inc("service.tasks_dispatched", labels={"tenant": f"t{i}"})
+        with MetricsServer(registry, port=0) as server:
+            import socket as socket_mod
+
+            sock = socket_mod.create_connection(("127.0.0.1", server.port))
+            sock.sendall(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            sock.recv(128)  # read a little, then vanish mid-body
+            sock.setsockopt(
+                socket_mod.SOL_SOCKET,
+                socket_mod.SO_LINGER,
+                b"\x01\x00\x00\x00\x00\x00\x00\x00",  # RST on close
+            )
+            sock.close()
+            time.sleep(0.05)
+            with urllib.request.urlopen(server.url + "/healthz", timeout=5) as resp:
+                assert resp.read() == b"ok\n"
+
+
+class TestIPv6Url:
+    def test_url_brackets_ipv6_host(self):
+        server = MetricsServer(MetricsRegistry(), host="::1", port=9123)
+        assert server.url == "http://[::1]:9123"
+
+    def test_url_plain_ipv4_unchanged(self):
+        server = MetricsServer(MetricsRegistry(), host="127.0.0.1", port=9123)
+        assert server.url == "http://127.0.0.1:9123"
+
+    def test_ipv6_bind_and_scrape(self):
+        registry = MetricsRegistry()
+        registry.inc("platform.tasks_published", 3)
+        try:
+            server = MetricsServer(registry, host="::1", port=0).start()
+        except Exception:
+            pytest.skip("IPv6 loopback unavailable")
+        try:
+            with urllib.request.urlopen(server.url + "/healthz", timeout=5) as resp:
+                assert resp.read() == b"ok\n"
+        finally:
+            server.stop()
+
+
+class TestScrapeWhileMutating:
+    def test_render_and_snapshot_race_series_creation(self):
+        # A writer thread mints fresh labeled series as fast as it can
+        # (what the multi-tenant service run loop does) while the main
+        # thread scrapes. Pre-fix this dies with "dictionary changed size
+        # during iteration" in render/snapshot within a few iterations.
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        writer_errors: list[BaseException] = []
+
+        def writer() -> None:
+            i = 0
+            try:
+                while not stop.is_set():
+                    tenant = f"t{i}"
+                    registry.inc(
+                        "service.tasks_dispatched", labels={"tenant": tenant}
+                    )
+                    registry.set_gauge(
+                        "service.queue_depth", float(i % 13), labels={"tenant": tenant}
+                    )
+                    registry.observe(
+                        "service.queue_wait", float(i % 7), labels={"tenant": tenant}
+                    )
+                    i += 1
+            except BaseException as exc:  # surface in the main thread
+                writer_errors.append(exc)
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline:
+                text = render_prometheus(registry)
+                assert "service_tasks_dispatched_total" in text or text
+                registry.snapshot()
+                registry.report()
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert not writer_errors

@@ -36,6 +36,7 @@ EXPERIMENT_BENCHES = {
     "B3": "bench_columnar.py",
     "B8": "bench_hedging.py",
     "B9": "bench_streaming.py",
+    "B10": "bench_service.py",
     "C1": "bench_answer_cache.py",
 }
 
